@@ -1,0 +1,172 @@
+// Package anysim is the public facade of the regional IP anycast
+// reproduction: a deterministic Internet simulator (AS-level Gao-Rexford
+// policy routing, IXPs with route-server and public peering, a geographic
+// latency model, geolocating DNS, and a RIPE-Atlas-like probe platform)
+// plus the measurement and analysis methodology of "Regional IP Anycast:
+// Deployments, Performance, and Potentials" (ACM SIGCOMM 2023).
+//
+// Typical use:
+//
+//	world, err := anysim.NewWorld(anysim.Config{Seed: 7})
+//	ctx := anysim.NewExperimentContext(world)
+//	reports, err := anysim.RunAllExperiments(ctx)
+//
+// or, for custom studies, drive the layers directly: world.Engine for
+// routing lookups, world.Measurer for pings and traceroutes, and the
+// analysis helpers re-exported below.
+package anysim
+
+import (
+	"anysim/internal/atlas"
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/core"
+	"anysim/internal/experiments"
+	"anysim/internal/geo"
+	"anysim/internal/reopt"
+	"anysim/internal/sitemap"
+	"anysim/internal/worldgen"
+)
+
+// World construction.
+type (
+	// Config parameterises world construction; the zero value (plus a
+	// seed) builds the full-scale paper world.
+	Config = worldgen.Config
+	// World is a fully-wired simulated Internet with the paper's content
+	// networks deployed.
+	World = worldgen.World
+)
+
+// NewWorld builds a world from a config.
+func NewWorld(cfg Config) (*World, error) { return worldgen.New(cfg) }
+
+// DefaultWorld builds the full-scale canonical paper world (seed 2023).
+func DefaultWorld() (*World, error) { return worldgen.Default() }
+
+// SmallWorld builds a reduced-scale world for quick experiments.
+func SmallWorld(seed int64) (*World, error) { return worldgen.Small(seed) }
+
+// Representative customer hostnames (§4.3).
+const (
+	RepresentativeEdgio3   = worldgen.RepEG3
+	RepresentativeEdgio4   = worldgen.RepEG4
+	RepresentativeImperva6 = worldgen.RepIM6
+)
+
+// Geography.
+type (
+	// Area is one of the paper's four probe areas.
+	Area = geo.Area
+)
+
+// The paper's probe areas.
+const (
+	EMEA  = geo.EMEA
+	NA    = geo.NA
+	LatAm = geo.LatAm
+	APAC  = geo.APAC
+)
+
+// Routing and measurement types.
+type (
+	// Forward is an anycast catchment decision.
+	Forward = bgp.Forward
+	// Probe is one measurement vantage point.
+	Probe = atlas.Probe
+	// Trace is a traceroute result.
+	Trace = atlas.Trace
+	// DNSMode selects the Local-DNS or Authoritative-DNS configuration.
+	DNSMode = atlas.DNSMode
+	// Deployment is a content network's anycast deployment.
+	Deployment = cdn.Deployment
+)
+
+// DNS measurement modes.
+const (
+	LDNS = atlas.LDNS
+	ADNS = atlas.ADNS
+)
+
+// Campaigns and analyses (the paper's §5 methodology).
+type (
+	// CampaignResult is one hostname measured from every probe.
+	CampaignResult = core.Result
+	// Measurement is one probe's record within a campaign.
+	Measurement = core.Measurement
+	// ProbeGroup is a <city, AS> probe group.
+	ProbeGroup = core.Group
+	// MappingEfficiency is a Table-2 style DNS-mapping classification.
+	MappingEfficiency = core.MappingEfficiency
+	// Comparison is the §5.3 regional-vs-global pairing.
+	Comparison = core.Comparison
+	// CauseBreakdown is the §5.4 cause classification.
+	CauseBreakdown = core.CauseBreakdown
+)
+
+// RunCampaign measures one hostname of a deployment from the given probes.
+func RunCampaign(w *World, dep *Deployment, host string, probes []*Probe) *CampaignResult {
+	return core.RunCampaign(w.Measurer, w.Auth, dep, host, probes, core.DefaultCampaignConfig())
+}
+
+// AnalyzeDNSMapping classifies a campaign's probe groups per Table 2.
+func AnalyzeDNSMapping(res *CampaignResult, mode DNSMode) *MappingEfficiency {
+	return core.AnalyzeDNSMapping(res, mode)
+}
+
+// CompareRegionalGlobal pairs a regional campaign against a global one
+// after the §5.3 site/peer overlap filtering.
+func CompareRegionalGlobal(w *World, regional, global *CampaignResult, mode DNSMode) (*Comparison, error) {
+	overlap, err := core.ComputeOverlap(w.Topo, regional.Deployment, global.Deployment)
+	if err != nil {
+		return nil, err
+	}
+	return core.CompareRegionalGlobal(regional, global, mode, overlap), nil
+}
+
+// Site enumeration (§4.4 / Appendix B).
+type (
+	// EnumerationResult is a site-enumeration outcome with per-technique
+	// attribution.
+	EnumerationResult = sitemap.Result
+)
+
+// EnumerateSites runs the p-hop geolocation pipeline over traceroutes.
+func EnumerateSites(w *World, network string, traces []*Trace, published []string) *EnumerationResult {
+	return sitemap.Enumerate(network, traces, published, sitemap.DefaultConfig(w.GeoDBs))
+}
+
+// ReOpt (§6.1).
+type (
+	// ReOptSweep is the outcome of the latency-based partition sweep.
+	ReOptSweep = reopt.Sweep
+	// ReOptCandidate is one evaluated partition.
+	ReOptCandidate = reopt.Candidate
+)
+
+// RunReOpt executes the ReOpt partition sweep on the world's Tangled
+// testbed.
+func RunReOpt(w *World, seed int64) (*ReOptSweep, error) {
+	return reopt.Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(), reopt.Config{Seed: seed})
+}
+
+// Experiments (every table and figure).
+type (
+	// ExperimentContext memoizes shared measurement campaigns.
+	ExperimentContext = experiments.Context
+	// ExperimentReport is one experiment's rendered output plus data.
+	ExperimentReport = experiments.Report
+	// Experiment is one reproducible table or figure.
+	Experiment = experiments.Experiment
+)
+
+// NewExperimentContext wraps a world for experiment execution.
+func NewExperimentContext(w *World) *ExperimentContext { return experiments.NewContext(w) }
+
+// Experiments lists every table and figure experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(ctx *ExperimentContext) ([]*ExperimentReport, error) {
+	return experiments.RunAll(ctx)
+}

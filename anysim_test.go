@@ -1,0 +1,103 @@
+package anysim
+
+import (
+	"testing"
+
+	"anysim/internal/core"
+)
+
+// The facade tests exercise the public API end to end on a reduced world.
+var facadeWorld *World
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	if facadeWorld == nil {
+		w, err := SmallWorld(77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facadeWorld = w
+	}
+	return facadeWorld
+}
+
+func TestFacadeCampaignFlow(t *testing.T) {
+	w := testWorld(t)
+	probes := w.Platform.Retained()
+	res := RunCampaign(w, w.Imperva.IM6, RepresentativeImperva6, probes)
+	if len(res.Probes) != len(probes) {
+		t.Fatalf("campaign covered %d of %d probes", len(res.Probes), len(probes))
+	}
+	eff := AnalyzeDNSMapping(res, LDNS)
+	if eff.Groups[EMEA] == 0 {
+		t.Error("no EMEA groups analysed")
+	}
+
+	if err := w.Auth.Register("facade-global.example", w.Imperva.NS.Mapper(w.OperatorDB)); err != nil {
+		t.Fatal(err)
+	}
+	glob := RunCampaign(w, w.Imperva.NS, "facade-global.example", probes)
+	cmp, err := CompareRegionalGlobal(w, res, glob, LDNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Filter.Retained == 0 {
+		t.Error("comparison retained nothing")
+	}
+}
+
+func TestFacadeEnumeration(t *testing.T) {
+	w := testWorld(t)
+	var traces []*Trace
+	for _, p := range w.Platform.Retained()[:150] {
+		for _, vip := range w.Imperva.IM6.VIPs() {
+			if tr, ok := w.Measurer.Traceroute(p, vip); ok && tr.Reached {
+				traces = append(traces, tr)
+			}
+		}
+	}
+	enum := EnumerateSites(w, "facade", traces, w.Imperva.Published)
+	if len(enum.SiteList()) == 0 {
+		t.Error("no sites enumerated")
+	}
+}
+
+func TestFacadeReOpt(t *testing.T) {
+	w := testWorld(t)
+	sweep, err := RunReOpt(w, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Best == nil || sweep.Best.K < 3 || sweep.Best.K > 6 {
+		t.Fatalf("sweep best = %+v", sweep.Best)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("experiment count = %d, want 16 (15 tables/figures + X1)", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, ex := range exps {
+		if ex.Run == nil || ex.ID == "" {
+			t.Errorf("malformed experiment %+v", ex.ID)
+		}
+		ids[ex.ID] = true
+	}
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "S54", "X1"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFacadeConstantsAgree(t *testing.T) {
+	// The facade's re-exported constants must track the internal ones.
+	if RepresentativeImperva6 != "www.stamps.com" {
+		t.Errorf("representative hostname changed: %s", RepresentativeImperva6)
+	}
+	if core.EfficiencyThresholdMs != 5.0 {
+		t.Errorf("efficiency threshold changed: %v", core.EfficiencyThresholdMs)
+	}
+}

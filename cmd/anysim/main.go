@@ -1,0 +1,209 @@
+// Command anysim builds a simulated world and answers interactive queries
+// about it: anycast catchments, probe measurements, route tables, and
+// deployment inventories. It is the debugging companion to cmd/repro.
+//
+// Usage:
+//
+//	anysim [-seed N] [-small] <subcommand> [args]
+//
+// Subcommands:
+//
+//	deployments              list deployments, regions, and VIPs
+//	catchment <host>         per-area catchment-site histogram for a hostname
+//	probe <groupKey> <host>  one probe group's DNS answers, pings, traceroute
+//	routes <asn> <vip>       an AS's selected routes toward a VIP's prefix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+	"strconv"
+
+	"anysim/internal/atlas"
+	"anysim/internal/cdn"
+	"anysim/internal/geo"
+	"anysim/internal/topo"
+	"anysim/internal/worldgen"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", worldgen.DefaultSeed, "world seed")
+		small = flag.Bool("small", false, "use the reduced-scale world")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	var (
+		w   *worldgen.World
+		err error
+	)
+	if *small {
+		w, err = worldgen.Small(*seed)
+	} else {
+		w, err = worldgen.New(worldgen.Config{Seed: *seed})
+	}
+	if err != nil {
+		fatalf("building world: %v", err)
+	}
+
+	switch flag.Arg(0) {
+	case "deployments":
+		deployments(w)
+	case "catchment":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		catchment(w, flag.Arg(1))
+	case "probe":
+		if flag.NArg() != 3 {
+			usage()
+		}
+		probe(w, flag.Arg(1), flag.Arg(2))
+	case "routes":
+		if flag.NArg() != 3 {
+			usage()
+		}
+		routes(w, flag.Arg(1), flag.Arg(2))
+	default:
+		usage()
+	}
+}
+
+func deployments(w *worldgen.World) {
+	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
+		fmt.Printf("%s (AS%d): %d sites, %d regions\n", d.Name, d.ASN, len(d.Sites), len(d.Regions))
+		for _, r := range d.Regions {
+			sites := d.SitesOfRegion(r.Name)
+			cities := make([]string, 0, len(sites))
+			for _, s := range sites {
+				cities = append(cities, s.City)
+			}
+			fmt.Printf("  %-8s %-18s VIP %-15s sites: %v\n", r.Name, r.Prefix.String(), r.VIP, cities)
+		}
+	}
+}
+
+func catchment(w *worldgen.World, host string) {
+	counts := map[geo.Area]map[string]int{}
+	for _, p := range w.Platform.Retained() {
+		addr, ok := w.Measurer.ResolveHost(w.Auth, host, p, atlas.LDNS)
+		if !ok {
+			continue
+		}
+		prefix := netip.PrefixFrom(addr, 24).Masked()
+		fwd, ok := w.Engine.Lookup(prefix, p.ASN, p.City)
+		if !ok {
+			continue
+		}
+		if counts[p.Area()] == nil {
+			counts[p.Area()] = map[string]int{}
+		}
+		counts[p.Area()][fwd.Site]++
+	}
+	for _, area := range geo.Areas {
+		sites := counts[area]
+		type sc struct {
+			site string
+			n    int
+		}
+		var list []sc
+		for s, n := range sites {
+			list = append(list, sc{s, n})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+		fmt.Printf("%s:", area)
+		for i, e := range list {
+			if i == 8 {
+				fmt.Printf(" …")
+				break
+			}
+			fmt.Printf(" %s:%d", e.site, e.n)
+		}
+		fmt.Println()
+	}
+}
+
+func probe(w *worldgen.World, groupKey, host string) {
+	found := false
+	for _, p := range w.Platform.Retained() {
+		if p.GroupKey() != groupKey {
+			continue
+		}
+		found = true
+		fmt.Printf("probe %d: %s (%s, %s), AS%d, addr %v, access %.1f ms\n",
+			p.ID, p.City, p.Country, p.Area(), p.ASN, p.Addr, p.AccessMs)
+		for _, mode := range []atlas.DNSMode{atlas.LDNS, atlas.ADNS} {
+			addr, ok := w.Measurer.ResolveHost(w.Auth, host, p, mode)
+			if !ok {
+				fmt.Printf("  %-18s no answer\n", mode)
+				continue
+			}
+			rtt, _ := w.Measurer.Ping(p, addr)
+			fmt.Printf("  %-18s %v (%.1f ms)\n", mode, addr, rtt)
+			if mode == atlas.LDNS {
+				if tr, ok := w.Measurer.Traceroute(p, addr); ok && tr.Reached {
+					for i, h := range tr.Hops {
+						owner := "IXP " + h.IXP
+						if h.Owner != 0 {
+							owner = h.Owner.String()
+						}
+						fmt.Printf("    %2d  %-15v %-10s %6.1f ms  %s\n", i+1, h.Addr, owner, h.RTTMs, h.RDNS)
+					}
+					fmt.Printf("    %2d  %-15v (site %s)\n", len(tr.Hops)+1, tr.Dest, tr.Fwd.Site)
+				}
+			}
+		}
+	}
+	if !found {
+		fatalf("no probe with group key %q (format CITY|ASN, e.g. FRA|10042)", groupKey)
+	}
+}
+
+func routes(w *worldgen.World, asnStr, vipStr string) {
+	asn64, err := strconv.ParseUint(asnStr, 10, 32)
+	if err != nil {
+		fatalf("bad ASN %q", asnStr)
+	}
+	vip, err := netip.ParseAddr(vipStr)
+	if err != nil {
+		fatalf("bad address %q", vipStr)
+	}
+	var prefix netip.Prefix
+	for _, p := range w.Engine.Prefixes() {
+		if p.Contains(vip) {
+			prefix = p
+		}
+	}
+	if !prefix.IsValid() {
+		fatalf("%v is not inside any announced prefix", vip)
+	}
+	cls, rts, ok := w.Engine.Routes(prefix, topo.ASN(asn64))
+	if !ok {
+		fatalf("AS%d has no route to %v", asn64, prefix)
+	}
+	fmt.Printf("AS%d routes to %v (class %s):\n", asn64, prefix, cls)
+	for _, r := range rts {
+		fmt.Printf("  via %-8v handoff %-4s site %-5s downstream %6.0f km  path %v\n",
+			r.Path[0], r.Handoff(), r.Site, r.DownKm, r.Path)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: anysim [-seed N] [-small] <subcommand>
+  deployments              list deployments, regions, and VIPs
+  catchment <host>         per-area catchment histogram for a hostname
+  probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
+  routes <asn> <vip>       an AS's selected routes toward a VIP`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "anysim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command reopt runs the paper's latency-based region partitioner (§6.1) on
+// the simulated Tangled testbed: K-Means over site locations, per-probe
+// lowest-unicast-latency assignment, country-level majority mapping, and a
+// region-count sweep, then compares the winning regional configuration
+// against global anycast (Figure 6).
+//
+// Usage:
+//
+//	reopt [-seed N] [-small] [-min K] [-max K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"anysim/internal/geo"
+	"anysim/internal/reopt"
+	"anysim/internal/stats"
+	"anysim/internal/worldgen"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", worldgen.DefaultSeed, "world seed")
+		small = flag.Bool("small", false, "use the reduced-scale world")
+		minK  = flag.Int("min", 3, "minimum region count")
+		maxK  = flag.Int("max", 6, "maximum region count")
+	)
+	flag.Parse()
+
+	var (
+		w   *worldgen.World
+		err error
+	)
+	if *small {
+		w, err = worldgen.Small(*seed)
+	} else {
+		w, err = worldgen.New(worldgen.Config{Seed: *seed})
+	}
+	if err != nil {
+		fatalf("building world: %v", err)
+	}
+
+	sweep, err := reopt.Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(),
+		reopt.Config{Seed: *seed, MinRegions: *minK, MaxRegions: *maxK})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Println("region-count sweep (mean client latency):")
+	for _, cand := range sweep.Candidates {
+		marker := " "
+		if cand == sweep.Best {
+			marker = "*"
+		}
+		fmt.Printf(" %s k=%d  %.1f ms\n", marker, cand.K, cand.MeanLatencyMs)
+	}
+
+	best := sweep.Best
+	fmt.Printf("\nbest partition (k=%d):\n", best.K)
+	regions := make([]string, 0, len(best.Partition))
+	for rn := range best.Partition {
+		regions = append(regions, rn)
+	}
+	sort.Strings(regions)
+	for _, rn := range regions {
+		countries := 0
+		for _, mapped := range best.ClientCountries {
+			if mapped == rn {
+				countries++
+			}
+		}
+		fmt.Printf("  %-8s sites: %-30s (%d client countries)\n",
+			rn, strings.Join(best.Partition[rn], " "), countries)
+	}
+
+	// Regional (country-mapped) vs global anycast, per area.
+	globVIP := w.Tangled.Global.VIPs()[0]
+	regional := map[geo.Area][]float64{}
+	global := map[geo.Area][]float64{}
+	for _, p := range w.Platform.Retained() {
+		if region, ok := best.Deployment.RegionForCountry(p.Country); ok {
+			if fwd, ok := w.Engine.Lookup(region.Prefix, p.ASN, p.City); ok {
+				regional[p.Area()] = append(regional[p.Area()], w.Measurer.RTT(p, fwd))
+			}
+		}
+		if rtt, ok := w.Measurer.Ping(p, globVIP); ok {
+			global[p.Area()] = append(global[p.Area()], rtt)
+		}
+	}
+	fmt.Println("\nregional vs global anycast on the testbed:")
+	fmt.Println("  area   p50 reg/glob    p90 reg/glob    p90 cut")
+	for _, area := range geo.Areas {
+		r50 := stats.Percentile(regional[area], 50)
+		g50 := stats.Percentile(global[area], 50)
+		r90 := stats.Percentile(regional[area], 90)
+		g90 := stats.Percentile(global[area], 90)
+		cut := 0.0
+		if g90 > 0 {
+			cut = (g90 - r90) / g90 * 100
+		}
+		fmt.Printf("  %-5s %6.1f/%-6.1f  %7.1f/%-7.1f  %5.1f%%\n", area, r50, g50, r90, g90, cut)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "reopt: "+format+"\n", args...)
+	os.Exit(1)
+}

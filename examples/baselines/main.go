@@ -1,0 +1,80 @@
+// Baselines: the paper's §2.2 positioning, quantified. Runs the two
+// alternative global anycast improvement proposals the paper discusses —
+// DailyCatch (pick the better of a transit-only and an all-peers
+// announcement configuration) and an AnyOpt-style site-subset optimizer —
+// on the simulated Tangled testbed, then compares both against latency-based
+// regional anycast (ReOpt). The paper argues regional anycast is the most
+// promising approach because it bounds catchments geographically without
+// per-deployment BGP experiments; this example measures the gap.
+//
+// Run with: go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"anysim"
+	"anysim/internal/dailycatch"
+	"anysim/internal/siteopt"
+	"anysim/internal/stats"
+)
+
+func main() {
+	world, err := anysim.SmallWorld(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probes := world.Platform.Retained()
+	tangled := world.Tangled.Global
+
+	// 1. DailyCatch: measure transit-only vs all-peers, keep the winner.
+	dc, err := dailycatch.Run(world.Engine, world.Measurer, tangled, probes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DailyCatch (McQuistin et al., IMC'19):")
+	fmt.Printf("  transit-only  p90 %6.1f ms\n", dc.Transit.P90Ms)
+	fmt.Printf("  all-peers     p90 %6.1f ms\n", dc.Peers.P90Ms)
+	fmt.Printf("  winner: %s\n\n", dc.Winner)
+
+	// 2. AnyOpt-style greedy site-subset optimisation.
+	so, err := siteopt.Optimize(world.Engine, world.Measurer, tangled, probes, siteopt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AnyOpt-style site-subset optimizer (Zhang et al., SIGCOMM'21):")
+	fmt.Printf("  best subset: %s (%d of %d sites)\n",
+		strings.Join(so.Best, " "), len(so.Best), len(tangled.Sites))
+	fmt.Printf("  mean latency: %.1f ms after %d BGP experiments\n\n", so.BestMeanMs, so.Announcements)
+
+	// Restore the default global configuration before the regional run.
+	if err := tangled.Announce(world.Engine); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. ReOpt latency-based regional anycast (§6).
+	sweep, err := anysim.RunReOpt(world, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := sweep.Best
+	var regional []float64
+	for _, p := range probes {
+		region, ok := best.Deployment.RegionForCountry(p.Country)
+		if !ok {
+			continue
+		}
+		if fwd, ok := world.Engine.Lookup(region.Prefix, p.ASN, p.City); ok {
+			regional = append(regional, world.Measurer.RTT(p, fwd))
+		}
+	}
+	fmt.Printf("ReOpt regional anycast (§6, k=%d): p90 %.1f ms\n\n", best.K, stats.Percentile(regional, 90))
+
+	fmt.Println("summary (pooled p90):")
+	fmt.Printf("  DailyCatch winner     %6.1f ms\n", dc.Chosen().P90Ms)
+	fmt.Printf("  ReOpt regional        %6.1f ms\n", stats.Percentile(regional, 90))
+	fmt.Println("\nregional anycast bounds every client's catchment geographically;")
+	fmt.Println("the global proposals can only choose among globally-exposed configurations.")
+}

@@ -1,0 +1,76 @@
+// CDN survey: the paper's §4 deployment study end to end. Starting from
+// nothing but a hostname list and DNS access, discover which hostnames are
+// served by regional anycast platforms (by counting distinct A records over
+// a worldwide ECS sweep), then enumerate the CDN sites announcing each
+// regional prefix with the Appendix-B p-hop geolocation pipeline, and print
+// the resulting Table-1-style site inventory.
+//
+// Run with: go run ./examples/cdnsurvey
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"anysim"
+	"anysim/internal/cdnfinder"
+	"anysim/internal/geo"
+	"anysim/internal/sitemap"
+)
+
+func main() {
+	world, err := anysim.SmallWorld(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (§4.1): the redirection-method survey of the top CDNs.
+	fmt.Println("top-CDN redirection survey (Table 5):")
+	for _, e := range cdnfinder.Table5() {
+		fmt.Printf("  %-24s %s\n", e.Provider, e.Method)
+	}
+	fmt.Printf("regional anycast providers: %v\n\n", cdnfinder.RegionalAnycastProviders())
+
+	// Step 2 (§4.2): resolve every customer hostname from a worldwide set
+	// of client /24s via ECS and bucket hostnames by how many distinct
+	// addresses they return.
+	clients := cdnfinder.ClientPrefixes(world.Platform.Retained())
+	census := cdnfinder.RunCensus(world.Auth, world.Hostnames.All(), clients)
+	sets := census.SetsByDistinctCount()
+	counts := make([]int, 0, len(sets))
+	for n := range sets {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	fmt.Printf("hostname census over %d client prefixes:\n", len(clients))
+	for _, n := range counts {
+		fmt.Printf("  %3d hostnames resolve to %d distinct address(es)\n", len(sets[n]), n)
+	}
+	fmt.Printf("regional-anycast candidate hostnames: %d\n\n", len(census.RegionalHostnames()))
+
+	// Step 3 (§4.4): traceroute to each regional VIP of the 6-IP set's
+	// deployment and enumerate the announcing sites from penultimate hops.
+	dep := world.Imperva.IM6
+	var traces []*anysim.Trace
+	for _, p := range world.Platform.Retained() {
+		for _, vip := range dep.VIPs() {
+			if tr, ok := world.Measurer.Traceroute(p, vip); ok && tr.Reached {
+				traces = append(traces, tr)
+			}
+		}
+	}
+	enum := anysim.EnumerateSites(world, dep.Name, traces, world.Imperva.Published)
+
+	fmt.Printf("site enumeration for %s from %d traceroutes:\n", dep.Name, len(traces))
+	for _, tech := range sitemap.Techniques {
+		fmt.Printf("  %-20s %5.1f%% of p-hops, %5.1f%% of traces\n",
+			tech, enum.PHopFraction(tech)*100, enum.TraceFraction(tech)*100)
+	}
+	byArea := enum.SiteCountsByArea()
+	fmt.Printf("discovered sites by area (Table 1 row):")
+	for _, area := range geo.Areas {
+		fmt.Printf("  %s=%d", area, byArea[area])
+	}
+	fmt.Printf("  (total %d of %d published)\n", len(enum.SiteList()), len(world.Imperva.Published))
+}

@@ -1,0 +1,81 @@
+// DNS mapping: the paper's §5.1 study of how well a regional anycast CDN's
+// DNS maps clients to their lowest-latency regional IP. Measures one
+// hostname of each studied CDN under both the Local-DNS and
+// Authoritative-DNS configurations and prints the Table-2 classification:
+// efficient (ΔRTT < 5 ms), sub-optimal-but-right-region, and wrong-region
+// mappings per area — showing how ECS, geolocation error, and rigid region
+// borders each contribute.
+//
+// Run with: go run ./examples/dnsmapping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anysim"
+	"anysim/internal/core"
+	"anysim/internal/geo"
+)
+
+func main() {
+	world, err := anysim.SmallWorld(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probes := world.Platform.Retained()
+
+	campaigns := []struct {
+		name string
+		dep  *anysim.Deployment
+		host string
+	}{
+		{"Edgio-3", world.Edgio.EG3, anysim.RepresentativeEdgio3},
+		{"Edgio-4", world.Edgio.EG4, anysim.RepresentativeEdgio4},
+		{"Imperva-6", world.Imperva.IM6, anysim.RepresentativeImperva6},
+	}
+
+	for _, c := range campaigns {
+		res := anysim.RunCampaign(world, c.dep, c.host, probes)
+		fmt.Printf("%s (%s):\n", c.name, c.host)
+		for _, mode := range []anysim.DNSMode{anysim.LDNS, anysim.ADNS} {
+			eff := anysim.AnalyzeDNSMapping(res, mode)
+			fmt.Printf("  %s:\n", mode)
+			for _, area := range geo.Areas {
+				fmt.Printf("    %-6s dRTT<5ms %5.1f%%   okRegion,dRTT>=5ms %5.1f%%   xRegion %5.1f%%   (%d groups)\n",
+					area,
+					eff.Fraction(area, core.MappingEfficient)*100,
+					eff.Fraction(area, core.MappingSubOptimalRegion)*100,
+					eff.Fraction(area, core.MappingWrongRegion)*100,
+					eff.Groups[area])
+			}
+		}
+
+		// Drill into one inefficiently-mapped probe, like the paper's
+		// Russian-probe example (§5.1): show which VIP DNS returned and
+		// which one would have been fastest.
+		for _, g := range core.GroupMeasurements(res) {
+			if core.ClassifyGroup(g, anysim.LDNS, res) != core.MappingSubOptimalRegion {
+				continue
+			}
+			m := g.Members[0]
+			returned := m.Returned[anysim.LDNS]
+			returnedRTT, _ := m.ReturnedRTT(anysim.LDNS)
+			var bestVIP string
+			best := -1.0
+			for vip, rtt := range m.RTT {
+				if best < 0 || rtt < best {
+					best = rtt
+					if r, ok := c.dep.RegionOfVIP(vip); ok {
+						bestVIP = r.Name
+					}
+				}
+			}
+			region, _ := c.dep.RegionOfVIP(returned)
+			fmt.Printf("  example: probe group %s gets the %q VIP (%.1f ms) but region %q would cost %.1f ms\n",
+				g.Key, region.Name, returnedRTT, bestVIP, best)
+			break
+		}
+		fmt.Println()
+	}
+}

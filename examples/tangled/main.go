@@ -1,0 +1,76 @@
+// Tangled: the paper's §6 "potentials" study. Run ReOpt — the latency-based
+// region partitioner — on the simulated Tangled testbed, then compare the
+// winning regional configuration against global anycast in every area,
+// reproducing the Figure-6 result that latency-based regional anycast beats
+// global anycast across the board.
+//
+// Run with: go run ./examples/tangled
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"anysim"
+	"anysim/internal/geo"
+	"anysim/internal/stats"
+)
+
+func main() {
+	world, err := anysim.SmallWorld(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Tangled testbed: %d sites at %s\n\n",
+		len(world.Tangled.Cities), strings.Join(world.Tangled.Cities, " "))
+
+	sweep, err := anysim.RunReOpt(world, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("region-count sweep (mean client latency):")
+	for _, cand := range sweep.Candidates {
+		marker := "  "
+		if cand == sweep.Best {
+			marker = "->"
+		}
+		fmt.Printf(" %s k=%d: %.1f ms\n", marker, cand.K, cand.MeanLatencyMs)
+	}
+
+	best := sweep.Best
+	fmt.Printf("\nReOpt partition (k=%d):\n", best.K)
+	names := make([]string, 0, len(best.Partition))
+	for rn := range best.Partition {
+		names = append(names, rn)
+	}
+	sort.Strings(names)
+	for _, rn := range names {
+		fmt.Printf("  %-8s %s\n", rn, strings.Join(best.Partition[rn], " "))
+	}
+
+	// Figure 6c: regional with country-level DNS mapping vs global.
+	globVIP := world.Tangled.Global.VIPs()[0]
+	regional := map[geo.Area][]float64{}
+	global := map[geo.Area][]float64{}
+	for _, p := range world.Platform.Retained() {
+		if region, ok := best.Deployment.RegionForCountry(p.Country); ok {
+			if fwd, ok := world.Engine.Lookup(region.Prefix, p.ASN, p.City); ok {
+				regional[p.Area()] = append(regional[p.Area()], world.Measurer.RTT(p, fwd))
+			}
+		}
+		if rtt, ok := world.Measurer.Ping(p, globVIP); ok {
+			global[p.Area()] = append(global[p.Area()], rtt)
+		}
+	}
+	fmt.Println("\nregional vs global anycast (Figure 6c):")
+	for _, area := range geo.Areas {
+		r90 := stats.Percentile(regional[area], 90)
+		g90 := stats.Percentile(global[area], 90)
+		cut := (g90 - r90) / g90 * 100
+		fmt.Printf("  %-6s p90 %6.1f ms regional vs %6.1f ms global  (%.1f%% reduction)\n",
+			area, r90, g90, cut)
+	}
+}

@@ -1,0 +1,3 @@
+module anysim
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package asciimap renders world maps as text: an equirectangular grid with
+// coastline-free continents implied by the plotted points themselves. The
+// experiment reports use it to render the paper's partition maps (Figures 2
+// and 6a) — each site or probe is plotted at its coordinates with a glyph
+// identifying its region.
+package asciimap
+
+import (
+	"sort"
+	"strings"
+
+	"anysim/internal/geo"
+)
+
+// Marker is a point to plot.
+type Marker struct {
+	Coord geo.Coord
+	// Glyph is the single character plotted (later markers overwrite
+	// earlier ones at the same cell; plot the important layer last).
+	Glyph rune
+}
+
+// Map is an ASCII canvas over the world's inhabited latitudes.
+type Map struct {
+	width, height  int
+	minLat, maxLat float64
+	cells          [][]rune
+}
+
+// New returns an empty canvas. Width/height are in characters; the canvas
+// covers longitudes [-180, 180] and latitudes [-56, 72] (the inhabited
+// band, so the map doesn't waste rows on the poles).
+func New(width, height int) *Map {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	m := &Map{width: width, height: height, minLat: -56, maxLat: 72}
+	m.cells = make([][]rune, height)
+	for y := range m.cells {
+		m.cells[y] = make([]rune, width)
+		for x := range m.cells[y] {
+			m.cells[y][x] = ' '
+		}
+	}
+	return m
+}
+
+// cell maps a coordinate to canvas indexes; ok is false outside the band.
+func (m *Map) cell(c geo.Coord) (x, y int, ok bool) {
+	if c.Lat < m.minLat || c.Lat > m.maxLat {
+		return 0, 0, false
+	}
+	x = int((c.Lon + 180) / 360 * float64(m.width))
+	y = int((m.maxLat - c.Lat) / (m.maxLat - m.minLat) * float64(m.height))
+	if x < 0 {
+		x = 0
+	}
+	if x >= m.width {
+		x = m.width - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= m.height {
+		y = m.height - 1
+	}
+	return x, y, true
+}
+
+// Plot draws the markers in order.
+func (m *Map) Plot(markers []Marker) {
+	for _, mk := range markers {
+		if x, y, ok := m.cell(mk.Coord); ok {
+			m.cells[y][x] = mk.Glyph
+		}
+	}
+}
+
+// String renders the canvas with a border.
+func (m *Map) String() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", m.width) + "+\n")
+	for _, row := range m.cells {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", m.width) + "+\n")
+	return b.String()
+}
+
+// RegionGlyphs assigns stable glyphs to region names (sorted order), used
+// so the same region gets the same glyph across maps and legends.
+func RegionGlyphs(regions []string) map[string]rune {
+	glyphs := []rune("#*o+x%@&=~^!")
+	sorted := append([]string(nil), regions...)
+	sort.Strings(sorted)
+	out := make(map[string]rune, len(sorted))
+	for i, r := range sorted {
+		out[r] = glyphs[i%len(glyphs)]
+	}
+	return out
+}
+
+// Legend renders a "glyph region" listing in glyph-assignment order.
+func Legend(glyphs map[string]rune) string {
+	names := make([]string, 0, len(glyphs))
+	for n := range glyphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString("  ")
+		b.WriteRune(glyphs[n])
+		b.WriteString(" ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

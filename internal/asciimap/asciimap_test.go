@@ -1,0 +1,98 @@
+package asciimap
+
+import (
+	"strings"
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+func TestPlotPlacesPointsPlausibly(t *testing.T) {
+	m := New(80, 24)
+	m.Plot([]Marker{
+		{Coord: geo.MustCity("LON").Coord, Glyph: 'L'},
+		{Coord: geo.MustCity("SYD").Coord, Glyph: 'S'},
+		{Coord: geo.MustCity("NYC").Coord, Glyph: 'N'},
+	})
+	out := m.String()
+	lines := strings.Split(out, "\n")
+	find := func(g byte) (row, col int) {
+		for y, line := range lines {
+			if x := strings.IndexByte(line, g); x >= 0 {
+				return y, x
+			}
+		}
+		return -1, -1
+	}
+	ly, lx := find('L')
+	sy, sx := find('S')
+	ny, nx := find('N')
+	if ly < 0 || sy < 0 || ny < 0 {
+		t.Fatalf("missing glyphs in map:\n%s", out)
+	}
+	// London is north of Sydney; New York is west of London; Sydney is
+	// east of both.
+	if !(ly < sy) {
+		t.Errorf("London (row %d) should be north of Sydney (row %d)", ly, sy)
+	}
+	if !(nx < lx && lx < sx) {
+		t.Errorf("longitudes out of order: NYC %d, LON %d, SYD %d", nx, lx, sx)
+	}
+}
+
+func TestCanvasBounds(t *testing.T) {
+	m := New(5, 3) // clamped to minimums
+	m.Plot([]Marker{
+		{Coord: geo.Coord{Lat: 89, Lon: 0}, Glyph: 'x'},       // outside band: dropped
+		{Coord: geo.Coord{Lat: 71.9, Lon: 179.9}, Glyph: 'e'}, // extreme corner: clamped
+	})
+	out := m.String()
+	if strings.Contains(out, "x") {
+		t.Error("polar point should not be plotted")
+	}
+	if !strings.Contains(out, "e") {
+		t.Error("corner point should be plotted")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if len(line) != 22 { // 20 wide + 2 border chars
+			t.Errorf("ragged map line %q (len %d)", line, len(line))
+		}
+	}
+}
+
+func TestOverwriteOrder(t *testing.T) {
+	m := New(40, 12)
+	c := geo.MustCity("PAR").Coord
+	m.Plot([]Marker{{Coord: c, Glyph: 'a'}, {Coord: c, Glyph: 'b'}})
+	if strings.Contains(m.String(), "a") {
+		t.Error("later marker should overwrite earlier one")
+	}
+	if !strings.Contains(m.String(), "b") {
+		t.Error("later marker missing")
+	}
+}
+
+func TestRegionGlyphsStable(t *testing.T) {
+	g1 := RegionGlyphs([]string{"emea", "na", "apac"})
+	g2 := RegionGlyphs([]string{"na", "apac", "emea"})
+	for k, v := range g1 {
+		if g2[k] != v {
+			t.Errorf("glyph for %s differs: %c vs %c", k, v, g2[k])
+		}
+	}
+	seen := map[rune]bool{}
+	for _, v := range g1 {
+		if seen[v] {
+			t.Error("duplicate glyph")
+		}
+		seen[v] = true
+	}
+}
+
+func TestLegend(t *testing.T) {
+	g := RegionGlyphs([]string{"emea", "na"})
+	legend := Legend(g)
+	if !strings.Contains(legend, "emea") || !strings.Contains(legend, "na") {
+		t.Errorf("legend incomplete:\n%s", legend)
+	}
+}

@@ -1,0 +1,276 @@
+// Package atlas models the measurement platform the paper relies on: a
+// RIPE-Atlas-like population of probes with the paper's per-area density
+// skew, probe filtering and <city,AS> grouping (§3.1), and the measurement
+// primitives — ping, traceroute, and DNS query — executed against the
+// simulated Internet.
+package atlas
+
+import (
+	"fmt"
+	"net/netip"
+
+	"anysim/internal/geo"
+	"anysim/internal/geodb"
+	"anysim/internal/netplan"
+	"anysim/internal/rdns"
+	"anysim/internal/topo"
+)
+
+// Address-plan offsets inside each AS's prefix. Routers occupy a /27 per
+// city starting at routerBase; probes occupy a block per city starting at
+// probeBase; ISP resolvers live at a fixed offset inside each city's router
+// block.
+const (
+	routerBase    = 256
+	routerPerCity = 32
+	probeBase     = 2048
+	probePerCity  = 512
+	resolverUnit  = 30 // unit index of the ISP resolver within a city's router block
+)
+
+// Addressing derives deterministic interface addresses for routers, IXP
+// fabrics, probes, and resolvers, and registers the resulting blocks as
+// geolocation ground truth.
+type Addressing struct {
+	topo      *topo.Topology
+	ixpPrefix map[string]netip.Prefix
+	naming    map[topo.ASN]*rdns.Namer
+	ixpNaming map[string]*rdns.Namer
+}
+
+// NewAddressing builds the address plan for a frozen topology.
+func NewAddressing(tp *topo.Topology, seed int64) (*Addressing, error) {
+	a := &Addressing{
+		topo:      tp,
+		ixpPrefix: make(map[string]netip.Prefix),
+		naming:    make(map[topo.ASN]*rdns.Namer),
+		ixpNaming: make(map[string]*rdns.Namer),
+	}
+	alloc := netplan.NewAllocator(netplan.IXPBase)
+	for i, ix := range tp.IXPs() { // sorted by ID: deterministic
+		p, err := alloc.Prefix(24)
+		if err != nil {
+			return nil, fmt.Errorf("atlas: allocating IXP fabric for %s: %w", ix.ID, err)
+		}
+		a.ixpPrefix[ix.ID] = p
+		// IXP fabrics name member ports systematically, so their rDNS is a
+		// strong geolocation source in practice.
+		n := rdns.NewNamer(fmt.Sprintf("%s.example-ix.net", slug(ix.ID)), seed+int64(i)*613)
+		n.PIATA, n.POperator, n.POpaque = 0.80, 0.0, 0.10
+		a.ixpNaming[ix.ID] = n
+	}
+	for _, asn := range tp.ASNs() {
+		as := tp.MustAS(asn)
+		domain := fmt.Sprintf("%s.example.net", slug(as.Name))
+		n := rdns.NewNamer(domain, seed^int64(asn))
+		if as.Tier == topo.TierCDN {
+			// CDNs name site routers very consistently (cf. the
+			// "amb.edgecastcdn.net" style hints of Appendix B).
+			n.PIATA, n.POperator, n.POpaque = 0.85, 0.05, 0.05
+		}
+		a.naming[asn] = n
+	}
+	return a, nil
+}
+
+// IXPPortRDNS returns the reverse-DNS name of an IXP member port at the
+// exchange; ok=false when the port has no PTR record.
+func (a *Addressing) IXPPortRDNS(ixpID string, member topo.ASN) (string, bool) {
+	n, ok := a.ixpNaming[ixpID]
+	if !ok {
+		return "", false
+	}
+	ix, ok := a.topo.IXPByID(ixpID)
+	if !ok {
+		return "", false
+	}
+	city, ok := geo.CityByIATA(ix.City)
+	if !ok {
+		return "", false
+	}
+	return n.Name(fmt.Sprintf("port/%d", member), city)
+}
+
+func slug(name string) string {
+	b := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		case c == '-' || c == '_' || c == ' ':
+			b = append(b, '-')
+		}
+	}
+	return string(b)
+}
+
+func cityIndex(as *topo.AS, city string) (int, bool) {
+	for i, c := range as.Cities {
+		if c == city {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// RouterAddr returns the address of router interface `unit` of asn in the
+// city. unit must be below routerPerCity.
+func (a *Addressing) RouterAddr(asn topo.ASN, city string, unit int) (netip.Addr, error) {
+	as, ok := a.topo.AS(asn)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("atlas: unknown %s", asn)
+	}
+	ci, ok := cityIndex(as, city)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("atlas: %s has no presence in %s", asn, city)
+	}
+	if unit < 0 || unit >= routerPerCity {
+		return netip.Addr{}, fmt.Errorf("atlas: router unit %d out of range", unit)
+	}
+	return netplan.NthAddr(as.Prefix, uint32(routerBase+ci*routerPerCity+unit)), nil
+}
+
+// ResolverAddr returns the address of the ISP resolver asn operates in the
+// city.
+func (a *Addressing) ResolverAddr(asn topo.ASN, city string) (netip.Addr, error) {
+	return a.RouterAddr(asn, city, resolverUnit)
+}
+
+// ProbeAddr returns the address of the n-th probe of asn in the city.
+func (a *Addressing) ProbeAddr(asn topo.ASN, city string, n int) (netip.Addr, error) {
+	as, ok := a.topo.AS(asn)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("atlas: unknown %s", asn)
+	}
+	ci, ok := cityIndex(as, city)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("atlas: %s has no presence in %s", asn, city)
+	}
+	if n < 0 || n >= probePerCity {
+		return netip.Addr{}, fmt.Errorf("atlas: probe index %d out of range", n)
+	}
+	off := uint32(probeBase + ci*probePerCity + n)
+	if sz := uint32(1) << (32 - as.Prefix.Bits()); off >= sz {
+		return netip.Addr{}, fmt.Errorf("atlas: probe address overflows %s block %s", asn, as.Prefix)
+	}
+	return netplan.NthAddr(as.Prefix, off), nil
+}
+
+// IXPAddr returns the fabric address of a member's port at an IXP.
+func (a *Addressing) IXPAddr(ixpID string, member topo.ASN) (netip.Addr, error) {
+	p, ok := a.ixpPrefix[ixpID]
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("atlas: unknown IXP %s", ixpID)
+	}
+	ix, _ := a.topo.IXPByID(ixpID)
+	for i, m := range ix.Members {
+		if m == member {
+			return netplan.NthAddr(p, uint32(i+1)), nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("atlas: %s is not a member of %s", member, ixpID)
+}
+
+// IXPOf returns the IXP owning an address, if any.
+func (a *Addressing) IXPOf(addr netip.Addr) (string, bool) {
+	for id, p := range a.ixpPrefix {
+		if p.Contains(addr) {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// OwnerOf returns the AS owning an address by its allocated block, or
+// ok=false for IXP fabric and unknown space. It reproduces the paper's
+// IP-to-AS mapping step built from BGP archives (§5.3): IXP fabric
+// addresses are not in BGP, so they are not resolvable here.
+func (a *Addressing) OwnerOf(addr netip.Addr) (topo.ASN, bool) {
+	for _, asn := range a.topo.ASNs() {
+		if a.topo.MustAS(asn).Prefix.Contains(addr) {
+			return asn, true
+		}
+	}
+	return 0, false
+}
+
+// RDNS returns the reverse-DNS name of a router interface address owned by
+// asn at the city; ok=false when the interface has no PTR record.
+func (a *Addressing) RDNS(asn topo.ASN, city string, unit int) (string, bool) {
+	n, ok := a.naming[asn]
+	if !ok {
+		return "", false
+	}
+	cityObj, ok := geo.CityByIATA(city)
+	if !ok {
+		return "", false
+	}
+	return n.Name(fmt.Sprintf("%s/%d", city, unit), cityObj)
+}
+
+// TruthConfig controls ground-truth registration.
+type TruthConfig struct {
+	// TransitAddressedStubs lists stub ASes whose address space is
+	// assigned by an international transit provider; their blocks carry
+	// the provider's home country as TransitHome, which geolocation
+	// databases frequently prefer (§4.3's "probes whose IPs belong to
+	// international transit providers are often geolocated to their home
+	// countries").
+	TransitAddressedStubs map[topo.ASN]string // stub ASN -> provider home country
+}
+
+// RegisterTruth records the whole address plan in the ground-truth
+// registry: per-(AS, city) router and probe blocks located at the city, and
+// per-IXP fabric blocks located at the IXP's city.
+func (a *Addressing) RegisterTruth(truth *geodb.Truth, cfg TruthConfig) error {
+	for _, asn := range a.topo.ASNs() {
+		as := a.topo.MustAS(asn)
+		for ci, city := range as.Cities {
+			c := geo.MustCity(city)
+			transitHome := ""
+			if (as.Tier == topo.Tier1 || as.Tier == topo.Tier2) && as.Home != c.Country {
+				transitHome = as.Home
+			}
+			if home, ok := cfg.TransitAddressedStubs[asn]; ok {
+				transitHome = home
+			}
+			loc := geodb.Location{Country: c.Country, City: c.IATA}
+			routerBlock := netip.PrefixFrom(netplan.NthAddr(as.Prefix, uint32(routerBase+ci*routerPerCity)), 27)
+			if err := truth.Add(geodb.Entry{Prefix: routerBlock, Loc: loc, TransitHome: transitHome}); err != nil {
+				return err
+			}
+			sz := uint32(1) << (32 - as.Prefix.Bits())
+			if off := uint32(probeBase + ci*probePerCity); off+probePerCity <= sz {
+				probeBlock := netip.PrefixFrom(netplan.NthAddr(as.Prefix, off), 23)
+				if err := truth.Add(geodb.Entry{Prefix: probeBlock, Loc: loc, TransitHome: transitHome}); err != nil {
+					return err
+				}
+			}
+		}
+		// A coarse whole-block entry locates any remaining AS space at the
+		// AS's home (first city of the home country when known).
+		home := as.Home
+		var homeCity string
+		if cities := geo.CitiesIn(home); len(cities) > 0 {
+			homeCity = cities[0].IATA
+		}
+		err := truth.Add(geodb.Entry{Prefix: as.Prefix, Loc: geodb.Location{Country: home, City: homeCity}})
+		if err != nil {
+			return err
+		}
+	}
+	for _, ix := range a.topo.IXPs() {
+		c := geo.MustCity(ix.City)
+		err := truth.Add(geodb.Entry{
+			Prefix: a.ixpPrefix[ix.ID],
+			Loc:    geodb.Location{Country: c.Country, City: c.IATA},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

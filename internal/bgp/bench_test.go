@@ -1,0 +1,75 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/topo"
+)
+
+func benchWorld(b *testing.B) (*topo.Topology, *Engine, []SiteAnnouncement, netip.Prefix) {
+	b.Helper()
+	tp, err := topo.Generate(topo.GenConfig{Seed: 8, NumTier1: 6, NumTier2: 60, NumStub: 800, NumIXP: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cdnAS := &topo.AS{ASN: topo.CDNBase, Name: "CDN", Tier: topo.TierCDN, Home: "US",
+		Cities: []string{"IAD", "FRA", "SIN", "SYD", "SAO"}, Prefix: netip.MustParsePrefix("32.0.0.0/16")}
+	if err := tp.AddAS(cdnAS); err != nil {
+		b.Fatal(err)
+	}
+	providerCities := map[topo.ASN][]string{}
+	for _, city := range cdnAS.Cities {
+		for _, asn := range tp.ASNs() {
+			if a := tp.MustAS(asn); a.Tier == topo.Tier1 && a.PresentIn(city) {
+				providerCities[asn] = append(providerCities[asn], city)
+				break
+			}
+		}
+	}
+	for asn, cities := range providerCities {
+		if err := tp.AddLink(topo.Link{A: cdnAS.ASN, B: asn, Type: topo.CustomerToProvider, Cities: cities}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tp.Freeze()
+	anns := []SiteAnnouncement{
+		{Origin: cdnAS.ASN, Site: "iad", City: "IAD"},
+		{Origin: cdnAS.ASN, Site: "fra", City: "FRA"},
+		{Origin: cdnAS.ASN, Site: "sin", City: "SIN"},
+		{Origin: cdnAS.ASN, Site: "syd", City: "SYD"},
+		{Origin: cdnAS.ASN, Site: "sao", City: "SAO"},
+	}
+	return tp, NewEngine(tp), anns, netip.MustParsePrefix("198.18.200.0/24")
+}
+
+// BenchmarkAnnounce measures full route convergence for a five-site anycast
+// prefix over an ~870-AS topology.
+func BenchmarkAnnounce(b *testing.B) {
+	_, e, anns, prefix := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Announce(prefix, anns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures catchment queries against a converged prefix.
+func BenchmarkLookup(b *testing.B) {
+	tp, e, anns, prefix := benchWorld(b)
+	if err := e.Announce(prefix, anns); err != nil {
+		b.Fatal(err)
+	}
+	var stubs []topo.ASN
+	for _, asn := range tp.ASNs() {
+		if tp.MustAS(asn).Tier == topo.TierStub {
+			stubs = append(stubs, asn)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asn := stubs[i%len(stubs)]
+		e.Lookup(prefix, asn, tp.MustAS(asn).Cities[0])
+	}
+}

@@ -1,0 +1,87 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"anysim/internal/topo"
+)
+
+// TestConcurrentAnnounceAndLookup exercises the engine's documented
+// concurrency contract: Lookup on existing prefixes while Announce
+// converges new ones. Run with -race to verify the locking.
+func TestConcurrentAnnounceAndLookup(t *testing.T) {
+	tp, err := topo.Generate(topo.GenConfig{Seed: 3, NumTier1: 4, NumTier2: 20, NumStub: 150, NumIXP: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdnAS := &topo.AS{ASN: topo.CDNBase, Name: "CDN", Tier: topo.TierCDN, Home: "US",
+		Cities: []string{"IAD", "FRA", "SIN"}, Prefix: netip.MustParsePrefix("32.0.0.0/16")}
+	if err := tp.AddAS(cdnAS); err != nil {
+		t.Fatal(err)
+	}
+	providerCities := map[topo.ASN][]string{}
+	for _, city := range cdnAS.Cities {
+		for _, asn := range tp.ASNs() {
+			if a := tp.MustAS(asn); a.Tier == topo.Tier1 && a.PresentIn(city) {
+				providerCities[asn] = append(providerCities[asn], city)
+				break
+			}
+		}
+	}
+	for asn, cities := range providerCities {
+		if err := tp.AddLink(topo.Link{A: cdnAS.ASN, B: asn, Type: topo.CustomerToProvider, Cities: cities}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tp.Freeze()
+
+	e := NewEngine(tp)
+	base := netip.MustParsePrefix("198.18.100.0/24")
+	err = e.Announce(base, []SiteAnnouncement{
+		{Origin: cdnAS.ASN, Site: "iad", City: "IAD"},
+		{Origin: cdnAS.ASN, Site: "fra", City: "FRA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stubs := []topo.ASN{}
+	for _, asn := range tp.ASNs() {
+		if tp.MustAS(asn).Tier == topo.TierStub {
+			stubs = append(stubs, asn)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Writers: announce 8 more prefixes concurrently.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 18, byte(101 + i), 0}), 24)
+			err := e.Announce(p, []SiteAnnouncement{{Origin: cdnAS.ASN, Site: "sin", City: "SIN"}})
+			if err != nil {
+				t.Errorf("announce %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Readers: hammer Lookup on the base prefix.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				asn := stubs[k%len(stubs)]
+				city := tp.MustAS(asn).Cities[0]
+				e.Lookup(base, asn, city)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := len(e.Prefixes()); got != 9 {
+		t.Errorf("announced prefixes = %d, want 9", got)
+	}
+}

@@ -1,0 +1,671 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"anysim/internal/geo"
+	"anysim/internal/topo"
+)
+
+// MaxRoutesPerClass caps how many equally-preferred routes (distinct egress
+// cities) a tier-1 AS retains per preference class. Retaining a set rather
+// than a single best route lets the engine model hot-potato egress selection
+// inside backbone ASes, which is what keeps global anycast from collapsing
+// every tier-1's whole customer cone onto one site.
+//
+// Smaller networks behave like classic single-best BGP: a tier-2 keeps the
+// routes of Tier2NeighborsPerClass neighbours and everyone else of exactly
+// one neighbour. How neighbours are ranked depends on the operator trait
+// (see capClass).
+const (
+	MaxRoutesPerClass      = 64
+	Tier2NeighborsPerClass = 1
+)
+
+// Engine computes and stores anycast routing state for a frozen topology.
+// Announce may be called for multiple prefixes; Lookup answers catchment
+// queries. Announce and Lookup are safe for concurrent use.
+type Engine struct {
+	topo *topo.Topology
+
+	cityIdx map[string]int
+	cityKm  [][]float64 // pairwise great-circle distances
+
+	mu   sync.RWMutex
+	ribs map[netip.Prefix]map[topo.ASN]*rib
+	anns map[netip.Prefix][]SiteAnnouncement
+}
+
+// rib holds one AS's routes for one prefix, bucketed by preference class.
+type rib struct {
+	classes [FromProvider + 1][]Route
+}
+
+// best returns the most-preferred non-empty class and its routes.
+func (r *rib) best() (RelClass, []Route, bool) {
+	for c := FromOrigin; c <= FromProvider; c++ {
+		if len(r.classes[c]) > 0 {
+			return c, r.classes[c], true
+		}
+	}
+	return 0, nil, false
+}
+
+// selLen returns the AS-path length of the rib's selected routes.
+func (r *rib) selLen() (int, bool) {
+	if _, routes, ok := r.best(); ok {
+		return routes[0].Len(), true
+	}
+	return 0, false
+}
+
+// NewEngine builds an engine over a topology. The topology should be frozen;
+// mutating it after constructing an engine invalidates computed state.
+func NewEngine(t *topo.Topology) *Engine {
+	cities := geo.Cities()
+	idx := make(map[string]int, len(cities))
+	for i, c := range cities {
+		idx[c.IATA] = i
+	}
+	km := make([][]float64, len(cities))
+	for i := range km {
+		km[i] = make([]float64, len(cities))
+		for j := range km[i] {
+			km[i][j] = geo.DistanceKm(cities[i].Coord, cities[j].Coord)
+		}
+	}
+	return &Engine{
+		topo:    t,
+		cityIdx: idx,
+		cityKm:  km,
+		ribs:    make(map[netip.Prefix]map[topo.ASN]*rib),
+		anns:    make(map[netip.Prefix][]SiteAnnouncement),
+	}
+}
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() *topo.Topology { return e.topo }
+
+// km returns the inter-city distance, panicking on unknown cities (which
+// indicates a bug, since all cities are validated at topology build time).
+func (e *Engine) km(a, b string) float64 {
+	ia, okA := e.cityIdx[a]
+	ib, okB := e.cityIdx[b]
+	if !okA || !okB {
+		panic(fmt.Sprintf("bgp: unknown city in distance query: %q, %q", a, b))
+	}
+	return e.cityKm[ia][ib]
+}
+
+// Announcements returns the announcements for a prefix.
+func (e *Engine) Announcements(p netip.Prefix) []SiteAnnouncement {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.anns[p]
+}
+
+// Prefixes returns all announced prefixes in sorted order.
+func (e *Engine) Prefixes() []netip.Prefix {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(e.anns))
+	for p := range e.anns {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Withdraw removes all routing state for a prefix.
+func (e *Engine) Withdraw(p netip.Prefix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.ribs, p)
+	delete(e.anns, p)
+}
+
+// Announce originates a prefix from a set of anycast sites and converges
+// routing for it. Calling Announce again for the same prefix replaces the
+// previous announcement set.
+func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
+	if len(anns) == 0 {
+		return fmt.Errorf("bgp: no announcements for %s", prefix)
+	}
+	siteIDs := map[string]bool{}
+	for _, a := range anns {
+		origin, ok := e.topo.AS(a.Origin)
+		if !ok {
+			return fmt.Errorf("bgp: announcement for %s from unknown %s", prefix, a.Origin)
+		}
+		if !origin.PresentIn(a.City) {
+			return fmt.Errorf("bgp: %s announces %s at %s where it has no presence", a.Origin, prefix, a.City)
+		}
+		if a.Site == "" {
+			return fmt.Errorf("bgp: announcement for %s with empty site ID", prefix)
+		}
+		if siteIDs[a.Site] {
+			return fmt.Errorf("bgp: duplicate site ID %q for %s", a.Site, prefix)
+		}
+		siteIDs[a.Site] = true
+	}
+
+	ribs := e.converge(anns)
+
+	e.mu.Lock()
+	e.ribs[prefix] = ribs
+	e.anns[prefix] = append([]SiteAnnouncement(nil), anns...)
+	e.mu.Unlock()
+	return nil
+}
+
+// converge runs the three Gao-Rexford propagation phases and returns the
+// per-AS RIBs.
+func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
+	ribs := make(map[topo.ASN]*rib, e.topo.NumASes())
+	getRIB := func(asn topo.ASN) *rib {
+		r := ribs[asn]
+		if r == nil {
+			r = &rib{}
+			ribs[asn] = r
+		}
+		return r
+	}
+
+	// Phase 0: origin self routes and seed routes at direct neighbours.
+	// A site announces its prefixes over the BGP sessions at the site's
+	// own city only; other cities of the same link do not carry it.
+	type offer struct {
+		to topo.ASN
+		r  Route
+	}
+	var custSeeds, peerSeeds, provSeeds []offer
+	for _, a := range anns {
+		getRIB(a.Origin).classes[FromOrigin] = append(getRIB(a.Origin).classes[FromOrigin], Route{
+			Rel:           FromOrigin,
+			Path:          []topo.ASN{a.Origin},
+			Cities:        []string{a.City},
+			Site:          a.Site,
+			FinalUpstream: a.Origin,
+		})
+		for _, li := range e.topo.LinksOf(a.Origin) {
+			l := e.topo.Links()[li]
+			if !containsCity(l.Cities, a.City) {
+				continue
+			}
+			nbr, _ := l.Other(a.Origin)
+			if !a.announcesTo(nbr) {
+				continue
+			}
+			rel := classify(l, nbr)
+			r := Route{
+				Rel:           rel,
+				Path:          []topo.ASN{a.Origin},
+				Cities:        []string{a.City},
+				Site:          a.Site,
+				DownKm:        0,
+				FinalIXP:      l.IXP,
+				FinalUpstream: nbr,
+			}
+			switch rel {
+			case FromCustomer:
+				custSeeds = append(custSeeds, offer{nbr, r})
+			case FromPublicPeer, FromRSPeer:
+				peerSeeds = append(peerSeeds, offer{nbr, r})
+			case FromProvider:
+				provSeeds = append(provSeeds, offer{nbr, r})
+			}
+		}
+	}
+
+	// Phase 1: customer routes climb the provider hierarchy level by
+	// level; each AS keeps only its first (shortest) generation.
+	pending := map[topo.ASN][]Route{}
+	for _, o := range custSeeds {
+		pending[o.to] = append(pending[o.to], o.r)
+	}
+	finalizedCust := map[topo.ASN]bool{}
+	for len(pending) > 0 {
+		frontier := make([]topo.ASN, 0, len(pending))
+		for asn, routes := range pending {
+			rb := getRIB(asn)
+			if len(rb.classes[FromOrigin]) > 0 || finalizedCust[asn] {
+				continue
+			}
+			cap, arb := e.capFor(asn)
+			rb.classes[FromCustomer] = capClass(routes, cap, arb)
+			finalizedCust[asn] = true
+			frontier = append(frontier, asn)
+		}
+		pending = map[topo.ASN][]Route{}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, asn := range frontier {
+			set := getRIB(asn).classes[FromCustomer]
+			for _, li := range e.topo.LinksOf(asn) {
+				l := e.topo.Links()[li]
+				if l.Type != topo.CustomerToProvider || l.A != asn {
+					continue // only climb customer->provider edges
+				}
+				prov := l.B
+				if finalizedCust[prov] || len(getRIB(prov).classes[FromOrigin]) > 0 {
+					continue
+				}
+				for _, nr := range e.export(asn, set, l, prov) {
+					pending[prov] = append(pending[prov], nr)
+				}
+			}
+		}
+	}
+
+	// Phase 2: one hop over peering links; only own/customer routes are
+	// exported to peers (Gao-Rexford).
+	peerOffers := map[topo.ASN][]Route{}
+	for _, o := range peerSeeds {
+		peerOffers[o.to] = append(peerOffers[o.to], o.r)
+	}
+	for _, l := range e.topo.Links() {
+		if l.Type != topo.PublicPeer && l.Type != topo.RouteServerPeer {
+			continue
+		}
+		for _, pair := range [2][2]topo.ASN{{l.A, l.B}, {l.B, l.A}} {
+			from, to := pair[0], pair[1]
+			fromRIB := ribs[from]
+			if fromRIB == nil {
+				continue
+			}
+			// Origin exports were already seeded per site; skip here.
+			if len(fromRIB.classes[FromOrigin]) > 0 {
+				continue
+			}
+			set := fromRIB.classes[FromCustomer]
+			if len(set) == 0 {
+				continue
+			}
+			peerOffers[to] = append(peerOffers[to], e.export(from, set, l, to)...)
+		}
+	}
+	for asn, offers := range peerOffers {
+		rb := getRIB(asn)
+		if len(rb.classes[FromOrigin]) > 0 {
+			continue
+		}
+		var pub, rs []Route
+		for _, r := range offers {
+			switch r.Rel {
+			case FromPublicPeer:
+				pub = append(pub, r)
+			case FromRSPeer:
+				rs = append(rs, r)
+			}
+		}
+		cap, arb := e.capFor(asn)
+		rb.classes[FromPublicPeer] = capClass(pub, cap, arb)
+		rb.classes[FromRSPeer] = capClass(rs, cap, arb)
+	}
+
+	// Phase 3: selected routes descend provider->customer edges
+	// level-synchronously by path length. Every AS always exports its
+	// final selection to its customers.
+	exportersByLen := map[int][]topo.ASN{}
+	finalized := map[topo.ASN]bool{}
+	maxLen := 0
+	for asn, rb := range ribs {
+		if n, ok := rb.selLen(); ok {
+			exportersByLen[n] = append(exportersByLen[n], asn)
+			finalized[asn] = true
+			if n > maxLen {
+				maxLen = n
+			}
+		}
+	}
+	provPending := map[topo.ASN][]Route{}
+	for _, o := range provSeeds {
+		if !finalized[o.to] {
+			provPending[o.to] = append(provPending[o.to], o.r)
+		}
+	}
+	for ln := 0; ln <= maxLen || len(provPending) > 0; ln++ {
+		// Finalize ASes whose cheapest provider offers have length ln.
+		var newly []topo.ASN
+		for asn, offers := range provPending {
+			minLen := offers[0].Len()
+			for _, r := range offers {
+				if r.Len() < minLen {
+					minLen = r.Len()
+				}
+			}
+			if minLen != ln {
+				continue
+			}
+			var keep []Route
+			for _, r := range offers {
+				if r.Len() == ln {
+					keep = append(keep, r)
+				}
+			}
+			cap, arb := e.capFor(asn)
+			getRIB(asn).classes[FromProvider] = capClass(keep, cap, arb)
+			finalized[asn] = true
+			newly = append(newly, asn)
+		}
+		for _, asn := range newly {
+			delete(provPending, asn)
+		}
+		sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+		exportersByLen[ln] = append(exportersByLen[ln], newly...)
+
+		exps := exportersByLen[ln]
+		sort.Slice(exps, func(i, j int) bool { return exps[i] < exps[j] })
+		for _, asn := range exps {
+			rb := ribs[asn]
+			cls, set, ok := rb.best()
+			if !ok || cls == FromOrigin {
+				continue // origin exports were seeded per site
+			}
+			for _, li := range e.topo.LinksOf(asn) {
+				l := e.topo.Links()[li]
+				if l.Type != topo.CustomerToProvider || l.B != asn {
+					continue // only descend provider->customer edges
+				}
+				cust := l.A
+				if finalized[cust] {
+					continue
+				}
+				provPending[cust] = append(provPending[cust], e.export(asn, set, l, cust)...)
+			}
+		}
+		if ln > e.topo.NumASes() {
+			panic("bgp: phase 3 failed to terminate")
+		}
+	}
+	return ribs
+}
+
+// ArbitraryTieBreakFraction is the share of non-tier-1 ASes whose
+// equal-preference tie-break is geography-blind (modelling router-ID/oldest-
+// route tie-breaks and single-exit designs); the rest pick the exit with
+// the least downstream carriage (well-engineered hot-potato). Operator
+// heterogeneity is what makes catchment inefficiency common but not
+// universal (cf. Koch et al.'s ~30% of users with 30+ ms inflation).
+const ArbitraryTieBreakFraction = 0.7
+
+// capFor returns the per-class route-retention policy for an AS: how many
+// routes it keeps and whether its tie-break is geography-blind (arbitrary)
+// rather than nearest-downstream. The trait is a deterministic property of
+// the AS.
+func (e *Engine) capFor(asn topo.ASN) (cap int, arbitrary bool) {
+	as, ok := e.topo.AS(asn)
+	if !ok {
+		return 1, true
+	}
+	switch as.Tier {
+	case topo.Tier1:
+		return MaxRoutesPerClass, false
+	case topo.Tier2:
+		return Tier2NeighborsPerClass, arbitraryOperator(asn)
+	default:
+		// Edge networks are effectively single-homed per destination and
+		// hand traffic to whichever of their providers serves them best;
+		// the catchment randomness of the Internet lives in the carriers
+		// above them.
+		return 1, false
+	}
+}
+
+// arbitraryOperator deterministically assigns the geography-blind trait to
+// ArbitraryTieBreakFraction of ASes.
+func arbitraryOperator(asn topo.ASN) bool {
+	// Knuth multiplicative hash for a stable pseudo-random trait.
+	h := uint32(asn) * 2654435761
+	return float64(h)/float64(^uint32(0)) < ArbitraryTieBreakFraction
+}
+
+// export derives the routes AS `to` learns from `from` over link l:
+// one per interconnection city, carrying from's hot-potato egress choice for
+// traffic entering at that city.
+func (e *Engine) export(from topo.ASN, set []Route, l topo.Link, to topo.ASN) []Route {
+	rel := classify(l, to)
+	out := make([]Route, 0, len(l.Cities))
+	for _, c := range l.Cities {
+		r, ok := e.hotPotato(set, c)
+		if !ok {
+			continue
+		}
+		nr := Route{
+			Rel:           rel,
+			Path:          prependASN(from, r.Path),
+			Cities:        prependCity(c, r.Cities),
+			Site:          r.Site,
+			DownKm:        e.km(c, r.Cities[0]) + r.DownKm,
+			FinalIXP:      r.FinalIXP,
+			FinalUpstream: r.FinalUpstream,
+		}
+		out = append(out, nr)
+	}
+	return out
+}
+
+// hotPotato picks the route whose handoff city is nearest to the entry
+// city, breaking ties deterministically by downstream distance, handoff
+// city, then site.
+func (e *Engine) hotPotato(set []Route, entry string) (Route, bool) {
+	if len(set) == 0 {
+		return Route{}, false
+	}
+	best := -1
+	bestKm := 0.0
+	for i, r := range set {
+		d := e.km(entry, r.Handoff())
+		if best == -1 || less(d, r, bestKm, set[best]) {
+			best, bestKm = i, d
+		}
+	}
+	return set[best], true
+}
+
+func less(d1 float64, r1 Route, d2 float64, r2 Route) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	if r1.DownKm != r2.DownKm {
+		return r1.DownKm < r2.DownKm
+	}
+	if r1.Handoff() != r2.Handoff() {
+		return r1.Handoff() < r2.Handoff()
+	}
+	return r1.Site < r2.Site
+}
+
+// capClass normalises a class's candidate set. It keeps only shortest AS
+// paths, then selects up to `cap` *neighbours* (distinct next-hop ASes) and
+// retains every interconnection-city variant of the chosen neighbours'
+// routes, deduplicated per handoff city. Egress toward a chosen neighbour
+// is always hot-potato (nearest session); what differs between operators is
+// how they rank neighbours:
+//
+//   - well-engineered operators (arbitrary=false) rank neighbours by the
+//     least downstream carriage any of their sessions offers;
+//   - the rest (arbitrary=true) only distinguish downstream carriage in
+//     coarse ~3,000 km bands and fall back to router-ID-style order inside
+//     a band — the catchment-inefficiency engine of the paper (§2.1): a
+//     carrier picks its customer's or an arbitrary neighbour's route and
+//     funnels its whole cone to whichever site sits behind it.
+func capClass(routes []Route, cap int, arbitrary bool) []Route {
+	if len(routes) == 0 {
+		return nil
+	}
+	if cap <= 0 {
+		cap = 1
+	}
+	minLen := routes[0].Len()
+	for _, r := range routes {
+		if r.Len() < minLen {
+			minLen = r.Len()
+		}
+	}
+	// Group shortest routes by neighbour, deduplicating handoff cities.
+	type nbrGroup struct {
+		nbr    topo.ASN
+		byCity map[string]Route
+		bestKm float64
+	}
+	groups := map[topo.ASN]*nbrGroup{}
+	for _, r := range routes {
+		if r.Len() != minLen {
+			continue
+		}
+		g := groups[r.Path[0]]
+		if g == nil {
+			g = &nbrGroup{nbr: r.Path[0], byCity: map[string]Route{}, bestKm: r.DownKm}
+			groups[r.Path[0]] = g
+		}
+		cur, ok := g.byCity[r.Handoff()]
+		if !ok || r.DownKm < cur.DownKm || (r.DownKm == cur.DownKm && r.Site < cur.Site) {
+			g.byCity[r.Handoff()] = r
+		}
+		if r.DownKm < g.bestKm {
+			g.bestKm = r.DownKm
+		}
+	}
+	ordered := make([]*nbrGroup, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	// Arbitrary operators distinguish downstream carriage only in coarse
+	// ~4,000 km bands (roughly: "this exit works" vs "this exit hauls the
+	// traffic to another continent"), and rank by router-ID style order
+	// inside a band. Policy preferences (customer > peer > provider) are
+	// applied before this function and are never overridden by distance —
+	// that is the paper's catchment-inefficiency engine.
+	const bucketKm = 4000.0
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if arbitrary {
+			ba, bb := int(a.bestKm/bucketKm), int(b.bestKm/bucketKm)
+			if ba != bb {
+				return ba < bb
+			}
+			return a.nbr < b.nbr
+		}
+		if a.bestKm != b.bestKm {
+			return a.bestKm < b.bestKm
+		}
+		return a.nbr < b.nbr
+	})
+	if len(ordered) > cap {
+		ordered = ordered[:cap]
+	}
+	var out []Route
+	for _, g := range ordered {
+		for _, r := range g.byCity {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DownKm != out[j].DownKm {
+			return out[i].DownKm < out[j].DownKm
+		}
+		if out[i].Handoff() != out[j].Handoff() {
+			return out[i].Handoff() < out[j].Handoff()
+		}
+		return out[i].Site < out[j].Site
+	})
+	if len(out) > MaxRoutesPerClass {
+		out = out[:MaxRoutesPerClass]
+	}
+	return out
+}
+
+func prependASN(a topo.ASN, rest []topo.ASN) []topo.ASN {
+	out := make([]topo.ASN, 0, len(rest)+1)
+	out = append(out, a)
+	return append(out, rest...)
+}
+
+func prependCity(c string, rest []string) []string {
+	out := make([]string, 0, len(rest)+1)
+	out = append(out, c)
+	return append(out, rest...)
+}
+
+func containsCity(cities []string, c string) bool {
+	for _, x := range cities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the anycast catchment for traffic originated by asn from
+// the given city toward the prefix. ok is false when the prefix is unknown
+// or the AS has no route to it.
+func (e *Engine) Lookup(prefix netip.Prefix, asn topo.ASN, city string) (Forward, bool) {
+	e.mu.RLock()
+	ribs := e.ribs[prefix]
+	e.mu.RUnlock()
+	if ribs == nil {
+		return Forward{}, false
+	}
+	rb := ribs[asn]
+	if rb == nil {
+		return Forward{}, false
+	}
+	cls, set, ok := rb.best()
+	if !ok {
+		return Forward{}, false
+	}
+	r, ok := e.hotPotato(set, city)
+	if !ok {
+		return Forward{}, false
+	}
+	path := r.Path
+	if cls != FromOrigin {
+		path = prependASN(asn, r.Path)
+	}
+	return Forward{
+		Prefix:        prefix,
+		Site:          r.Site,
+		Path:          path,
+		Cities:        r.Cities,
+		DistKm:        e.km(city, r.Cities[0]) + r.DownKm,
+		Rel:           cls,
+		FinalIXP:      r.FinalIXP,
+		FinalUpstream: r.FinalUpstream,
+	}, true
+}
+
+// Routes returns the full selected route set for (prefix, asn), most
+// preferred class only. It is used by the cause-classification analysis
+// (§5.4) to examine alternatives an AS held.
+func (e *Engine) Routes(prefix netip.Prefix, asn topo.ASN) (RelClass, []Route, bool) {
+	e.mu.RLock()
+	ribs := e.ribs[prefix]
+	e.mu.RUnlock()
+	if ribs == nil {
+		return 0, nil, false
+	}
+	rb := ribs[asn]
+	if rb == nil {
+		return 0, nil, false
+	}
+	return rb.best()
+}
+
+// RoutesByClass returns all routes an AS holds for a prefix in a given
+// class, including classes it did not select.
+func (e *Engine) RoutesByClass(prefix netip.Prefix, asn topo.ASN, cls RelClass) []Route {
+	e.mu.RLock()
+	ribs := e.ribs[prefix]
+	e.mu.RUnlock()
+	if ribs == nil {
+		return nil
+	}
+	rb := ribs[asn]
+	if rb == nil {
+		return nil
+	}
+	return rb.classes[cls]
+}

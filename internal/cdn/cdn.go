@@ -1,0 +1,303 @@
+// Package cdn models the content networks the paper studies: the regional
+// anycast CDNs of Edgio (Edgio-3 and Edgio-4 customer configurations) and
+// Imperva (Imperva-6), Imperva's global anycast DNS network (Imperva-NS),
+// and the Tangled testbed. A Deployment bundles an AS, its anycast sites,
+// its region partition (site side and client side), and the prefix plan; it
+// knows how to attach itself to a topology and announce itself through a
+// BGP engine.
+package cdn
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/bgp"
+	"anysim/internal/dnssim"
+	"anysim/internal/geo"
+	"anysim/internal/geodb"
+	"anysim/internal/topo"
+)
+
+// Site is one anycast site (all PoPs of a city aggregated, as the paper
+// does).
+type Site struct {
+	ID      string   // stable identifier, by convention the lowercase IATA code
+	City    string   // IATA code
+	Regions []string // regions whose prefixes the site announces; >1 = cross-region ("MIXED")
+}
+
+// Area returns the paper probe area the site sits in.
+func (s Site) Area() geo.Area { return geo.MustCity(s.City).Area() }
+
+// Mixed reports whether the site announces more than one regional prefix
+// (rendered yellow/"MIXED" in the paper's Figure 2).
+func (s Site) Mixed() bool { return len(s.Regions) > 1 }
+
+// Region is a regional anycast partition: one prefix, one DNS-visible VIP,
+// and the client countries mapped to it.
+type Region struct {
+	Name   string
+	Prefix netip.Prefix
+	VIP    netip.Addr // the A record DNS returns for clients of this region
+}
+
+// Deployment is a content network deployed on the simulated Internet.
+type Deployment struct {
+	Name string
+	ASN  topo.ASN
+
+	Sites   []Site
+	Regions []Region
+
+	// ClientRegions maps an ISO country code to the region name whose VIP
+	// the operator's DNS intends for clients in that country.
+	ClientRegions map[string]string
+	// DefaultRegion is used for clients whose country is unknown or
+	// unlisted.
+	DefaultRegion string
+
+	// SkipNeighbors optionally restricts announcements: per site ID, the
+	// neighbour ASes the site does NOT announce to. Used to model the
+	// partial peer overlap between Imperva-6 and Imperva-NS (§5.3).
+	SkipNeighbors map[string][]topo.ASN
+
+	siteByID     map[string]*Site
+	regionByName map[string]*Region
+}
+
+// Finalize validates the deployment and builds its indexes. It must be
+// called (by the builders in this package) before any query method.
+func (d *Deployment) Finalize() error {
+	if d.Name == "" || d.ASN == 0 {
+		return fmt.Errorf("cdn: deployment missing name or ASN")
+	}
+	if len(d.Sites) == 0 || len(d.Regions) == 0 {
+		return fmt.Errorf("cdn: deployment %s has no sites or regions", d.Name)
+	}
+	d.siteByID = make(map[string]*Site, len(d.Sites))
+	d.regionByName = make(map[string]*Region, len(d.Regions))
+	for i := range d.Regions {
+		r := &d.Regions[i]
+		if _, dup := d.regionByName[r.Name]; dup {
+			return fmt.Errorf("cdn: %s: duplicate region %q", d.Name, r.Name)
+		}
+		if !r.Prefix.IsValid() || !r.VIP.IsValid() || !r.Prefix.Contains(r.VIP) {
+			return fmt.Errorf("cdn: %s: region %q has inconsistent prefix/VIP", d.Name, r.Name)
+		}
+		d.regionByName[r.Name] = r
+	}
+	for i := range d.Sites {
+		s := &d.Sites[i]
+		if _, dup := d.siteByID[s.ID]; dup {
+			return fmt.Errorf("cdn: %s: duplicate site %q", d.Name, s.ID)
+		}
+		if _, ok := geo.CityByIATA(s.City); !ok {
+			return fmt.Errorf("cdn: %s: site %q in unknown city %q", d.Name, s.ID, s.City)
+		}
+		if len(s.Regions) == 0 {
+			return fmt.Errorf("cdn: %s: site %q announces no region", d.Name, s.ID)
+		}
+		for _, rn := range s.Regions {
+			if _, ok := d.regionByName[rn]; !ok {
+				return fmt.Errorf("cdn: %s: site %q references unknown region %q", d.Name, s.ID, rn)
+			}
+		}
+		d.siteByID[s.ID] = s
+	}
+	for cc, rn := range d.ClientRegions {
+		if _, ok := geo.CountryByCode(cc); !ok {
+			return fmt.Errorf("cdn: %s: client partition lists unknown country %q", d.Name, cc)
+		}
+		if _, ok := d.regionByName[rn]; !ok {
+			return fmt.Errorf("cdn: %s: country %s mapped to unknown region %q", d.Name, cc, rn)
+		}
+	}
+	if d.DefaultRegion != "" {
+		if _, ok := d.regionByName[d.DefaultRegion]; !ok {
+			return fmt.Errorf("cdn: %s: unknown default region %q", d.Name, d.DefaultRegion)
+		}
+	}
+	// Every region must be announced by at least one site... except when
+	// modelling partitions like Imperva's Russia region, whose prefix is
+	// announced by European sites; that is still expressed via those
+	// sites' Regions lists, so the invariant holds.
+	announced := map[string]bool{}
+	for _, s := range d.Sites {
+		for _, rn := range s.Regions {
+			announced[rn] = true
+		}
+	}
+	for _, r := range d.Regions {
+		if !announced[r.Name] {
+			return fmt.Errorf("cdn: %s: region %q has no announcing site", d.Name, r.Name)
+		}
+	}
+	return nil
+}
+
+// SiteByID returns a site.
+func (d *Deployment) SiteByID(id string) (Site, bool) {
+	s, ok := d.siteByID[id]
+	if !ok {
+		return Site{}, false
+	}
+	return *s, true
+}
+
+// RegionByName returns a region.
+func (d *Deployment) RegionByName(name string) (Region, bool) {
+	r, ok := d.regionByName[name]
+	if !ok {
+		return Region{}, false
+	}
+	return *r, true
+}
+
+// RegionOfVIP returns the region whose VIP (or prefix) contains the
+// address.
+func (d *Deployment) RegionOfVIP(addr netip.Addr) (Region, bool) {
+	for _, r := range d.Regions {
+		if r.Prefix.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// RegionForCountry returns the region the operator's DNS intends for
+// clients in the given country.
+func (d *Deployment) RegionForCountry(cc string) (Region, bool) {
+	if rn, ok := d.ClientRegions[cc]; ok {
+		return *d.regionByName[rn], true
+	}
+	if d.DefaultRegion != "" {
+		return *d.regionByName[d.DefaultRegion], true
+	}
+	return Region{}, false
+}
+
+// VIPs returns all regional VIPs ordered by region declaration order.
+func (d *Deployment) VIPs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(d.Regions))
+	for _, r := range d.Regions {
+		out = append(out, r.VIP)
+	}
+	return out
+}
+
+// SitesOfRegion returns the sites announcing a region's prefix.
+func (d *Deployment) SitesOfRegion(name string) []Site {
+	var out []Site
+	for _, s := range d.Sites {
+		for _, rn := range s.Regions {
+			if rn == name {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SiteCountsByArea tabulates sites per paper probe area (the paper's
+// Table 1 rows).
+func (d *Deployment) SiteCountsByArea() map[geo.Area]int {
+	out := map[geo.Area]int{}
+	for _, s := range d.Sites {
+		out[s.Area()]++
+	}
+	return out
+}
+
+// Announcements builds the per-prefix announcement plan.
+func (d *Deployment) Announcements() map[netip.Prefix][]bgp.SiteAnnouncement {
+	out := make(map[netip.Prefix][]bgp.SiteAnnouncement, len(d.Regions))
+	for _, s := range d.Sites {
+		// SkipNeighbors are resolved into OnlyNeighbors allowlists at
+		// Announce time, when the topology is available.
+		for _, rn := range s.Regions {
+			r := d.regionByName[rn]
+			out[r.Prefix] = append(out[r.Prefix], bgp.SiteAnnouncement{
+				Origin: d.ASN,
+				Site:   s.ID,
+				City:   s.City,
+			})
+		}
+	}
+	return out
+}
+
+// Announce computes routing for every regional prefix of the deployment.
+// Site-level SkipNeighbors are resolved against the engine's topology into
+// allowlists.
+func (d *Deployment) Announce(e *bgp.Engine) error {
+	plan := d.Announcements()
+	tp := e.Topology()
+	// Resolve skip lists into OnlyNeighbors allowlists.
+	for prefix, anns := range plan {
+		for i, a := range anns {
+			skip := d.SkipNeighbors[a.Site]
+			if len(skip) == 0 {
+				continue
+			}
+			skipSet := map[topo.ASN]bool{}
+			for _, s := range skip {
+				skipSet[s] = true
+			}
+			site, _ := d.SiteByID(a.Site)
+			var allow []topo.ASN
+			for _, li := range tp.LinksOf(d.ASN) {
+				l := tp.Links()[li]
+				nbr, _ := l.Other(d.ASN)
+				if !skipSet[nbr] && cityIn(l.Cities, site.City) {
+					allow = append(allow, nbr)
+				}
+			}
+			sort.Slice(allow, func(x, y int) bool { return allow[x] < allow[y] })
+			anns[i].OnlyNeighbors = allow
+		}
+		if err := e.Announce(prefix, anns); err != nil {
+			return fmt.Errorf("cdn: announcing %s for %s: %w", prefix, d.Name, err)
+		}
+	}
+	return nil
+}
+
+func cityIn(cities []string, c string) bool {
+	for _, x := range cities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Mapper returns the deployment's authoritative DNS mapping policy: clients
+// are geolocated with the operator's database and mapped to their country's
+// regional VIP (§4.3).
+func (d *Deployment) Mapper(db *geodb.DB) dnssim.Mapper {
+	byCountry := make(map[string]netip.Addr, len(d.ClientRegions))
+	for cc, rn := range d.ClientRegions {
+		byCountry[cc] = d.regionByName[rn].VIP
+	}
+	var def netip.Addr
+	if d.DefaultRegion != "" {
+		def = d.regionByName[d.DefaultRegion].VIP
+	}
+	return &dnssim.CountryMapper{DB: db, ByCountry: byCountry, Default: def}
+}
+
+// Cities returns the sorted unique city set of the deployment's sites.
+func (d *Deployment) Cities() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range d.Sites {
+		if !seen[s.City] {
+			seen[s.City] = true
+			out = append(out, s.City)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,337 @@
+package cdn
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/bgp"
+	"anysim/internal/geo"
+	"anysim/internal/geodb"
+	"anysim/internal/netplan"
+	"anysim/internal/topo"
+)
+
+// buildWorld generates a small topology and attaches all three content
+// networks.
+func buildWorld(t *testing.T) (*topo.Topology, *Edgio, *Imperva, *Tangled) {
+	t.Helper()
+	tp, err := topo.Generate(topo.GenConfig{Seed: 21, NumTier1: 5, NumTier2: 40, NumStub: 200, NumIXP: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anycastAlloc := netplan.NewAllocator(netplan.AnycastBase)
+	asAlloc := netplan.NewAllocator(netip.MustParsePrefix("32.0.0.0/8"))
+	edgio, err := NewEdgio(tp, anycastAlloc, asAlloc, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imperva, err := NewImperva(tp, anycastAlloc, asAlloc, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tangled, err := NewTangled(tp, anycastAlloc, asAlloc, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Freeze()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tp, edgio, imperva, tangled
+}
+
+func countByArea(sites []Site) map[geo.Area]int {
+	out := map[geo.Area]int{}
+	for _, s := range sites {
+		out[s.Area()]++
+	}
+	return out
+}
+
+func citiesByArea(cities []string) map[geo.Area]int {
+	out := map[geo.Area]int{}
+	for _, c := range cities {
+		out[geo.MustCity(c).Area()]++
+	}
+	return out
+}
+
+// TestTable1SiteCounts pins the deployments to the paper's Table 1 numbers.
+func TestTable1SiteCounts(t *testing.T) {
+	_, edgio, imperva, tangled := buildWorld(t)
+	cases := []struct {
+		name   string
+		counts map[geo.Area]int
+		want   map[geo.Area]int
+	}{
+		{"EG-3", countByArea(edgio.EG3.Sites), map[geo.Area]int{geo.APAC: 14, geo.EMEA: 15, geo.NA: 13, geo.LatAm: 1}},
+		{"EG-4", countByArea(edgio.EG4.Sites), map[geo.Area]int{geo.APAC: 15, geo.EMEA: 16, geo.NA: 12, geo.LatAm: 4}},
+		{"EG-Pub", citiesByArea(edgio.Published), map[geo.Area]int{geo.APAC: 19, geo.EMEA: 26, geo.NA: 24, geo.LatAm: 10}},
+		{"IM-6", countByArea(imperva.IM6.Sites), map[geo.Area]int{geo.APAC: 16, geo.EMEA: 15, geo.NA: 12, geo.LatAm: 5}},
+		{"IM-NS", countByArea(imperva.NS.Sites), map[geo.Area]int{geo.APAC: 17, geo.EMEA: 15, geo.NA: 12, geo.LatAm: 5}},
+		{"IM-Pub", citiesByArea(imperva.Published), map[geo.Area]int{geo.APAC: 17, geo.EMEA: 15, geo.NA: 12, geo.LatAm: 6}},
+		{"Tangled", countByArea(tangled.Global.Sites), map[geo.Area]int{geo.APAC: 2, geo.EMEA: 5, geo.NA: 3, geo.LatAm: 2}},
+	}
+	for _, c := range cases {
+		for _, area := range geo.Areas {
+			if c.counts[area] != c.want[area] {
+				t.Errorf("%s sites in %v = %d, want %d", c.name, area, c.counts[area], c.want[area])
+			}
+		}
+	}
+}
+
+func TestImperva6Structure(t *testing.T) {
+	_, _, imperva, _ := buildWorld(t)
+	im6 := imperva.IM6
+
+	if len(im6.Regions) != 6 {
+		t.Fatalf("Imperva-6 has %d regions, want 6", len(im6.Regions))
+	}
+	// Russia's prefix is announced by the three European mixed sites, and
+	// no site in Russia exists.
+	ru := im6.SitesOfRegion("ru")
+	if len(ru) != 3 {
+		t.Fatalf("ru region announced by %d sites, want 3", len(ru))
+	}
+	for _, s := range ru {
+		if !s.Mixed() {
+			t.Errorf("ru announcer %s is not mixed", s.ID)
+		}
+		if geo.MustCity(s.City).Country == "RU" {
+			t.Errorf("unexpected site in Russia: %s", s.ID)
+		}
+	}
+	// Russian clients map to the ru region.
+	r, ok := im6.RegionForCountry("RU")
+	if !ok || r.Name != "ru" {
+		t.Errorf("RegionForCountry(RU) = %v, %v", r.Name, ok)
+	}
+	// US and Canadian clients are split.
+	us, _ := im6.RegionForCountry("US")
+	ca, _ := im6.RegionForCountry("CA")
+	if us.Name != "us" || ca.Name != "ca" {
+		t.Errorf("US/CA regions = %s/%s", us.Name, ca.Name)
+	}
+	// The San Jose site cross-announces APAC.
+	sjc, ok := im6.SiteByID("sjc")
+	if !ok || !sjc.Mixed() {
+		t.Errorf("sjc site = %+v, want mixed", sjc)
+	}
+}
+
+func TestEdgioStructure(t *testing.T) {
+	_, edgio, _, _ := buildWorld(t)
+	if len(edgio.EG3.Regions) != 3 || len(edgio.EG4.Regions) != 4 {
+		t.Fatalf("region counts: EG3=%d EG4=%d", len(edgio.EG3.Regions), len(edgio.EG4.Regions))
+	}
+	// Edgio-3: Brazilian clients share the Americas region with the US.
+	br, _ := edgio.EG3.RegionForCountry("BR")
+	us, _ := edgio.EG3.RegionForCountry("US")
+	if br.Name != us.Name {
+		t.Errorf("EG-3 BR and US regions differ: %s vs %s", br.Name, us.Name)
+	}
+	// Edgio-4: they are separated.
+	br4, _ := edgio.EG4.RegionForCountry("BR")
+	us4, _ := edgio.EG4.RegionForCountry("US")
+	if br4.Name == us4.Name {
+		t.Error("EG-4 BR and US share a region")
+	}
+	// The Miami site is the mixed Americas site.
+	mia, ok := edgio.EG4.SiteByID("mia")
+	if !ok || !mia.Mixed() {
+		t.Errorf("EG-4 mia = %+v, want mixed", mia)
+	}
+	// Edgio-3 has no SA sites: the sa region does not exist and Brazil's
+	// regional prefix is announced only from the Americas (NA) sites.
+	if _, ok := edgio.EG3.RegionByName("sa"); ok {
+		t.Error("EG-3 should have no sa region")
+	}
+}
+
+func TestDeploymentQueries(t *testing.T) {
+	_, _, imperva, _ := buildWorld(t)
+	im6 := imperva.IM6
+	// VIP lookups round-trip.
+	for _, r := range im6.Regions {
+		got, ok := im6.RegionOfVIP(r.VIP)
+		if !ok || got.Name != r.Name {
+			t.Errorf("RegionOfVIP(%v) = %v, %v", r.VIP, got.Name, ok)
+		}
+	}
+	if _, ok := im6.RegionOfVIP(netip.MustParseAddr("1.1.1.1")); ok {
+		t.Error("RegionOfVIP matched foreign address")
+	}
+	if len(im6.VIPs()) != 6 {
+		t.Errorf("VIPs = %d, want 6", len(im6.VIPs()))
+	}
+	// Region prefixes must be pairwise disjoint across deployments.
+	var all []netip.Prefix
+	for _, d := range []*Deployment{imperva.IM6, imperva.NS} {
+		for _, r := range d.Regions {
+			all = append(all, r.Prefix)
+		}
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Overlaps(all[j]) {
+				t.Errorf("prefixes %v and %v overlap", all[i], all[j])
+			}
+		}
+	}
+}
+
+func TestAnnounceAndCatchment(t *testing.T) {
+	tp, _, imperva, _ := buildWorld(t)
+	e := bgp.NewEngine(tp)
+	if err := imperva.IM6.Announce(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := imperva.NS.Announce(e); err != nil {
+		t.Fatal(err)
+	}
+	// Every regional prefix is announced and reachable from a sample stub.
+	var stub topo.ASN
+	for _, asn := range tp.ASNs() {
+		if tp.MustAS(asn).Tier == topo.TierStub {
+			stub = asn
+			break
+		}
+	}
+	city := tp.MustAS(stub).Cities[0]
+	for _, r := range imperva.IM6.Regions {
+		fwd, ok := e.Lookup(r.Prefix, stub, city)
+		if !ok {
+			t.Errorf("no route to %s prefix %v from %s", r.Name, r.Prefix, stub)
+			continue
+		}
+		// The catchment site must be one announcing this region.
+		site, ok := imperva.IM6.SiteByID(fwd.Site)
+		if !ok {
+			t.Errorf("catchment site %q not in deployment", fwd.Site)
+			continue
+		}
+		found := false
+		for _, rn := range site.Regions {
+			if rn == r.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("catchment site %s does not announce region %s", fwd.Site, r.Name)
+		}
+	}
+}
+
+func TestSkipNeighborsCreatePartialOverlap(t *testing.T) {
+	_, _, imperva, _ := buildWorld(t)
+	if len(imperva.IM6.SkipNeighbors) == 0 || len(imperva.NS.SkipNeighbors) == 0 {
+		t.Fatal("expected skip lists on both Imperva networks")
+	}
+	// Skip lists must be disjoint per site (each network skips different
+	// neighbours).
+	for id, skip6 := range imperva.IM6.SkipNeighbors {
+		skipNS := imperva.NS.SkipNeighbors[id]
+		for _, a := range skip6 {
+			for _, b := range skipNS {
+				if a == b {
+					t.Errorf("site %s: %v skipped by both networks", id, a)
+				}
+			}
+		}
+	}
+}
+
+func TestMapperFollowsPartition(t *testing.T) {
+	tp, _, imperva, _ := buildWorld(t)
+	im6 := imperva.IM6
+	// Perfect geolocation database over stub AS blocks.
+	truth := &geodb.Truth{}
+	var client netip.Addr
+	var clientCountry string
+	for _, asn := range tp.ASNs() {
+		a := tp.MustAS(asn)
+		if a.Tier != topo.TierStub {
+			continue
+		}
+		city := geo.MustCity(a.Cities[0])
+		if err := truth.Add(geodb.Entry{Prefix: a.Prefix, Loc: geodb.Location{Country: a.Home, City: city.IATA}}); err != nil {
+			t.Fatal(err)
+		}
+		if !client.IsValid() {
+			client = netplan.NthAddr(a.Prefix, 77)
+			clientCountry = a.Home
+		}
+	}
+	db := geodb.Build("perfect", truth, geodb.ErrorModel{}, 1)
+	m := im6.Mapper(db)
+	got, ok := m.Map(client)
+	if !ok {
+		t.Fatal("mapper returned no answer")
+	}
+	want, _ := im6.RegionForCountry(clientCountry)
+	if got != want.VIP {
+		t.Errorf("Map(%v in %s) = %v, want %v (%s)", client, clientCountry, got, want.VIP, want.Name)
+	}
+}
+
+func TestRegionalize(t *testing.T) {
+	_, _, _, tangled := buildWorld(t)
+	partition := map[string][]string{
+		"west": {"WAS", "MIA", "LAX", "SAO", "POA"},
+		"east": {"ENS", "LON", "PAR", "FRA", "JNB", "SYD", "SIN"},
+	}
+	clients := map[string]string{"US": "west", "DE": "east"}
+	d, err := tangled.Regionalize("Tangled-2", partition, clients, "east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Regions) != 2 || len(d.Sites) != 12 {
+		t.Fatalf("Regionalize produced %d regions, %d sites", len(d.Regions), len(d.Sites))
+	}
+	// Unassigned site errors.
+	if _, err := tangled.Regionalize("bad", map[string][]string{"only": {"WAS"}}, clients, "only"); err == nil {
+		t.Error("Regionalize accepted partition missing sites")
+	}
+}
+
+func TestFinalizeValidation(t *testing.T) {
+	p := netip.MustParsePrefix("198.18.250.0/24")
+	vip := netplan.NthAddr(p, 1)
+	base := func() *Deployment {
+		return &Deployment{
+			Name:    "X",
+			ASN:     1,
+			Regions: []Region{{Name: "r", Prefix: p, VIP: vip}},
+			Sites:   []Site{{ID: "fra", City: "FRA", Regions: []string{"r"}}},
+		}
+	}
+	if err := base().Finalize(); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+	d := base()
+	d.Sites[0].City = "ZZZ"
+	if err := d.Finalize(); err == nil {
+		t.Error("accepted unknown city")
+	}
+	d = base()
+	d.Sites[0].Regions = []string{"nope"}
+	if err := d.Finalize(); err == nil {
+		t.Error("accepted unknown site region")
+	}
+	d = base()
+	d.ClientRegions = map[string]string{"XX": "r"}
+	if err := d.Finalize(); err == nil {
+		t.Error("accepted unknown client country")
+	}
+	d = base()
+	d.Regions = append(d.Regions, Region{Name: "empty", Prefix: netip.MustParsePrefix("198.18.251.0/24"), VIP: netip.MustParseAddr("198.18.251.1")})
+	if err := d.Finalize(); err == nil {
+		t.Error("accepted region with no announcing site")
+	}
+	d = base()
+	d.Regions[0].VIP = netip.MustParseAddr("10.0.0.1")
+	if err := d.Finalize(); err == nil {
+		t.Error("accepted VIP outside region prefix")
+	}
+}

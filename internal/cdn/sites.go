@@ -1,0 +1,117 @@
+package cdn
+
+// Site city lists, reconstructed from the paper's Table 1 ("the number of
+// sites in each geographic area of different networks") and the published
+// PoP pages it cites. The per-area counts match Table 1 exactly:
+//
+//	            EG-3  EG-4  EG-Pub  IM-6  IM-NS  IM-Pub  Tangled
+//	    APAC     14    15     19     16    17      17       2
+//	    EMEA     15    16     26     15    15      15       5
+//	    NA       13    12     24     12    12      12       3
+//	    LatAm     1     4     10      5     5       6       2
+//	    Total    43    47     79     48    49      50      12
+//
+// Concrete city choices inside each area are reconstructions (the paper
+// publishes counts, not full lists); they use the operators' documented
+// metro footprints where known.
+
+// edgioPublished is Edgio's published PoP list (EG-Pub, 79 sites).
+var edgioPublished = []string{
+	// APAC (19)
+	"TYO", "OSA", "FUK", "SEL", "HKG", "TPE", "MNL", "SGN", "BKK", "KUL",
+	"SIN", "JKT", "DEL", "BOM", "MAA", "SYD", "MEL", "PER", "AKL",
+	// EMEA (26)
+	"LON", "MAN", "DUB", "AMS", "BRU", "PAR", "MAD", "BCN", "LIS", "FRA",
+	"MUC", "DUS", "ZRH", "VIE", "PRG", "WAW", "BUD", "ATH", "ROM", "MIL",
+	"CPH", "OSL", "STO", "HEL", "JNB", "TLV",
+	// NA (24)
+	"NYC", "WAS", "IAD", "BOS", "PHL", "ATL", "MIA", "TPA", "CHI", "DFW",
+	"HOU", "DEN", "PHX", "LAX", "SJC", "SFO", "SEA", "LAS", "SLC", "MSP",
+	"DTW", "STL", "YYZ", "YVR",
+	// LatAm (10)
+	"MEX", "GDL", "BOG", "LIM", "SCL", "BUE", "SAO", "RIO", "FOR", "PTY",
+}
+
+// edgio3Cities are the sites uncovered for Edgio-3 hostnames (43 sites).
+// The single LatAm-area site (Mexico City) announces the Americas prefix.
+var edgio3Cities = []string{
+	// APAC (14)
+	"TYO", "OSA", "SEL", "HKG", "TPE", "SGN", "BKK", "KUL", "SIN", "JKT",
+	"DEL", "BOM", "SYD", "MEL",
+	// EMEA (15)
+	"LON", "DUB", "AMS", "PAR", "MAD", "FRA", "MUC", "ZRH", "VIE", "WAW",
+	"STO", "CPH", "MIL", "ROM", "PRG",
+	// NA (13)
+	"NYC", "IAD", "BOS", "ATL", "MIA", "CHI", "DFW", "DEN", "PHX", "LAX",
+	"SJC", "SEA", "YYZ",
+	// LatAm (1)
+	"MEX",
+}
+
+// edgio4Cities are the sites uncovered for Edgio-4 hostnames (47 sites).
+var edgio4Cities = []string{
+	// APAC (15)
+	"TYO", "OSA", "SEL", "HKG", "TPE", "MNL", "SGN", "BKK", "KUL", "SIN",
+	"JKT", "DEL", "BOM", "SYD", "MEL",
+	// EMEA (16)
+	"LON", "DUB", "AMS", "PAR", "MAD", "FRA", "MUC", "DUS", "ZRH", "VIE",
+	"WAW", "STO", "CPH", "MIL", "ROM", "PRG",
+	// NA (12)
+	"NYC", "IAD", "ATL", "MIA", "CHI", "DFW", "DEN", "PHX", "LAX", "SJC",
+	"SEA", "YYZ",
+	// LatAm (4)
+	"MEX", "SAO", "RIO", "BUE",
+}
+
+// impervaPublished is Imperva's published PoP list (IM-Pub, 50 sites).
+var impervaPublished = []string{
+	// APAC (17)
+	"TYO", "OSA", "SEL", "HKG", "TPE", "MNL", "SGN", "BKK", "KUL", "SIN",
+	"JKT", "DEL", "BOM", "BLR", "SYD", "MEL", "AKL",
+	// EMEA (15)
+	"LON", "DUB", "AMS", "PAR", "MAD", "FRA", "ZRH", "VIE", "WAW", "STO",
+	"CPH", "MIL", "IST", "TLV", "JNB",
+	// NA (12)
+	"NYC", "IAD", "ATL", "MIA", "CHI", "DFW", "DEN", "LAX", "SJC", "SEA",
+	"YYZ", "YUL",
+	// LatAm (6)
+	"MEX", "BOG", "SCL", "BUE", "SAO", "LIM",
+}
+
+// imperva6Cities are the 48 sites uncovered for Imperva-6 hostnames: the
+// published list minus Manila and Lima.
+var imperva6Cities = removeCities(impervaPublished, "MNL", "LIM")
+
+// impervaNSCities are the 49 sites of Imperva's DNS global anycast network:
+// Imperva-6's 48 sites plus Manila, so that all Imperva-6 sites overlap with
+// NS sites (as the paper finds) but the overlap is not total.
+var impervaNSCities = append(append([]string(nil), imperva6Cities...), "MNL")
+
+// tangledCities are the 12 Tangled testbed sites (Table 1's last column).
+// The EMEA-area count includes an African site: the paper's Figure 6a shows
+// a separate African region in the ReOpt partition, so the testbed must
+// have one (Africa falls under the paper's EMEA probe area in Table 1).
+var tangledCities = []string{
+	// APAC (2)
+	"SYD", "SIN",
+	// EMEA (5, including Africa)
+	"ENS", "LON", "PAR", "FRA", "JNB",
+	// NA (3)
+	"WAS", "MIA", "LAX",
+	// LatAm (2)
+	"SAO", "POA",
+}
+
+func removeCities(list []string, drop ...string) []string {
+	dropSet := map[string]bool{}
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	out := make([]string, 0, len(list))
+	for _, c := range list {
+		if !dropSet[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

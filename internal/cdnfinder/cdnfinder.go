@@ -1,0 +1,159 @@
+// Package cdnfinder reproduces the paper's CDN identification steps
+// (§4.1-4.2): a registry of the top CDN providers and their redirection
+// methods (Table 5 / Appendix A), and a census that emulates a worldwide
+// clientele by resolving customer hostnames through ECS for a spread of
+// client /24 prefixes, counting distinct A records to find the hostnames
+// served by regional IP anycast platforms (the Edgio-3 / Edgio-4 /
+// Imperva-6 sets).
+package cdnfinder
+
+import (
+	"net/netip"
+	"sort"
+
+	"anysim/internal/atlas"
+	"anysim/internal/dnssim"
+	"anysim/internal/netplan"
+)
+
+// Redirection is a CDN's client-redirection method.
+type Redirection uint8
+
+// Redirection methods from Table 5.
+const (
+	GlobalAnycast Redirection = iota
+	DNSRedirection
+	DNSAndGlobalAnycast
+	RegionalAnycast
+)
+
+var redirectionNames = map[Redirection]string{
+	GlobalAnycast:       "Global Anycast",
+	DNSRedirection:      "DNS",
+	DNSAndGlobalAnycast: "DNS & Global Anycast",
+	RegionalAnycast:     "Regional Anycast",
+}
+
+// String names the method as in Table 5.
+func (r Redirection) String() string { return redirectionNames[r] }
+
+// SurveyEntry is one row of Table 5.
+type SurveyEntry struct {
+	Provider string
+	Method   Redirection
+}
+
+// Table5 returns the paper's survey of the top-15 CDN providers' redirection
+// methods (Appendix A), in the paper's order.
+func Table5() []SurveyEntry {
+	return []SurveyEntry{
+		{"Google Cloud CDN", GlobalAnycast},
+		{"Cloudflare", GlobalAnycast},
+		{"Amazon Cloudfront", DNSRedirection},
+		{"Akamai", DNSRedirection},
+		{"Fastly", DNSAndGlobalAnycast},
+		{"Stackpath", GlobalAnycast},
+		{"Edgio (EdgeCast)", RegionalAnycast},
+		{"bunny.net", DNSRedirection},
+		{"Alibaba Cloud", DNSRedirection},
+		{"Imperva (Incapsula)", RegionalAnycast},
+		{"Microsoft Azure", GlobalAnycast},
+		{"ChinanetCenter/Wangsu", DNSRedirection},
+		{"CDN77", DNSRedirection},
+		{"Tencent Cloud", DNSRedirection},
+		{"Vercel", DNSRedirection},
+	}
+}
+
+// RegionalAnycastProviders returns the Table-5 providers deploying regional
+// anycast — the paper finds exactly Edgio and Imperva.
+func RegionalAnycastProviders() []string {
+	var out []string
+	for _, e := range Table5() {
+		if e.Method == RegionalAnycast {
+			out = append(out, e.Provider)
+		}
+	}
+	return out
+}
+
+// Census is the §4.2 hostname-resolution sweep outcome.
+type Census struct {
+	// Distinct maps hostname -> number of distinct A records observed
+	// across the worldwide client sweep.
+	Distinct map[string]int
+	// Records maps hostname -> the sorted distinct A records.
+	Records map[string][]netip.Addr
+}
+
+// ClientPrefixes derives the worldwide /24 client prefix list from a probe
+// population, the paper's "list of /24 client IP prefixes that cover the IP
+// address span of the entire RIPE Atlas".
+func ClientPrefixes(probes []*atlas.Probe) []netip.Prefix {
+	seen := map[netip.Prefix]bool{}
+	var out []netip.Prefix
+	for _, p := range probes {
+		pref := netplan.CoverPrefix(p.Addr)
+		if !seen[pref] {
+			seen[pref] = true
+			out = append(out, pref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// RunCensus resolves each hostname once per client prefix via an
+// ECS-speaking resolver (the paper uses Google DNS with ECS) and tallies
+// the distinct A records.
+func RunCensus(auth *dnssim.Authoritative, hostnames []string, clients []netip.Prefix) *Census {
+	c := &Census{
+		Distinct: make(map[string]int, len(hostnames)),
+		Records:  make(map[string][]netip.Addr, len(hostnames)),
+	}
+	for _, host := range hostnames {
+		seen := map[netip.Addr]bool{}
+		for _, client := range clients {
+			if a, ok := auth.ResolveDirect(host, client.Addr()); ok {
+				seen[a] = true
+			}
+		}
+		var records []netip.Addr
+		for a := range seen {
+			records = append(records, a)
+		}
+		sort.Slice(records, func(i, j int) bool { return records[i].String() < records[j].String() })
+		c.Distinct[host] = len(records)
+		c.Records[host] = records
+	}
+	return c
+}
+
+// SetsByDistinctCount groups hostnames by their distinct A-record count:
+// the paper's Edgio-3 / Edgio-4 / Imperva-6 set construction. Hostnames
+// resolving to fewer than two addresses are not regional anycast customers.
+func (c *Census) SetsByDistinctCount() map[int][]string {
+	out := map[int][]string{}
+	hosts := make([]string, 0, len(c.Distinct))
+	for h := range c.Distinct {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		out[c.Distinct[h]] = append(out[c.Distinct[h]], h)
+	}
+	return out
+}
+
+// RegionalHostnames returns the hostnames with at least two distinct A
+// records, i.e. candidates served by a regional anycast platform.
+func (c *Census) RegionalHostnames() []string {
+	var out []string
+	for n, hosts := range c.SetsByDistinctCount() {
+		if n >= 2 {
+			out = append(out, hosts...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package cdnfinder
+
+import (
+	"testing"
+
+	"anysim/internal/worldgen"
+)
+
+var (
+	sharedWorld  *worldgen.World
+	sharedCensus *Census
+)
+
+func fixtures(t *testing.T) (*worldgen.World, *Census) {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := worldgen.Small(19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients := ClientPrefixes(w.Platform.Retained())
+		sharedCensus = RunCensus(w.Auth, w.Hostnames.All(), clients)
+		sharedWorld = w
+	}
+	return sharedWorld, sharedCensus
+}
+
+func TestTable5(t *testing.T) {
+	entries := Table5()
+	if len(entries) != 15 {
+		t.Fatalf("Table5 has %d entries, want 15", len(entries))
+	}
+	regional := RegionalAnycastProviders()
+	if len(regional) != 2 {
+		t.Fatalf("regional anycast providers = %v, want exactly 2", regional)
+	}
+	want := map[string]bool{"Edgio (EdgeCast)": true, "Imperva (Incapsula)": true}
+	for _, p := range regional {
+		if !want[p] {
+			t.Errorf("unexpected regional provider %q", p)
+		}
+	}
+}
+
+func TestClientPrefixes(t *testing.T) {
+	w, _ := fixtures(t)
+	clients := ClientPrefixes(w.Platform.Retained())
+	if len(clients) == 0 {
+		t.Fatal("no client prefixes")
+	}
+	seen := map[string]bool{}
+	for _, p := range clients {
+		if p.Bits() != 24 {
+			t.Errorf("client prefix %v is not a /24", p)
+		}
+		if seen[p.String()] {
+			t.Errorf("duplicate client prefix %v", p)
+		}
+		seen[p.String()] = true
+	}
+}
+
+// TestCensusRecoversHostnameSets reproduces §4.2: the census finds exactly
+// the 50/34/78 hostname populations by distinct A-record count, and filters
+// out the single-IP services.
+func TestCensusRecoversHostnameSets(t *testing.T) {
+	w, census := fixtures(t)
+	sets := census.SetsByDistinctCount()
+
+	if got := len(sets[3]); got != len(w.Hostnames.EG3) {
+		t.Errorf("hostnames with 3 distinct IPs = %d, want %d (Edgio-3)", got, len(w.Hostnames.EG3))
+	}
+	if got := len(sets[4]); got != len(w.Hostnames.EG4) {
+		t.Errorf("hostnames with 4 distinct IPs = %d, want %d (Edgio-4)", got, len(w.Hostnames.EG4))
+	}
+	if got := len(sets[6]); got != len(w.Hostnames.IM6) {
+		t.Errorf("hostnames with 6 distinct IPs = %d, want %d (Imperva-6)", got, len(w.Hostnames.IM6))
+	}
+	if got := len(sets[1]); got != len(w.Hostnames.EdgioOther)+len(w.Hostnames.ImpervaOther) {
+		t.Errorf("single-IP hostnames = %d, want %d", got, len(w.Hostnames.EdgioOther)+len(w.Hostnames.ImpervaOther))
+	}
+
+	// The representative hostnames land in their sets.
+	if census.Distinct[worldgen.RepEG3] != 3 || census.Distinct[worldgen.RepEG4] != 4 || census.Distinct[worldgen.RepIM6] != 6 {
+		t.Errorf("representative hostnames misclassified: %d/%d/%d",
+			census.Distinct[worldgen.RepEG3], census.Distinct[worldgen.RepEG4], census.Distinct[worldgen.RepIM6])
+	}
+}
+
+func TestCensusRecordsAreRegionalVIPs(t *testing.T) {
+	w, census := fixtures(t)
+	for _, a := range census.Records[worldgen.RepIM6] {
+		if _, ok := w.Imperva.IM6.RegionOfVIP(a); !ok {
+			t.Errorf("census record %v is not an Imperva-6 regional VIP", a)
+		}
+	}
+}
+
+func TestRegionalHostnames(t *testing.T) {
+	w, census := fixtures(t)
+	regional := census.RegionalHostnames()
+	want := len(w.Hostnames.EG3) + len(w.Hostnames.EG4) + len(w.Hostnames.IM6)
+	if len(regional) != want {
+		t.Errorf("regional hostnames = %d, want %d", len(regional), want)
+	}
+	// None of the "other" hostnames appear.
+	otherSet := map[string]bool{}
+	for _, h := range append(w.Hostnames.EdgioOther, w.Hostnames.ImpervaOther...) {
+		otherSet[h] = true
+	}
+	for _, h := range regional {
+		if otherSet[h] {
+			t.Errorf("non-regional hostname %s classified as regional", h)
+		}
+	}
+}
+
+func TestCensusEmptyInputs(t *testing.T) {
+	w, _ := fixtures(t)
+	c := RunCensus(w.Auth, nil, nil)
+	if len(c.Distinct) != 0 {
+		t.Error("census over no hostnames should be empty")
+	}
+	c = RunCensus(w.Auth, []string{"nx.example"}, ClientPrefixes(w.Platform.Retained()))
+	if c.Distinct["nx.example"] != 0 {
+		t.Error("unresolvable hostname should have 0 distinct records")
+	}
+}

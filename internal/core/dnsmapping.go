@@ -1,0 +1,105 @@
+package core
+
+import (
+	"anysim/internal/atlas"
+	"anysim/internal/geo"
+)
+
+// EfficiencyThresholdMs is the paper's threshold separating efficient from
+// inefficient DNS mappings: a returned regional IP within 5 ms of the
+// probe's lowest-latency regional IP counts as efficient (§5.1).
+const EfficiencyThresholdMs = 5.0
+
+// MappingClass classifies one probe group's DNS mapping outcome (the three
+// row groups of Table 2).
+type MappingClass uint8
+
+// Mapping classes.
+const (
+	// MappingEfficient: ΔRTT < 5 ms.
+	MappingEfficient MappingClass = iota
+	// MappingSubOptimalRegion: the group received the regional IP intended
+	// for its geography (✓Region) but pays 5+ ms over its best VIP —
+	// the partition itself is the problem.
+	MappingSubOptimalRegion
+	// MappingWrongRegion: the group received a regional IP intended for a
+	// different geography (×Region), typically an IP-geolocation error.
+	MappingWrongRegion
+	// MappingUnmeasured: resolution or all pings failed.
+	MappingUnmeasured
+)
+
+var mappingNames = map[MappingClass]string{
+	MappingEfficient:        "dRTT<5ms",
+	MappingSubOptimalRegion: "okRegion,dRTT>=5ms",
+	MappingWrongRegion:      "xRegion,dRTT>=5ms",
+	MappingUnmeasured:       "unmeasured",
+}
+
+// String names the class as in Table 2's condition column.
+func (c MappingClass) String() string { return mappingNames[c] }
+
+// ClassifyGroup assigns a probe group to its Table-2 class for a DNS mode.
+func ClassifyGroup(g *Group, mode atlas.DNSMode, res *Result) MappingClass {
+	delta, ok := g.Delta(mode)
+	if !ok {
+		return MappingUnmeasured
+	}
+	if delta < EfficiencyThresholdMs {
+		return MappingEfficient
+	}
+	if g.RegionCorrect(mode, res.Deployment) {
+		return MappingSubOptimalRegion
+	}
+	return MappingWrongRegion
+}
+
+// MappingEfficiency is a Table-2 cell block: per area, the fraction of
+// measured probe groups in each class.
+type MappingEfficiency struct {
+	CDN  string
+	Mode atlas.DNSMode
+	// Fractions[area][class] is the share of the area's measured groups.
+	Fractions map[geo.Area]map[MappingClass]float64
+	// Groups[area] is the number of measured groups in the area.
+	Groups map[geo.Area]int
+}
+
+// AnalyzeDNSMapping computes Table 2's numbers for one campaign result and
+// one DNS mode.
+func AnalyzeDNSMapping(res *Result, mode atlas.DNSMode) *MappingEfficiency {
+	out := &MappingEfficiency{
+		CDN:       res.Deployment.Name,
+		Mode:      mode,
+		Fractions: map[geo.Area]map[MappingClass]float64{},
+		Groups:    map[geo.Area]int{},
+	}
+	counts := map[geo.Area]map[MappingClass]int{}
+	for _, g := range GroupMeasurements(res) {
+		cls := ClassifyGroup(g, mode, res)
+		if cls == MappingUnmeasured {
+			continue
+		}
+		if counts[g.Area] == nil {
+			counts[g.Area] = map[MappingClass]int{}
+		}
+		counts[g.Area][cls]++
+		out.Groups[g.Area]++
+	}
+	for area, byClass := range counts {
+		total := out.Groups[area]
+		out.Fractions[area] = map[MappingClass]float64{}
+		for cls, n := range byClass {
+			out.Fractions[area][cls] = float64(n) / float64(total)
+		}
+	}
+	return out
+}
+
+// Fraction returns the share of measured groups in the area with the class.
+func (e *MappingEfficiency) Fraction(area geo.Area, cls MappingClass) float64 {
+	if m, ok := e.Fractions[area]; ok {
+		return m[cls]
+	}
+	return 0
+}

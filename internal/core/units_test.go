@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+func TestRTTClassOf(t *testing.T) {
+	mk := func(reg, glob float64) GroupPair { return GroupPair{RTTReg: reg, RTTGlob: glob} }
+	tests := []struct {
+		pair GroupPair
+		want RTTClass
+	}{
+		{mk(10, 50), BetterRTT},
+		{mk(50, 10), WorseRTT},
+		{mk(30, 30), SimilarRTT},
+		{mk(30, 34.9), SimilarRTT},
+		{mk(30, 35.1), BetterRTT},
+		{mk(35.1, 30), WorseRTT},
+	}
+	for _, tt := range tests {
+		if got := RTTClassOf(tt.pair); got != tt.want {
+			t.Errorf("RTTClassOf(%.1f vs %.1f) = %v, want %v", tt.pair.RTTReg, tt.pair.RTTGlob, got, tt.want)
+		}
+	}
+}
+
+func TestSiteClassOf(t *testing.T) {
+	tests := []struct {
+		pair GroupPair
+		want SiteDistanceClass
+	}{
+		{GroupPair{SiteReg: "fra", SiteGlob: "fra", DistReg: 100, DistGlob: 5000}, SameSite},
+		{GroupPair{SiteReg: "fra", SiteGlob: "sin", DistReg: 100, DistGlob: 5000}, CloserSite},
+		{GroupPair{SiteReg: "sin", SiteGlob: "fra", DistReg: 5000, DistGlob: 100}, FurtherSite},
+	}
+	for _, tt := range tests {
+		if got := SiteClassOf(tt.pair); got != tt.want {
+			t.Errorf("SiteClassOf(%+v) = %v, want %v", tt.pair, got, tt.want)
+		}
+	}
+}
+
+func TestClassStringers(t *testing.T) {
+	for cls, want := range map[MappingClass]string{
+		MappingEfficient:        "dRTT<5ms",
+		MappingSubOptimalRegion: "okRegion,dRTT>=5ms",
+		MappingWrongRegion:      "xRegion,dRTT>=5ms",
+		MappingUnmeasured:       "unmeasured",
+	} {
+		if cls.String() != want {
+			t.Errorf("MappingClass %d = %q, want %q", cls, cls.String(), want)
+		}
+	}
+	for cls, want := range map[RTTClass]string{
+		BetterRTT: "dRTT<-5ms", SimilarRTT: "|dRTT|<=5ms", WorseRTT: "dRTT>5ms",
+	} {
+		if cls.String() != want {
+			t.Errorf("RTTClass %d = %q, want %q", cls, cls.String(), want)
+		}
+	}
+	for cls, want := range map[SiteDistanceClass]string{
+		CloserSite: "Closer", SameSite: "Same", FurtherSite: "Further",
+	} {
+		if cls.String() != want {
+			t.Errorf("SiteDistanceClass %d = %q, want %q", cls, cls.String(), want)
+		}
+	}
+	for c, want := range map[Cause]string{
+		CauseASRelationship: "override-AS-relationship",
+		CausePeeringType:    "override-peering-type",
+		CauseUnknown:        "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("Cause %d = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestFilterStatsRetainedFraction(t *testing.T) {
+	if got := (FilterStats{}).RetainedFraction(); got != 0 {
+		t.Errorf("empty retained fraction = %v", got)
+	}
+	fs := FilterStats{Total: 100, Retained: 82}
+	if got := fs.RetainedFraction(); got != 0.82 {
+		t.Errorf("retained fraction = %v", got)
+	}
+}
+
+func TestGroupPairDeltas(t *testing.T) {
+	p := GroupPair{RTTReg: 40, RTTGlob: 100, DistReg: 500, DistGlob: 9000}
+	if p.DeltaRTT() != -60 {
+		t.Errorf("DeltaRTT = %v", p.DeltaRTT())
+	}
+	if p.DeltaDist() != -8500 {
+		t.Errorf("DeltaDist = %v", p.DeltaDist())
+	}
+}
+
+func TestCauseBreakdownFraction(t *testing.T) {
+	b := &CauseBreakdown{Counts: map[Cause]int{}}
+	if b.Fraction(CauseASRelationship) != 0 {
+		t.Error("empty breakdown fraction nonzero")
+	}
+	b.ImprovedGroups = 4
+	b.Counts[CauseASRelationship] = 3
+	if got := b.Fraction(CauseASRelationship); got != 0.75 {
+		t.Errorf("fraction = %v", got)
+	}
+}
+
+func TestGroupMedianEmpty(t *testing.T) {
+	g := &Group{Key: "X|1", Area: geo.NA}
+	if _, ok := g.RTT(0); ok {
+		t.Error("empty group produced an RTT")
+	}
+	if _, ok := g.Site(0); ok {
+		t.Error("empty group produced a site")
+	}
+	if g.RegionCorrect(0, nil) {
+		t.Error("empty group counted as region-correct")
+	}
+}

@@ -1,0 +1,109 @@
+package dailycatch
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+	"anysim/internal/worldgen"
+)
+
+var (
+	sharedWorld  *worldgen.World
+	sharedResult *Result
+)
+
+func fixtures(t *testing.T) (*worldgen.World, *Result) {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := worldgen.Small(29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w.Engine, w.Measurer, w.Tangled.Global, w.Platform.Retained())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld, sharedResult = w, res
+	}
+	return sharedWorld, sharedResult
+}
+
+func TestRunMeasuresBothConfigurations(t *testing.T) {
+	_, res := fixtures(t)
+	for _, m := range []*Measurement{res.Transit, res.Peers} {
+		if m == nil {
+			t.Fatal("missing measurement")
+		}
+		if m.MeanMs <= 0 || m.P90Ms <= 0 || m.P90Ms > 500 {
+			t.Errorf("%s: implausible latency summary mean=%.1f p90=%.1f", m.Kind, m.MeanMs, m.P90Ms)
+		}
+		if m.Reachable < 0.95 {
+			t.Errorf("%s: reachability %.2f, want near-total", m.Kind, m.Reachable)
+		}
+		total := 0
+		for _, area := range geo.Areas {
+			total += len(m.RTTs[area])
+		}
+		if total == 0 {
+			t.Errorf("%s: no per-area samples", m.Kind)
+		}
+	}
+}
+
+func TestWinnerIsBetterConfiguration(t *testing.T) {
+	_, res := fixtures(t)
+	chosen := res.Chosen()
+	other := res.Transit
+	if res.Winner == TransitOnly {
+		other = res.Peers
+	}
+	if chosen.P90Ms > other.P90Ms {
+		t.Errorf("winner %s has p90 %.1f > loser's %.1f", res.Winner, chosen.P90Ms, other.P90Ms)
+	}
+}
+
+// TestDailyCatchCannotBeatRegional reproduces the paper's §2.2 argument:
+// DailyCatch picks the better of two global configurations, but regional
+// anycast (ReOpt on the same testbed) still achieves lower tail latency
+// because it bounds catchments geographically.
+func TestDailyCatchCannotBeatRegional(t *testing.T) {
+	w, res := fixtures(t)
+
+	// ReOpt regional on the same testbed (announced after DailyCatch left
+	// its winner in place; regional prefixes are distinct, so both exist).
+	sweep, err := reoptRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regional := map[geo.Area][]float64{}
+	for _, p := range w.Platform.Retained() {
+		region, ok := sweep.Deployment.RegionForCountry(p.Country)
+		if !ok {
+			continue
+		}
+		if fwd, ok := w.Engine.Lookup(region.Prefix, p.ASN, p.City); ok {
+			regional[p.Area()] = append(regional[p.Area()], w.Measurer.RTT(p, fwd))
+		}
+	}
+	var pooled []float64
+	for _, area := range geo.Areas {
+		pooled = append(pooled, regional[area]...)
+	}
+	regP90 := percentile(pooled, 90)
+	if regP90 >= res.Chosen().P90Ms {
+		t.Errorf("regional p90 %.1f should beat DailyCatch's best global p90 %.1f", regP90, res.Chosen().P90Ms)
+	}
+}
+
+func TestRunRejectsRegionalDeployment(t *testing.T) {
+	w, _ := fixtures(t)
+	if _, err := Run(w.Engine, w.Measurer, w.Imperva.IM6, w.Platform.Retained()); err == nil {
+		t.Error("Run accepted a multi-region deployment")
+	}
+}
+
+func TestConfigKindString(t *testing.T) {
+	if TransitOnly.String() != "transit-only" || AllPeers.String() != "all-peers" {
+		t.Errorf("kind names: %s, %s", TransitOnly, AllPeers)
+	}
+}

@@ -1,0 +1,19 @@
+package dailycatch
+
+import (
+	"anysim/internal/reopt"
+	"anysim/internal/stats"
+	"anysim/internal/worldgen"
+)
+
+// reoptRun runs the ReOpt sweep on the world's testbed and returns the best
+// candidate.
+func reoptRun(w *worldgen.World) (*reopt.Candidate, error) {
+	sweep, err := reopt.Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(), reopt.Config{Seed: 29})
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Best, nil
+}
+
+func percentile(vals []float64, p float64) float64 { return stats.Percentile(vals, p) }

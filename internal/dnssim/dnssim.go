@@ -1,0 +1,125 @@
+// Package dnssim models the DNS machinery regional anycast depends on: an
+// authoritative service that maps clients to regional anycast addresses
+// based on (estimated) client location, local resolvers with or without the
+// EDNS Client Subnet extension (ECS), and a Route 53-style country-level
+// geolocation resolver (§6.2).
+//
+// The paper's two measurement configurations map directly onto this
+// package: "Local DNS" sends the query through the probe's resolver (the
+// authoritative server sees the resolver address unless the resolver sends
+// ECS), while "Authoritative DNS" queries the authoritative server directly
+// (it sees the probe's address).
+package dnssim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/geodb"
+	"anysim/internal/netplan"
+)
+
+// Mapper decides which address to return for a given client address. It is
+// the policy core of a geo-mapping authoritative DNS service.
+type Mapper interface {
+	// Map returns the A record for the client. ok is false when the mapper
+	// has no answer (the zone is then treated as NXDOMAIN).
+	Map(client netip.Addr) (netip.Addr, bool)
+}
+
+// Static is a Mapper that always returns the same address (a conventional,
+// non-geo zone, or a global anycast service).
+type Static netip.Addr
+
+// Map implements Mapper.
+func (s Static) Map(netip.Addr) (netip.Addr, bool) { return netip.Addr(s), true }
+
+// CountryMapper maps clients to addresses by the country a geolocation
+// database places them in, with a default for unknown or unlisted
+// countries. Both the CDNs' own client-partition DNS (§4.3) and Amazon
+// Route 53's geolocation records (§6.2) behave this way.
+type CountryMapper struct {
+	DB        *geodb.DB             // the operator's geolocation database
+	ByCountry map[string]netip.Addr // country code -> A record
+	Default   netip.Addr            // answer when the country is unknown/unlisted
+}
+
+// Map implements Mapper.
+func (m *CountryMapper) Map(client netip.Addr) (netip.Addr, bool) {
+	if loc, ok := m.DB.Lookup(client); ok {
+		if a, ok := m.ByCountry[loc.Country]; ok {
+			return a, true
+		}
+	}
+	if m.Default.IsValid() {
+		return m.Default, true
+	}
+	return netip.Addr{}, false
+}
+
+// FuncMapper adapts a plain function to the Mapper interface.
+type FuncMapper func(client netip.Addr) (netip.Addr, bool)
+
+// Map implements Mapper.
+func (f FuncMapper) Map(client netip.Addr) (netip.Addr, bool) { return f(client) }
+
+// Authoritative is an authoritative DNS service hosting geo-mapped zones.
+type Authoritative struct {
+	zones map[string]Mapper
+}
+
+// NewAuthoritative returns an empty authoritative service.
+func NewAuthoritative() *Authoritative {
+	return &Authoritative{zones: make(map[string]Mapper)}
+}
+
+// Register binds a hostname to a mapping policy. Re-registering replaces
+// the previous policy.
+func (a *Authoritative) Register(hostname string, m Mapper) error {
+	if hostname == "" {
+		return fmt.Errorf("dnssim: empty hostname")
+	}
+	if m == nil {
+		return fmt.Errorf("dnssim: nil mapper for %q", hostname)
+	}
+	a.zones[hostname] = m
+	return nil
+}
+
+// Hostnames returns the registered hostnames in sorted order.
+func (a *Authoritative) Hostnames() []string {
+	out := make([]string, 0, len(a.zones))
+	for h := range a.zones {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveDirect answers a query arriving directly from the given client
+// address — the paper's "Authoritative DNS" configuration, and also the
+// effective behaviour when a resolver forwards the client's subnet via ECS.
+func (a *Authoritative) ResolveDirect(hostname string, client netip.Addr) (netip.Addr, bool) {
+	m, ok := a.zones[hostname]
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return m.Map(client)
+}
+
+// Resolver is a client's recursive resolver.
+type Resolver struct {
+	Addr netip.Addr // the resolver's own address, as seen by authoritatives
+	ECS  bool       // whether the resolver forwards the client subnet
+}
+
+// Resolve performs the full client -> resolver -> authoritative chain: with
+// ECS the authoritative sees the client's covering /24; without it, the
+// resolver's own address — the paper's "Local DNS" configuration.
+func (r *Resolver) Resolve(auth *Authoritative, hostname string, client netip.Addr) (netip.Addr, bool) {
+	if r.ECS {
+		return auth.ResolveDirect(hostname, netplan.CoverPrefix(client).Addr())
+	}
+	return auth.ResolveDirect(hostname, r.Addr)
+}

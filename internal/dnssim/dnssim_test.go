@@ -1,0 +1,151 @@
+package dnssim
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/geodb"
+)
+
+func truthWith(t *testing.T, entries map[string]geodb.Location) *geodb.Truth {
+	t.Helper()
+	tr := &geodb.Truth{}
+	for p, loc := range entries {
+		if err := tr.Add(geodb.Entry{Prefix: netip.MustParsePrefix(p), Loc: loc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+var (
+	usIP = netip.MustParseAddr("198.18.1.1")
+	euIP = netip.MustParseAddr("198.18.2.1")
+	apIP = netip.MustParseAddr("198.18.3.1")
+)
+
+func newCountryMapper(t *testing.T) *CountryMapper {
+	t.Helper()
+	tr := truthWith(t, map[string]geodb.Location{
+		"16.0.0.0/16": {Country: "US", City: "NYC"},
+		"16.1.0.0/16": {Country: "DE", City: "FRA"},
+		"16.2.0.0/16": {Country: "JP", City: "TYO"},
+	})
+	db := geodb.Build("perfect", tr, geodb.ErrorModel{}, 1)
+	return &CountryMapper{
+		DB: db,
+		ByCountry: map[string]netip.Addr{
+			"US": usIP,
+			"DE": euIP,
+		},
+		Default: apIP,
+	}
+}
+
+func TestCountryMapper(t *testing.T) {
+	m := newCountryMapper(t)
+	tests := []struct {
+		client string
+		want   netip.Addr
+	}{
+		{"16.0.0.9", usIP}, // US client
+		{"16.1.0.9", euIP}, // DE client
+		{"16.2.0.9", apIP}, // JP client: not listed -> default
+		{"99.0.0.1", apIP}, // unknown block -> default
+	}
+	for _, tt := range tests {
+		got, ok := m.Map(netip.MustParseAddr(tt.client))
+		if !ok || got != tt.want {
+			t.Errorf("Map(%s) = %v, %v; want %v", tt.client, got, ok, tt.want)
+		}
+	}
+}
+
+func TestCountryMapperNoDefault(t *testing.T) {
+	m := newCountryMapper(t)
+	m.Default = netip.Addr{}
+	if _, ok := m.Map(netip.MustParseAddr("99.0.0.1")); ok {
+		t.Error("Map answered for unknown client without a default")
+	}
+}
+
+func TestAuthoritativeRegisterValidation(t *testing.T) {
+	a := NewAuthoritative()
+	if err := a.Register("", Static(usIP)); err == nil {
+		t.Error("accepted empty hostname")
+	}
+	if err := a.Register("x.example", nil); err == nil {
+		t.Error("accepted nil mapper")
+	}
+	if err := a.Register("x.example", Static(usIP)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Hostnames(); len(got) != 1 || got[0] != "x.example" {
+		t.Errorf("Hostnames = %v", got)
+	}
+}
+
+func TestResolveDirect(t *testing.T) {
+	a := NewAuthoritative()
+	if err := a.Register("www.example.com", newCountryMapper(t)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := a.ResolveDirect("www.example.com", netip.MustParseAddr("16.1.0.77"))
+	if !ok || got != euIP {
+		t.Errorf("ResolveDirect = %v, %v; want %v", got, ok, euIP)
+	}
+	if _, ok := a.ResolveDirect("nx.example.com", netip.MustParseAddr("16.1.0.77")); ok {
+		t.Error("ResolveDirect answered for unregistered hostname")
+	}
+}
+
+func TestResolverECSBehaviour(t *testing.T) {
+	a := NewAuthoritative()
+	if err := a.Register("www.example.com", newCountryMapper(t)); err != nil {
+		t.Fatal(err)
+	}
+	client := netip.MustParseAddr("16.0.0.200") // US client
+	resolverUS := &Resolver{Addr: netip.MustParseAddr("16.0.5.5")}
+	resolverDE := &Resolver{Addr: netip.MustParseAddr("16.1.5.5")}
+
+	// Without ECS, the answer follows the resolver's location: a German
+	// resolver makes a US client look German.
+	got, ok := resolverDE.Resolve(a, "www.example.com", client)
+	if !ok || got != euIP {
+		t.Errorf("non-ECS via DE resolver = %v, want %v (resolver location wins)", got, euIP)
+	}
+	got, ok = resolverUS.Resolve(a, "www.example.com", client)
+	if !ok || got != usIP {
+		t.Errorf("non-ECS via US resolver = %v, want %v", got, usIP)
+	}
+
+	// With ECS, the client's own subnet decides even through the German
+	// resolver.
+	resolverDE.ECS = true
+	got, ok = resolverDE.Resolve(a, "www.example.com", client)
+	if !ok || got != usIP {
+		t.Errorf("ECS via DE resolver = %v, want %v (client subnet wins)", got, usIP)
+	}
+}
+
+func TestStaticMapper(t *testing.T) {
+	got, ok := Static(usIP).Map(netip.MustParseAddr("1.2.3.4"))
+	if !ok || got != usIP {
+		t.Errorf("Static.Map = %v, %v", got, ok)
+	}
+}
+
+func TestFuncMapper(t *testing.T) {
+	m := FuncMapper(func(c netip.Addr) (netip.Addr, bool) {
+		if c == usIP {
+			return euIP, true
+		}
+		return netip.Addr{}, false
+	})
+	if got, ok := m.Map(usIP); !ok || got != euIP {
+		t.Errorf("FuncMapper = %v, %v", got, ok)
+	}
+	if _, ok := m.Map(euIP); ok {
+		t.Error("FuncMapper answered unexpectedly")
+	}
+}

@@ -1,0 +1,635 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"anysim/internal/asciimap"
+	"anysim/internal/atlas"
+	"anysim/internal/cdn"
+	"anysim/internal/core"
+	"anysim/internal/geo"
+	"anysim/internal/reopt"
+	"anysim/internal/sitemap"
+	"anysim/internal/stats"
+)
+
+// Figure1Data is an observed catchment-inefficiency example: the probe
+// group whose global anycast catchment is most inflated relative to its
+// regional catchment.
+type Figure1Data struct {
+	Example core.CauseExample
+	// Reduction is the latency saved by regional anycast, in ms.
+	Reduction float64
+}
+
+// Figure1 reproduces Figure 1's phenomenon: it finds the most extreme
+// AS-relationship override in the measured world — a probe whose global
+// anycast traffic follows a preferred (customer) route to a distant site
+// while regional anycast pins it to a nearby one.
+func Figure1(ctx *Context) (*Report, error) {
+	feeds := ctx.PublishedFeeds()
+	examples := core.FindCauseExamples(ctx.World.Engine, ctx.IM6(), ctx.NS(), ctx.Comparison(), atlas.LDNS, core.CauseASRelationship, feeds, 1)
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("no AS-relationship override example found")
+	}
+	ex := examples[0]
+	data := &Figure1Data{Example: ex, Reduction: -ex.Pair.DeltaRTT()}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Probe group %s (%s):\n", ex.Pair.Key, ex.Pair.Area)
+	fmt.Fprintf(&b, "  global anycast:   site %-4s via %v (%.1f ms)\n", ex.Pair.SiteGlob, ex.GlobalPath, ex.Pair.RTTGlob)
+	fmt.Fprintf(&b, "  regional anycast: site %-4s via %v (%.1f ms)\n", ex.Pair.SiteReg, ex.RegionalPath, ex.Pair.RTTReg)
+	fmt.Fprintf(&b, "  divergence at %v: global route is %s, regional route is %s\n",
+		ex.Detail.Divergence, ex.Detail.ClassGlobal, ex.Detail.ClassRegional)
+	fmt.Fprintf(&b, "  latency reduction: %.1f ms\n", data.Reduction)
+	return &Report{Text: b.String(), Data: data}, nil
+}
+
+// PartitionView summarises one deployment's client and site partitions.
+type PartitionView struct {
+	Deployment string
+	// ClientCountries[region] counts the countries whose probes receive
+	// the region's VIP (majority per country, LDNS).
+	ClientCountries map[string]int
+	// SitesPerRegion[region] lists the site cities announcing it.
+	SitesPerRegion map[string][]string
+	// MixedSites lists the sites announcing more than one regional prefix.
+	MixedSites []string
+	// OneRegionCountries is the fraction of countries whose probes all
+	// receive a single regional IP (the paper reports ~80-85%).
+	OneRegionCountries float64
+}
+
+// Figure2Data holds the partition views of the three studied networks.
+type Figure2Data struct {
+	Views []*PartitionView
+}
+
+// Figure2 reproduces Figure 2: which regional IP clients receive around the
+// world and which sites announce each regional prefix, for Edgio-3,
+// Edgio-4, and Imperva-6.
+func Figure2(ctx *Context) (*Report, error) {
+	inputs := []struct {
+		dep *cdn.Deployment
+		res *core.Result
+	}{
+		{ctx.World.Edgio.EG3, ctx.EG3()},
+		{ctx.World.Edgio.EG4, ctx.EG4()},
+		{ctx.World.Imperva.IM6, ctx.IM6()},
+	}
+	data := &Figure2Data{}
+	var b strings.Builder
+	for _, in := range inputs {
+		v := partitionView(in.dep, in.res)
+		data.Views = append(data.Views, v)
+		fmt.Fprintf(&b, "%s:\n", v.Deployment)
+		b.WriteString(partitionMap(in.dep, in.res))
+		regions := make([]string, 0, len(v.SitesPerRegion))
+		for rn := range v.SitesPerRegion {
+			regions = append(regions, rn)
+		}
+		sort.Strings(regions)
+		for _, rn := range regions {
+			fmt.Fprintf(&b, "  region %-6s: %2d client countries, sites: %s\n",
+				rn, v.ClientCountries[rn], strings.Join(v.SitesPerRegion[rn], " "))
+		}
+		if len(v.MixedSites) > 0 {
+			fmt.Fprintf(&b, "  MIXED sites (cross-region announcements): %s\n", strings.Join(v.MixedSites, " "))
+		}
+		fmt.Fprintf(&b, "  countries receiving a single regional IP: %s\n\n", stats.FmtPct(v.OneRegionCountries))
+	}
+	return &Report{Text: b.String(), Data: data}, nil
+}
+
+// partitionMap renders the Figure-2 style map: probes plotted with their
+// received region's glyph, announcing sites plotted last.
+func partitionMap(dep *cdn.Deployment, res *core.Result) string {
+	names := make([]string, 0, len(dep.Regions))
+	for _, r := range dep.Regions {
+		names = append(names, r.Name)
+	}
+	glyphs := asciimap.RegionGlyphs(names)
+	m := asciimap.New(100, 26)
+	var probes, sites []asciimap.Marker
+	for _, mm := range res.Probes {
+		vip, ok := mm.Returned[atlas.LDNS]
+		if !ok || !vip.IsValid() {
+			continue
+		}
+		if r, ok := dep.RegionOfVIP(vip); ok {
+			probes = append(probes, asciimap.Marker{Coord: mm.Probe.Coord, Glyph: glyphs[r.Name]})
+		}
+	}
+	for _, site := range dep.Sites {
+		sites = append(sites, asciimap.Marker{Coord: geo.MustCity(site.City).Coord, Glyph: 'S'})
+	}
+	m.Plot(probes)
+	m.Plot(sites)
+	return m.String() + "  S site (announcing)\n" + asciimap.Legend(glyphs)
+}
+
+func partitionView(dep *cdn.Deployment, res *core.Result) *PartitionView {
+	v := &PartitionView{
+		Deployment:      dep.Name,
+		ClientCountries: map[string]int{},
+		SitesPerRegion:  map[string][]string{},
+	}
+	for _, s := range dep.Sites {
+		for _, rn := range s.Regions {
+			v.SitesPerRegion[rn] = append(v.SitesPerRegion[rn], s.City)
+		}
+		if s.Mixed() {
+			v.MixedSites = append(v.MixedSites, s.City)
+		}
+	}
+	// Observed client partition: per country, the set of VIPs its probes
+	// received.
+	countryVIPs := map[string]map[netip.Addr]int{}
+	for _, m := range res.Probes {
+		vip, ok := m.Returned[atlas.LDNS]
+		if !ok || !vip.IsValid() {
+			continue
+		}
+		cc := m.Probe.Country
+		if countryVIPs[cc] == nil {
+			countryVIPs[cc] = map[netip.Addr]int{}
+		}
+		countryVIPs[cc][vip]++
+	}
+	single := 0
+	for cc, vips := range countryVIPs {
+		if len(vips) == 1 {
+			single++
+		}
+		// Majority VIP decides the country's region.
+		var best netip.Addr
+		n := -1
+		for vip, cnt := range vips {
+			if cnt > n {
+				best, n = vip, cnt
+			}
+		}
+		if r, ok := dep.RegionOfVIP(best); ok {
+			v.ClientCountries[r.Name]++
+		}
+		_ = cc
+	}
+	if len(countryVIPs) > 0 {
+		v.OneRegionCountries = float64(single) / float64(len(countryVIPs))
+	}
+	return v
+}
+
+// Figure3Data holds per-network technique fractions.
+type Figure3Data struct {
+	// PHops[network][technique] and Traces[network][technique].
+	Networks []string
+	PHops    map[string]map[sitemap.Technique]float64
+	Traces   map[string]map[sitemap.Technique]float64
+}
+
+// Figure3 reproduces Figure 3: the share of p-hops (and of traceroutes)
+// geolocated by each Appendix-B technique, for EG-3, EG-4, IM-6 and IM-NS.
+func Figure3(ctx *Context) (*Report, error) {
+	w := ctx.World
+	nets := []struct {
+		name      string
+		dep       *cdn.Deployment
+		published []string
+	}{
+		{"EG-3", w.Edgio.EG3, w.Edgio.Published},
+		{"EG-4", w.Edgio.EG4, w.Edgio.Published},
+		{"IM-6", w.Imperva.IM6, w.Imperva.Published},
+		{"IM-NS", w.Imperva.NS, w.Imperva.Published},
+	}
+	data := &Figure3Data{
+		PHops:  map[string]map[sitemap.Technique]float64{},
+		Traces: map[string]map[sitemap.Technique]float64{},
+	}
+	tb := &stats.Table{Header: []string{"Network", "Granularity", "rDNS", "RTT Range", "Country IPGeo", "Unresolved"}}
+	for _, n := range nets {
+		enum := ctx.Enumeration(n.dep, n.published)
+		data.Networks = append(data.Networks, n.name)
+		data.PHops[n.name] = map[sitemap.Technique]float64{}
+		data.Traces[n.name] = map[sitemap.Technique]float64{}
+		phRow := []string{n.name, "p-hops"}
+		trRow := []string{n.name, "traces"}
+		for _, tech := range sitemap.Techniques {
+			data.PHops[n.name][tech] = enum.PHopFraction(tech)
+			data.Traces[n.name][tech] = enum.TraceFraction(tech)
+			phRow = append(phRow, stats.FmtPct(enum.PHopFraction(tech)))
+			trRow = append(trRow, stats.FmtPct(enum.TraceFraction(tech)))
+		}
+		tb.AddRow(phRow...)
+		tb.AddRow(trRow...)
+	}
+	return &Report{Text: tb.String(), Data: data}, nil
+}
+
+// Series is a named empirical distribution, the plotting unit of the
+// figure experiments.
+type Series struct {
+	Name string
+	CDF  *stats.CDF
+}
+
+// Percentile is shorthand for the series' quantile.
+func (s Series) Percentile(p float64) float64 { return s.CDF.Quantile(p / 100) }
+
+// Figure4Data holds the RTT and distance series of the three panels.
+type Figure4Data struct {
+	// RTT and Distance map series name (e.g. "EG4-LatAm", "IM-NS-NA") to
+	// their distributions.
+	RTT      map[string]*stats.CDF
+	Distance map[string]*stats.CDF
+}
+
+// Figure4 reproduces Figure 4: per-area CDFs of client RTT and
+// client-to-catchment distance for (a) Edgio-3 vs Edgio-4, (b) Imperva-6,
+// and (c) Imperva-6 vs Imperva-NS after overlap filtering.
+func Figure4(ctx *Context) (*Report, error) {
+	data := &Figure4Data{RTT: map[string]*stats.CDF{}, Distance: map[string]*stats.CDF{}}
+	panels := []struct {
+		prefix string
+		res    *core.Result
+	}{
+		{"EG3", ctx.EG3()},
+		{"EG4", ctx.EG4()},
+		{"IM6", ctx.IM6()},
+	}
+	for _, p := range panels {
+		for area, cdf := range core.LatencyCDFs(p.res, atlas.LDNS) {
+			data.RTT[fmt.Sprintf("%s-%s", p.prefix, area)] = cdf
+		}
+		for area, cdf := range core.DistanceCDFs(p.res, atlas.LDNS) {
+			data.Distance[fmt.Sprintf("%s-%s", p.prefix, area)] = cdf
+		}
+	}
+	// Panel (c): filtered comparison series.
+	cmp := ctx.Comparison()
+	regRTT, globRTT := map[geo.Area][]float64{}, map[geo.Area][]float64{}
+	regD, globD := map[geo.Area][]float64{}, map[geo.Area][]float64{}
+	for _, pair := range cmp.Pairs {
+		regRTT[pair.Area] = append(regRTT[pair.Area], pair.RTTReg)
+		globRTT[pair.Area] = append(globRTT[pair.Area], pair.RTTGlob)
+		regD[pair.Area] = append(regD[pair.Area], pair.DistReg)
+		globD[pair.Area] = append(globD[pair.Area], pair.DistGlob)
+	}
+	for _, area := range geo.Areas {
+		data.RTT[fmt.Sprintf("IM6f-%s", area)] = stats.NewCDF(regRTT[area])
+		data.RTT[fmt.Sprintf("IM-NS-%s", area)] = stats.NewCDF(globRTT[area])
+		data.Distance[fmt.Sprintf("IM6f-%s", area)] = stats.NewCDF(regD[area])
+		data.Distance[fmt.Sprintf("IM-NS-%s", area)] = stats.NewCDF(globD[area])
+	}
+
+	tb := &stats.Table{Header: []string{"Series", "p50 RTT", "p80 RTT", "p90 RTT", "p98 RTT", "p50 km", "p90 km"}}
+	names := make([]string, 0, len(data.RTT))
+	for n := range data.RTT {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rtt := data.RTT[n]
+		dist := data.Distance[n]
+		if rtt.Len() == 0 {
+			continue
+		}
+		row := []string{n,
+			stats.Fmt1(rtt.Quantile(0.5)), stats.Fmt1(rtt.Quantile(0.8)),
+			stats.Fmt1(rtt.Quantile(0.9)), stats.Fmt1(rtt.Quantile(0.98)),
+			"-", "-"}
+		if dist != nil && dist.Len() > 0 {
+			row[5] = fmt.Sprintf("%.0f", dist.Quantile(0.5))
+			row[6] = fmt.Sprintf("%.0f", dist.Quantile(0.9))
+		}
+		tb.AddRow(row...)
+	}
+	return &Report{Text: tb.String(), Data: data, Series: cdfSeries(data.RTT, "rtt", 64)}, nil
+}
+
+// cdfSeries samples a set of named CDFs into plottable points.
+func cdfSeries(cdfs map[string]*stats.CDF, prefix string, n int) map[string][]stats.Point {
+	out := map[string][]stats.Point{}
+	for name, cdf := range cdfs {
+		if cdf == nil || cdf.Len() == 0 {
+			continue
+		}
+		out[prefix+":"+name] = cdf.Points(n)
+	}
+	return out
+}
+
+// Figure5Data holds the per-area difference distributions.
+type Figure5Data struct {
+	DeltaRTT  map[geo.Area]*stats.CDF // regional - global, ms
+	DeltaDist map[geo.Area]*stats.CDF // regional - global, km
+}
+
+// Figure5 reproduces Figure 5: CDFs of per-group RTT and distance
+// differences between regional and global anycast.
+func Figure5(ctx *Context) (*Report, error) {
+	cmp := ctx.Comparison()
+	drtt, ddist := map[geo.Area][]float64{}, map[geo.Area][]float64{}
+	for _, pair := range cmp.Pairs {
+		drtt[pair.Area] = append(drtt[pair.Area], pair.DeltaRTT())
+		ddist[pair.Area] = append(ddist[pair.Area], pair.DeltaDist())
+	}
+	data := &Figure5Data{DeltaRTT: map[geo.Area]*stats.CDF{}, DeltaDist: map[geo.Area]*stats.CDF{}}
+	tb := &stats.Table{Header: []string{"Area", "Groups", "dRTT p10", "dRTT p50", "dRTT p90", "improved", "dDist p50 km", "closer"}}
+	for _, area := range geo.Areas {
+		data.DeltaRTT[area] = stats.NewCDF(drtt[area])
+		data.DeltaDist[area] = stats.NewCDF(ddist[area])
+		if len(drtt[area]) == 0 {
+			continue
+		}
+		improved := stats.FractionBelow(drtt[area], -core.EfficiencyThresholdMs)
+		closer := stats.FractionBelow(ddist[area], -1)
+		tb.AddRow(area.String(), fmt.Sprintf("%d", len(drtt[area])),
+			stats.Fmt1(stats.Percentile(drtt[area], 10)),
+			stats.Fmt1(stats.Percentile(drtt[area], 50)),
+			stats.Fmt1(stats.Percentile(drtt[area], 90)),
+			stats.FmtPct(improved),
+			fmt.Sprintf("%.0f", stats.Percentile(ddist[area], 50)),
+			stats.FmtPct(closer))
+	}
+	series := map[string][]stats.Point{}
+	for area, cdf := range data.DeltaRTT {
+		if cdf.Len() > 0 {
+			series["dRTT:"+area.String()] = cdf.Points(64)
+		}
+	}
+	for area, cdf := range data.DeltaDist {
+		if cdf.Len() > 0 {
+			series["dDist:"+area.String()] = cdf.Points(64)
+		}
+	}
+	return &Report{Text: tb.String(), Data: data, Series: series}, nil
+}
+
+// Figure6Data covers the three §6 panels.
+type Figure6Data struct {
+	// BestK and the per-k mean latencies of the sweep.
+	BestK     int
+	SweepMs   map[int]float64
+	Partition map[string][]string
+
+	// RTTs per area: direct per-probe assignment, Route 53 country-level
+	// mapping, and global anycast.
+	Direct, Route53, Global map[geo.Area]*stats.CDF
+	// P90ReductionPct[area] is the Figure-6c headline: the percentage
+	// reduction of the 90th-percentile latency, regional vs global.
+	P90ReductionPct map[geo.Area]float64
+}
+
+// Figure6 reproduces Figure 6: (a) the ReOpt latency-based partition of the
+// Tangled testbed, (b) regional anycast with direct probe assignment vs a
+// Route 53-style country-level DNS mapping, and (c) ReOpt regional anycast
+// vs global anycast.
+func Figure6(ctx *Context) (*Report, error) {
+	w := ctx.World
+	sweep := ctx.Sweep()
+	best := sweep.Best
+	data := &Figure6Data{
+		BestK:           best.K,
+		SweepMs:         map[int]float64{},
+		Partition:       best.Partition,
+		Direct:          map[geo.Area]*stats.CDF{},
+		Route53:         map[geo.Area]*stats.CDF{},
+		Global:          map[geo.Area]*stats.CDF{},
+		P90ReductionPct: map[geo.Area]float64{},
+	}
+	for _, cand := range sweep.Candidates {
+		data.SweepMs[cand.K] = cand.MeanLatencyMs
+	}
+
+	// Panel (b): direct assignment vs Route 53 country mapping.
+	directVals := reopt.DirectAssignmentRTTs(w.Engine, w.Measurer, best, w.Platform.Retained())
+	r53Mapper := routed53Mapper(best)
+	r53Vals := map[geo.Area][]float64{}
+	globVals := map[geo.Area][]float64{}
+	globVIP := w.Tangled.Global.VIPs()[0]
+	for _, p := range w.Platform.Retained() {
+		if vip, ok := r53Mapper(ctx, p); ok {
+			if rtt, ok := w.Measurer.Ping(p, vip); ok {
+				r53Vals[p.Area()] = append(r53Vals[p.Area()], rtt)
+			}
+		}
+		if rtt, ok := w.Measurer.Ping(p, globVIP); ok {
+			globVals[p.Area()] = append(globVals[p.Area()], rtt)
+		}
+	}
+
+	tb := &stats.Table{Header: []string{"Area", "direct p50", "direct p90", "Route53 p50", "Route53 p90", "global p50", "global p90", "p90 cut"}}
+	for _, area := range geo.Areas {
+		data.Direct[area] = stats.NewCDF(directVals[area])
+		data.Route53[area] = stats.NewCDF(r53Vals[area])
+		data.Global[area] = stats.NewCDF(globVals[area])
+		if data.Route53[area].Len() == 0 || data.Global[area].Len() == 0 {
+			continue
+		}
+		r90 := data.Route53[area].Quantile(0.9)
+		g90 := data.Global[area].Quantile(0.9)
+		red := 0.0
+		if g90 > 0 {
+			red = (g90 - r90) / g90 * 100
+		}
+		data.P90ReductionPct[area] = red
+		tb.AddRow(area.String(),
+			stats.Fmt1(data.Direct[area].Quantile(0.5)), stats.Fmt1(data.Direct[area].Quantile(0.9)),
+			stats.Fmt1(data.Route53[area].Quantile(0.5)), stats.Fmt1(r90),
+			stats.Fmt1(data.Global[area].Quantile(0.5)), stats.Fmt1(g90),
+			fmt.Sprintf("%.1f%%", red))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ReOpt sweep: best k = %d; mean latency per k:", best.K)
+	for k := 3; k <= 6; k++ {
+		fmt.Fprintf(&b, "  k=%d: %.1f ms", k, data.SweepMs[k])
+	}
+	b.WriteString("\nPartition:\n")
+	regions := make([]string, 0, len(best.Partition))
+	for rn := range best.Partition {
+		regions = append(regions, rn)
+	}
+	sort.Strings(regions)
+	for _, rn := range regions {
+		fmt.Fprintf(&b, "  %-8s: %s\n", rn, strings.Join(best.Partition[rn], " "))
+	}
+	b.WriteString(reoptMap(ctx, best))
+	b.WriteString("\n" + tb.String())
+	series := map[string][]stats.Point{}
+	for _, set := range []struct {
+		name string
+		cdfs map[geo.Area]*stats.CDF
+	}{{"direct", data.Direct}, {"route53", data.Route53}, {"global", data.Global}} {
+		for area, cdf := range set.cdfs {
+			if cdf.Len() > 0 {
+				series[set.name+":"+area.String()] = cdf.Points(64)
+			}
+		}
+	}
+	return &Report{Text: b.String(), Data: data, Series: series}, nil
+}
+
+// reoptMap renders the Figure-6a map: probes plotted by their assigned
+// region, testbed sites plotted last.
+func reoptMap(ctx *Context, best *reopt.Candidate) string {
+	names := make([]string, 0, len(best.Partition))
+	for rn := range best.Partition {
+		names = append(names, rn)
+	}
+	glyphs := asciimap.RegionGlyphs(names)
+	m := asciimap.New(100, 26)
+	var probes, sites []asciimap.Marker
+	for _, p := range ctx.World.Platform.Retained() {
+		if rn, ok := best.ProbeRegion[p.ID]; ok {
+			probes = append(probes, asciimap.Marker{Coord: p.Coord, Glyph: glyphs[rn]})
+		}
+	}
+	for rn, cities := range best.Partition {
+		for _, city := range cities {
+			sites = append(sites, asciimap.Marker{Coord: geo.MustCity(city).Coord, Glyph: glyphs[rn]})
+		}
+	}
+	m.Plot(probes)
+	m.Plot(sites)
+	return m.String() + asciimap.Legend(glyphs)
+}
+
+// routed53Mapper returns a resolver for the Route 53-style country-level
+// mapping of a ReOpt candidate: geolocate the probe's address with the
+// Route 53 database, then apply the candidate's country-to-region table.
+func routed53Mapper(cand *reopt.Candidate) func(*Context, *atlas.Probe) (netip.Addr, bool) {
+	return func(ctx *Context, p *atlas.Probe) (netip.Addr, bool) {
+		cc := p.Country
+		if loc, ok := ctx.World.Route53DB.Lookup(p.Addr); ok {
+			cc = loc.Country
+		}
+		rn, ok := cand.ClientCountries[cc]
+		if !ok {
+			rn = cand.Deployment.DefaultRegion
+		}
+		region, ok := cand.Deployment.RegionByName(rn)
+		if !ok {
+			return netip.Addr{}, false
+		}
+		return region.VIP, true
+	}
+}
+
+// Figure7Data is a peering-type override example.
+type Figure7Data struct {
+	Example core.CauseExample
+}
+
+// Figure7 reproduces Figure 7's phenomenon: a probe that reaches a distant
+// site under global anycast because its AS prefers public peering over
+// route-server peering, and a nearby site under regional anycast via the
+// route server.
+func Figure7(ctx *Context) (*Report, error) {
+	feeds := ctx.PublishedFeeds()
+	// Search with full visibility so an example is found even if its IXP
+	// hides feeds; the S54 experiment applies the visibility limit.
+	all := map[string]bool{}
+	for _, ix := range ctx.World.Topo.IXPs() {
+		all[ix.ID] = true
+	}
+	examples := core.FindCauseExamples(ctx.World.Engine, ctx.IM6(), ctx.NS(), ctx.Comparison(), atlas.LDNS, core.CausePeeringType, all, 1)
+	if len(examples) == 0 {
+		return &Report{Text: "no peering-type override observed in this world\n", Data: &Figure7Data{}}, nil
+	}
+	ex := examples[0]
+	data := &Figure7Data{Example: ex}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Probe group %s (%s):\n", ex.Pair.Key, ex.Pair.Area)
+	fmt.Fprintf(&b, "  global anycast:   site %-4s via %v (%.1f ms), learned via public peering\n", ex.Pair.SiteGlob, ex.GlobalPath, ex.Pair.RTTGlob)
+	fmt.Fprintf(&b, "  regional anycast: site %-4s via %v (%.1f ms), learned via route server at %s\n", ex.Pair.SiteReg, ex.RegionalPath, ex.Pair.RTTReg, ex.Detail.IXP)
+	fmt.Fprintf(&b, "  feeds published for %s: %v\n", ex.Detail.IXP, feeds[ex.Detail.IXP])
+	return &Report{Text: b.String(), Data: data}, nil
+}
+
+// Figure8Data summarises the same-site validation.
+type Figure8Data struct {
+	Pairs       int
+	MedianAbsMs float64
+	P90AbsMs    float64
+	WithinFive  float64
+	RegionalCDF *stats.CDF
+	GlobalCDF   *stats.CDF
+}
+
+// Figure8 reproduces Figure 8 (Appendix D): for probes reaching the same
+// site via a common peer under both configurations, the regional and global
+// RTT distributions are nearly identical, validating that the operator does
+// not apply latency-impacting per-prefix policies.
+func Figure8(ctx *Context) (*Report, error) {
+	pairs := core.SameSitePairs(ctx.Comparison())
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("no same-site pairs")
+	}
+	var reg, glob, abs []float64
+	within := 0
+	for _, p := range pairs {
+		reg = append(reg, p.RTTReg)
+		glob = append(glob, p.RTTGlob)
+		d := math.Abs(p.DeltaRTT())
+		abs = append(abs, d)
+		if d <= core.EfficiencyThresholdMs {
+			within++
+		}
+	}
+	data := &Figure8Data{
+		Pairs:       len(pairs),
+		MedianAbsMs: stats.Percentile(abs, 50),
+		P90AbsMs:    stats.Percentile(abs, 90),
+		WithinFive:  float64(within) / float64(len(pairs)),
+		RegionalCDF: stats.NewCDF(reg),
+		GlobalCDF:   stats.NewCDF(glob),
+	}
+	txt := fmt.Sprintf("same-site pairs: %d\nmedian |dRTT| = %.2f ms, p90 |dRTT| = %.2f ms, within 5 ms: %s\nregional p50/p90 = %.1f/%.1f ms, global p50/p90 = %.1f/%.1f ms\n",
+		data.Pairs, data.MedianAbsMs, data.P90AbsMs, stats.FmtPct(data.WithinFive),
+		data.RegionalCDF.Quantile(0.5), data.RegionalCDF.Quantile(0.9),
+		data.GlobalCDF.Quantile(0.5), data.GlobalCDF.Quantile(0.9))
+	series := map[string][]stats.Point{
+		"rtt:regional": data.RegionalCDF.Points(64),
+		"rtt:global":   data.GlobalCDF.Points(64),
+	}
+	return &Report{Text: txt, Data: data, Series: series}, nil
+}
+
+// Section54Data holds both visibility variants of the cause analysis.
+type Section54Data struct {
+	// Limited applies the paper's feed-visibility limit; Full sees all
+	// route-server feeds.
+	Limited, Full *core.CauseBreakdown
+}
+
+// Section54 reproduces the §5.4 case study: the fraction of latency
+// reductions explained by overriding AS-relationship preferences vs
+// overriding peering-type preferences, under both limited (paper-like) and
+// full route-server-feed visibility.
+func Section54(ctx *Context) (*Report, error) {
+	feeds := ctx.PublishedFeeds()
+	all := map[string]bool{}
+	for _, ix := range ctx.World.Topo.IXPs() {
+		all[ix.ID] = true
+	}
+	data := &Section54Data{
+		Limited: core.ClassifyCauses(ctx.World.Engine, ctx.IM6(), ctx.NS(), ctx.Comparison(), atlas.LDNS, feeds),
+		Full:    core.ClassifyCauses(ctx.World.Engine, ctx.IM6(), ctx.NS(), ctx.Comparison(), atlas.LDNS, all),
+	}
+	tb := &stats.Table{Header: []string{"Visibility", "Improved groups", "AS-relationship", "Peering-type", "Unknown", "Hidden peering-type"}}
+	for _, row := range []struct {
+		name string
+		b    *core.CauseBreakdown
+	}{{"limited feeds", data.Limited}, {"all feeds", data.Full}} {
+		tb.AddRow(row.name, fmt.Sprintf("%d", row.b.ImprovedGroups),
+			stats.FmtPct(row.b.Fraction(core.CauseASRelationship)),
+			stats.FmtPct(row.b.Fraction(core.CausePeeringType)),
+			stats.FmtPct(row.b.Fraction(core.CauseUnknown)),
+			fmt.Sprintf("%d", row.b.PeeringTypeHidden))
+	}
+	return &Report{Text: tb.String(), Data: data}, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"anysim/internal/sitemap"
+)
+
+// TestSitePartitionStability reproduces the paper's §4.4 longitudinal
+// check: re-enumerating the sites that announce a hostname's regional
+// prefixes (the paper did so weekly for two months) yields the same site
+// set each time.
+func TestSitePartitionStability(t *testing.T) {
+	ctx := testCtx(t)
+	dep := ctx.World.Imperva.IM6
+	first := ctx.Enumeration(dep, ctx.World.Imperva.Published)
+
+	// Re-run the pipeline from scratch, bypassing the memoized result.
+	fresh := sitemap.Enumerate(dep.Name, ctx.Traces(dep), ctx.World.Imperva.Published,
+		sitemap.DefaultConfig(ctx.World.GeoDBs))
+
+	a, b := first.SiteList(), fresh.SiteList()
+	if len(a) != len(b) {
+		t.Fatalf("site sets differ in size across runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site set changed between enumerations: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestRunAllDeterministic: two executions of an experiment over the same
+// context render byte-identical reports.
+func TestRunAllDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	for _, ex := range All() {
+		if ex.ID == "X1" {
+			continue // X1 re-announces prefixes; covered by its own test
+		}
+		r1, err := ex.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", ex.ID, err)
+		}
+		r2, err := ex.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", ex.ID, err)
+		}
+		if r1.Text != r2.Text {
+			t.Errorf("%s report not deterministic", ex.ID)
+		}
+	}
+}

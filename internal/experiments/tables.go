@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anysim/internal/atlas"
+	"anysim/internal/cdn"
+	"anysim/internal/cdnfinder"
+	"anysim/internal/core"
+	"anysim/internal/geo"
+	"anysim/internal/stats"
+)
+
+// Table1Data is the sites-per-area matrix.
+type Table1Data struct {
+	// Counts[column][area]; columns follow the paper: EG-3, EG-4, EG-Pub,
+	// IM-6, IM-NS, IM-Pub, Tangled.
+	Columns []string
+	Counts  map[string]map[geo.Area]int
+	// Discovered lists the enumerated site cities per measured network.
+	Discovered map[string][]string
+}
+
+// Table1 reproduces Table 1: the number of sites uncovered per geographic
+// area for each network, via the §4.4 enumeration pipeline, alongside the
+// published lists.
+func Table1(ctx *Context) (*Report, error) {
+	w := ctx.World
+	data := &Table1Data{
+		Columns:    []string{"EG-3", "EG-4", "EG-Pub", "IM-6", "IM-NS", "IM-Pub", "Tangled"},
+		Counts:     map[string]map[geo.Area]int{},
+		Discovered: map[string][]string{},
+	}
+	measured := []struct {
+		col       string
+		dep       *cdn.Deployment
+		published []string
+	}{
+		{"EG-3", w.Edgio.EG3, w.Edgio.Published},
+		{"EG-4", w.Edgio.EG4, w.Edgio.Published},
+		{"IM-6", w.Imperva.IM6, w.Imperva.Published},
+		{"IM-NS", w.Imperva.NS, w.Imperva.Published},
+	}
+	for _, m := range measured {
+		enum := ctx.Enumeration(m.dep, m.published)
+		data.Counts[m.col] = enum.SiteCountsByArea()
+		data.Discovered[m.col] = enum.SiteList()
+	}
+	data.Counts["EG-Pub"] = cityAreaCounts(w.Edgio.Published)
+	data.Counts["IM-Pub"] = cityAreaCounts(w.Imperva.Published)
+	data.Counts["Tangled"] = cityAreaCounts(w.Tangled.Cities)
+
+	tb := &stats.Table{Header: append([]string{"Area"}, data.Columns...)}
+	for _, area := range geo.Areas {
+		row := []string{area.String()}
+		for _, col := range data.Columns {
+			row = append(row, fmt.Sprintf("%d", data.Counts[col][area]))
+		}
+		tb.AddRow(row...)
+	}
+	totals := []string{"Total"}
+	for _, col := range data.Columns {
+		t := 0
+		for _, area := range geo.Areas {
+			t += data.Counts[col][area]
+		}
+		totals = append(totals, fmt.Sprintf("%d", t))
+	}
+	tb.AddRow(totals...)
+	return &Report{Text: tb.String(), Data: data}, nil
+}
+
+func cityAreaCounts(cities []string) map[geo.Area]int {
+	out := map[geo.Area]int{}
+	for _, c := range cities {
+		out[geo.MustCity(c).Area()]++
+	}
+	return out
+}
+
+// Table2Data holds the DNS-mapping-efficiency classification for each CDN
+// and DNS mode.
+type Table2Data struct {
+	// Eff[cdnName][mode] for cdnName in {Edgio-3, Edgio-4, Imperva-6}.
+	Eff map[string]map[atlas.DNSMode]*core.MappingEfficiency
+}
+
+// Table2 reproduces Table 2: per CDN, per DNS configuration (Local vs
+// Authoritative), the per-area fraction of probe groups whose mapping is
+// efficient (ΔRTT<5 ms), sub-optimal within the right region, or in the
+// wrong region.
+func Table2(ctx *Context) (*Report, error) {
+	data := &Table2Data{Eff: map[string]map[atlas.DNSMode]*core.MappingEfficiency{}}
+	campaigns := map[string]*core.Result{
+		"Edgio-3":   ctx.EG3(),
+		"Edgio-4":   ctx.EG4(),
+		"Imperva-6": ctx.IM6(),
+	}
+	order := []string{"Edgio-3", "Edgio-4", "Imperva-6"}
+	modes := []atlas.DNSMode{atlas.LDNS, atlas.ADNS}
+	for name, res := range campaigns {
+		data.Eff[name] = map[atlas.DNSMode]*core.MappingEfficiency{}
+		for _, mode := range modes {
+			data.Eff[name][mode] = core.AnalyzeDNSMapping(res, mode)
+		}
+	}
+
+	header := []string{"Condition", "CDN"}
+	for _, mode := range modes {
+		tag := "LDNS"
+		if mode == atlas.ADNS {
+			tag = "ADNS"
+		}
+		for _, area := range geo.Areas {
+			header = append(header, fmt.Sprintf("%s/%s", tag, area))
+		}
+	}
+	tb := &stats.Table{Header: header}
+	for _, cls := range []core.MappingClass{core.MappingEfficient, core.MappingSubOptimalRegion, core.MappingWrongRegion} {
+		for _, name := range order {
+			row := []string{cls.String(), name}
+			for _, mode := range modes {
+				eff := data.Eff[name][mode]
+				for _, area := range geo.Areas {
+					row = append(row, stats.FmtPct(eff.Fraction(area, cls)))
+				}
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return &Report{Text: tb.String(), Data: data}, nil
+}
+
+// Table3Data holds the tail-latency comparison.
+type Table3Data struct {
+	Regional, Global map[geo.Area]map[float64]float64
+	Filter           core.FilterStats
+}
+
+// Table3 reproduces Table 3: 80/90/95th-percentile client latency of
+// Imperva-6 vs its DNS global anycast network after the §5.3 overlap
+// filtering.
+func Table3(ctx *Context) (*Report, error) {
+	cmp := ctx.Comparison()
+	reg, glob := core.PercentilesFromPairs(cmp, core.Table3Percentiles)
+	data := &Table3Data{Regional: reg, Global: glob, Filter: cmp.Filter}
+
+	tb := &stats.Table{Header: []string{"Percentile", "APAC", "EMEA", "NA", "LatAm"}}
+	for _, p := range core.Table3Percentiles {
+		row := []string{fmt.Sprintf("%.0f-th", p)}
+		for _, area := range geo.Areas {
+			row = append(row, fmt.Sprintf("%s (%s)", stats.Fmt1(reg[area][p]), stats.Fmt1(glob[area][p])))
+		}
+		tb.AddRow(row...)
+	}
+	txt := tb.String() + fmt.Sprintf("\nRegional (Global) RTTs in ms; probe groups retained after filtering: %d/%d (%.1f%%)\n",
+		cmp.Filter.Retained, cmp.Filter.Total, cmp.Filter.RetainedFraction()*100)
+	return &Report{Text: txt, Data: data}, nil
+}
+
+// Table4Data holds the RTT-class vs site-distance cross-tabulation.
+type Table4Data struct {
+	Cells map[geo.Area]map[core.RTTClass]*core.Table4Cell
+}
+
+// Table4 reproduces Table 4: per area and RTT class (regional better /
+// similar / worse by 5 ms), the share of probe groups reaching closer, the
+// same, or further sites.
+func Table4(ctx *Context) (*Report, error) {
+	cells := core.AnalyzeSiteDistance(ctx.Comparison())
+	data := &Table4Data{Cells: cells}
+
+	tb := &stats.Table{Header: []string{"Region", "RTT class", "Groups", "Closer", "Same", "Further"}}
+	for _, area := range []geo.Area{geo.APAC, geo.EMEA, geo.LatAm, geo.NA} {
+		for _, rc := range []core.RTTClass{core.BetterRTT, core.SimilarRTT, core.WorseRTT} {
+			cell := cells[area][rc]
+			if cell == nil {
+				tb.AddRow(area.String(), rc.String(), "0", "-", "-", "-")
+				continue
+			}
+			tb.AddRow(area.String(), rc.String(), fmt.Sprintf("%d", cell.Groups),
+				stats.FmtPct(cell.SiteFractions[core.CloserSite]),
+				stats.FmtPct(cell.SiteFractions[core.SameSite]),
+				stats.FmtPct(cell.SiteFractions[core.FurtherSite]))
+		}
+	}
+	return &Report{Text: tb.String(), Data: data}, nil
+}
+
+// Table5Data is the survey registry plus the census confirmation.
+type Table5Data struct {
+	Entries  []cdnfinder.SurveyEntry
+	Regional []string
+}
+
+// Table5 reproduces Table 5 / Appendix A: the top CDN providers and their
+// redirection methods; exactly Edgio and Imperva deploy regional anycast.
+func Table5(ctx *Context) (*Report, error) {
+	data := &Table5Data{Entries: cdnfinder.Table5(), Regional: cdnfinder.RegionalAnycastProviders()}
+	tb := &stats.Table{Header: []string{"CDN", "Redirection Method"}}
+	for _, e := range data.Entries {
+		tb.AddRow(e.Provider, e.Method.String())
+	}
+	txt := tb.String() + fmt.Sprintf("\nRegional anycast providers: %s\n", strings.Join(data.Regional, ", "))
+	return &Report{Text: txt, Data: data}, nil
+}
+
+// Table6Data compares the representative hostname's latency percentiles
+// with the aggregate of additional hostnames per set.
+type Table6Data struct {
+	// Rep[set][area][pct] and Others[set][area][pct] for sets Imperva-6,
+	// Edgio-3, Edgio-4.
+	Rep, Others map[string]map[geo.Area]map[float64]float64
+}
+
+// Table6 reproduces Table 6 (Appendix C): latency percentiles of the
+// representative hostname vs the aggregated results of 12 additional
+// hostnames per set, showing the representative results generalise.
+func Table6(ctx *Context) (*Report, error) {
+	w := ctx.World
+	sets := []struct {
+		name  string
+		dep   *cdn.Deployment
+		rep   *core.Result
+		hosts []string
+	}{
+		{"Imperva-6", w.Imperva.IM6, ctx.IM6(), w.Hostnames.IM6},
+		{"Edgio-3", w.Edgio.EG3, ctx.EG3(), w.Hostnames.EG3},
+		{"Edgio-4", w.Edgio.EG4, ctx.EG4(), w.Hostnames.EG4},
+	}
+	data := &Table6Data{
+		Rep:    map[string]map[geo.Area]map[float64]float64{},
+		Others: map[string]map[geo.Area]map[float64]float64{},
+	}
+	cfg := core.CampaignConfig{Modes: []atlas.DNSMode{atlas.LDNS}}
+	for _, s := range sets {
+		data.Rep[s.name] = core.AnalyzeTailLatency(s.name, s.rep, atlas.LDNS, core.Table6Percentiles).PercentileMs
+
+		// Pool the group RTTs of 12 additional hostnames.
+		pooled := map[geo.Area][]float64{}
+		n := 0
+		for _, host := range s.hosts {
+			if host == s.rep.Host {
+				continue
+			}
+			if n == 12 {
+				break
+			}
+			n++
+			res := core.RunCampaign(w.Measurer, w.Auth, s.dep, host, w.Platform.Retained(), cfg)
+			for _, g := range core.GroupMeasurements(res) {
+				if rtt, ok := g.RTT(atlas.LDNS); ok {
+					pooled[g.Area] = append(pooled[g.Area], rtt)
+				}
+			}
+		}
+		data.Others[s.name] = map[geo.Area]map[float64]float64{}
+		for area, vals := range pooled {
+			data.Others[s.name][area] = map[float64]float64{}
+			for _, p := range core.Table6Percentiles {
+				data.Others[s.name][area][p] = stats.Percentile(vals, p)
+			}
+		}
+	}
+
+	header := []string{"Percentile"}
+	for _, s := range sets {
+		for _, area := range geo.Areas {
+			header = append(header, fmt.Sprintf("%s/%s", s.name, area))
+		}
+	}
+	tb := &stats.Table{Header: header}
+	for _, p := range core.Table6Percentiles {
+		row := []string{fmt.Sprintf("%.0f-th", p)}
+		for _, s := range sets {
+			for _, area := range geo.Areas {
+				rep := data.Rep[s.name][area][p]
+				oth := 0.0
+				if m := data.Others[s.name][area]; m != nil {
+					oth = m[p]
+				}
+				row = append(row, fmt.Sprintf("%s (%s)", stats.Fmt1(rep), stats.Fmt1(oth)))
+			}
+		}
+		tb.AddRow(row...)
+	}
+	txt := tb.String() + "\nRepresentative hostname (aggregate of 12 other hostnames), RTTs in ms.\n"
+	return &Report{Text: txt, Data: data}, nil
+}

@@ -1,0 +1,175 @@
+package geo
+
+import "sort"
+
+// countries is the embedded country registry. It covers every country the
+// simulator places ASes, probes, or CDN sites in, plus enough of the rest of
+// the world that geolocation-database errors can return plausible wrong
+// answers. Flags follow the paper's area definitions (§3.1).
+var countries = []Country{
+	// Europe.
+	{Code: "AL", Name: "Albania", Continent: Europe},
+	{Code: "AT", Name: "Austria", Continent: Europe},
+	{Code: "BA", Name: "Bosnia and Herzegovina", Continent: Europe},
+	{Code: "BE", Name: "Belgium", Continent: Europe},
+	{Code: "BG", Name: "Bulgaria", Continent: Europe},
+	{Code: "BY", Name: "Belarus", Continent: Europe},
+	{Code: "CH", Name: "Switzerland", Continent: Europe},
+	{Code: "CZ", Name: "Czechia", Continent: Europe},
+	{Code: "DE", Name: "Germany", Continent: Europe},
+	{Code: "DK", Name: "Denmark", Continent: Europe},
+	{Code: "EE", Name: "Estonia", Continent: Europe},
+	{Code: "ES", Name: "Spain", Continent: Europe},
+	{Code: "FI", Name: "Finland", Continent: Europe},
+	{Code: "FR", Name: "France", Continent: Europe},
+	{Code: "GB", Name: "United Kingdom", Continent: Europe},
+	{Code: "GR", Name: "Greece", Continent: Europe},
+	{Code: "HR", Name: "Croatia", Continent: Europe},
+	{Code: "HU", Name: "Hungary", Continent: Europe},
+	{Code: "IE", Name: "Ireland", Continent: Europe},
+	{Code: "IS", Name: "Iceland", Continent: Europe},
+	{Code: "IT", Name: "Italy", Continent: Europe},
+	{Code: "LT", Name: "Lithuania", Continent: Europe},
+	{Code: "LU", Name: "Luxembourg", Continent: Europe},
+	{Code: "LV", Name: "Latvia", Continent: Europe},
+	{Code: "MD", Name: "Moldova", Continent: Europe},
+	{Code: "ME", Name: "Montenegro", Continent: Europe},
+	{Code: "MK", Name: "North Macedonia", Continent: Europe},
+	{Code: "MT", Name: "Malta", Continent: Europe},
+	{Code: "NL", Name: "Netherlands", Continent: Europe},
+	{Code: "NO", Name: "Norway", Continent: Europe},
+	{Code: "PL", Name: "Poland", Continent: Europe},
+	{Code: "PT", Name: "Portugal", Continent: Europe},
+	{Code: "RO", Name: "Romania", Continent: Europe},
+	{Code: "RS", Name: "Serbia", Continent: Europe},
+	{Code: "RU", Name: "Russia", Continent: Europe},
+	{Code: "SE", Name: "Sweden", Continent: Europe},
+	{Code: "SI", Name: "Slovenia", Continent: Europe},
+	{Code: "SK", Name: "Slovakia", Continent: Europe},
+	{Code: "UA", Name: "Ukraine", Continent: Europe},
+
+	// Middle East (Asian continent, EMEA area).
+	{Code: "AE", Name: "United Arab Emirates", Continent: Asia, MiddleEast: true},
+	{Code: "BH", Name: "Bahrain", Continent: Asia, MiddleEast: true},
+	{Code: "IL", Name: "Israel", Continent: Asia, MiddleEast: true},
+	{Code: "IQ", Name: "Iraq", Continent: Asia, MiddleEast: true},
+	{Code: "IR", Name: "Iran", Continent: Asia, MiddleEast: true},
+	{Code: "JO", Name: "Jordan", Continent: Asia, MiddleEast: true},
+	{Code: "KW", Name: "Kuwait", Continent: Asia, MiddleEast: true},
+	{Code: "LB", Name: "Lebanon", Continent: Asia, MiddleEast: true},
+	{Code: "OM", Name: "Oman", Continent: Asia, MiddleEast: true},
+	{Code: "QA", Name: "Qatar", Continent: Asia, MiddleEast: true},
+	{Code: "SA", Name: "Saudi Arabia", Continent: Asia, MiddleEast: true},
+	{Code: "TR", Name: "Turkey", Continent: Asia, MiddleEast: true},
+
+	// Africa.
+	{Code: "AO", Name: "Angola", Continent: Africa},
+	{Code: "CI", Name: "Ivory Coast", Continent: Africa},
+	{Code: "CM", Name: "Cameroon", Continent: Africa},
+	{Code: "DZ", Name: "Algeria", Continent: Africa},
+	{Code: "EG", Name: "Egypt", Continent: Africa},
+	{Code: "ET", Name: "Ethiopia", Continent: Africa},
+	{Code: "GH", Name: "Ghana", Continent: Africa},
+	{Code: "KE", Name: "Kenya", Continent: Africa},
+	{Code: "MA", Name: "Morocco", Continent: Africa},
+	{Code: "MU", Name: "Mauritius", Continent: Africa},
+	{Code: "NG", Name: "Nigeria", Continent: Africa},
+	{Code: "SN", Name: "Senegal", Continent: Africa},
+	{Code: "TN", Name: "Tunisia", Continent: Africa},
+	{Code: "TZ", Name: "Tanzania", Continent: Africa},
+	{Code: "UG", Name: "Uganda", Continent: Africa},
+	{Code: "ZA", Name: "South Africa", Continent: Africa},
+	{Code: "ZM", Name: "Zambia", Continent: Africa},
+	{Code: "ZW", Name: "Zimbabwe", Continent: Africa},
+
+	// North America proper.
+	{Code: "CA", Name: "Canada", Continent: NorthAmerica},
+	{Code: "US", Name: "United States", Continent: NorthAmerica},
+	{Code: "MX", Name: "Mexico", Continent: NorthAmerica, CentralAmerica: true},
+
+	// Central America (NA continent, LatAm area).
+	{Code: "CR", Name: "Costa Rica", Continent: NorthAmerica, CentralAmerica: true},
+	{Code: "GT", Name: "Guatemala", Continent: NorthAmerica, CentralAmerica: true},
+	{Code: "HN", Name: "Honduras", Continent: NorthAmerica, CentralAmerica: true},
+	{Code: "NI", Name: "Nicaragua", Continent: NorthAmerica, CentralAmerica: true},
+	{Code: "PA", Name: "Panama", Continent: NorthAmerica, CentralAmerica: true},
+	{Code: "SV", Name: "El Salvador", Continent: NorthAmerica, CentralAmerica: true},
+
+	// Caribbean (NA continent, LatAm area).
+	{Code: "CU", Name: "Cuba", Continent: NorthAmerica, Caribbean: true},
+	{Code: "DO", Name: "Dominican Republic", Continent: NorthAmerica, Caribbean: true},
+	{Code: "JM", Name: "Jamaica", Continent: NorthAmerica, Caribbean: true},
+	{Code: "PR", Name: "Puerto Rico", Continent: NorthAmerica, Caribbean: true},
+	{Code: "TT", Name: "Trinidad and Tobago", Continent: NorthAmerica, Caribbean: true},
+
+	// South America.
+	{Code: "AR", Name: "Argentina", Continent: SouthAmerica},
+	{Code: "BO", Name: "Bolivia", Continent: SouthAmerica},
+	{Code: "BR", Name: "Brazil", Continent: SouthAmerica},
+	{Code: "CL", Name: "Chile", Continent: SouthAmerica},
+	{Code: "CO", Name: "Colombia", Continent: SouthAmerica},
+	{Code: "EC", Name: "Ecuador", Continent: SouthAmerica},
+	{Code: "PE", Name: "Peru", Continent: SouthAmerica},
+	{Code: "PY", Name: "Paraguay", Continent: SouthAmerica},
+	{Code: "UY", Name: "Uruguay", Continent: SouthAmerica},
+	{Code: "VE", Name: "Venezuela", Continent: SouthAmerica},
+
+	// Asia (APAC area).
+	{Code: "AF", Name: "Afghanistan", Continent: Asia},
+	{Code: "AM", Name: "Armenia", Continent: Asia},
+	{Code: "AZ", Name: "Azerbaijan", Continent: Asia},
+	{Code: "BD", Name: "Bangladesh", Continent: Asia},
+	{Code: "CN", Name: "China", Continent: Asia},
+	{Code: "GE", Name: "Georgia", Continent: Asia},
+	{Code: "HK", Name: "Hong Kong", Continent: Asia},
+	{Code: "ID", Name: "Indonesia", Continent: Asia},
+	{Code: "IN", Name: "India", Continent: Asia},
+	{Code: "JP", Name: "Japan", Continent: Asia},
+	{Code: "KH", Name: "Cambodia", Continent: Asia},
+	{Code: "KR", Name: "South Korea", Continent: Asia},
+	{Code: "KZ", Name: "Kazakhstan", Continent: Asia},
+	{Code: "LK", Name: "Sri Lanka", Continent: Asia},
+	{Code: "MM", Name: "Myanmar", Continent: Asia},
+	{Code: "MN", Name: "Mongolia", Continent: Asia},
+	{Code: "MY", Name: "Malaysia", Continent: Asia},
+	{Code: "NP", Name: "Nepal", Continent: Asia},
+	{Code: "PH", Name: "Philippines", Continent: Asia},
+	{Code: "PK", Name: "Pakistan", Continent: Asia},
+	{Code: "SG", Name: "Singapore", Continent: Asia},
+	{Code: "TH", Name: "Thailand", Continent: Asia},
+	{Code: "TW", Name: "Taiwan", Continent: Asia},
+	{Code: "UZ", Name: "Uzbekistan", Continent: Asia},
+	{Code: "VN", Name: "Vietnam", Continent: Asia},
+
+	// Oceania (APAC area).
+	{Code: "AU", Name: "Australia", Continent: Oceania},
+	{Code: "FJ", Name: "Fiji", Continent: Oceania},
+	{Code: "NZ", Name: "New Zealand", Continent: Oceania},
+}
+
+// Package variable initializers (not init funcs) so that Go's dependency
+// ordering guarantees these indexes exist before the city index is built.
+var (
+	countriesByCode    = buildCountryIndex()
+	sortedCountryCodes = buildCountryCodes()
+)
+
+func buildCountryIndex() map[string]Country {
+	idx := make(map[string]Country, len(countries))
+	for _, c := range countries {
+		if _, dup := idx[c.Code]; dup {
+			panic("geo: duplicate country code " + c.Code)
+		}
+		idx[c.Code] = c
+	}
+	return idx
+}
+
+func buildCountryCodes() []string {
+	codes := make([]string, 0, len(countriesByCode))
+	for code := range countriesByCode {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	return codes
+}

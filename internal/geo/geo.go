@@ -1,0 +1,200 @@
+// Package geo provides the geographic substrate for the anycast simulator:
+// coordinates, great-circle distances, the fibre-latency model used
+// throughout the paper ("roughly 100 km per 1 ms RTT"), continents,
+// countries, and the paper's four probe areas (EMEA, NA, LatAm, APAC).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// KmPerMsRTT is the fibre propagation constant from the paper: the
+// speed-of-light latency in fibre is roughly 100 km per 1 ms of RTT.
+const KmPerMsRTT = 100.0
+
+// Coord is a geographic coordinate in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, positive north
+	Lon float64 // longitude, positive east
+}
+
+// Valid reports whether the coordinate lies in the usual lat/lon ranges.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180
+}
+
+// String renders the coordinate as "lat,lon" with 4 decimal places.
+func (c Coord) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+// DistanceKm returns the great-circle (haversine) distance in kilometres
+// between two coordinates.
+func DistanceKm(a, b Coord) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// FiberRTTMs returns the speed-of-light round-trip time in milliseconds for
+// a fibre path of the given length in kilometres, using the paper's
+// 100 km-per-1 ms-RTT rule of thumb.
+func FiberRTTMs(distKm float64) float64 {
+	return distKm / KmPerMsRTT
+}
+
+// RTTRangeKm is the inverse of FiberRTTMs: the maximum distance in
+// kilometres consistent with the given RTT in milliseconds. It is used by
+// the RTT-range geolocation technique in Appendix B.
+func RTTRangeKm(rttMs float64) float64 {
+	return rttMs * KmPerMsRTT
+}
+
+// Continent identifies a continent for partitioning purposes.
+type Continent uint8
+
+// Continents. OC (Oceania) and AN (Antarctica) follow the usual two-letter
+// continent codes.
+const (
+	ContinentUnknown Continent = iota
+	Africa
+	Asia
+	Europe
+	NorthAmerica
+	SouthAmerica
+	Oceania
+)
+
+var continentNames = map[Continent]string{
+	ContinentUnknown: "??",
+	Africa:           "AF",
+	Asia:             "AS",
+	Europe:           "EU",
+	NorthAmerica:     "NA",
+	SouthAmerica:     "SA",
+	Oceania:          "OC",
+}
+
+// String returns the two-letter continent code.
+func (c Continent) String() string {
+	if s, ok := continentNames[c]; ok {
+		return s
+	}
+	return "??"
+}
+
+// Area is one of the paper's four probe areas (§3.1). The paper defines the
+// areas by probe density: EMEA (Europe, Middle East, Africa), NA (North
+// America excluding Central America), LatAm (South and Central America), and
+// APAC (the rest of the globe).
+type Area uint8
+
+// The paper's four probe areas.
+const (
+	AreaUnknown Area = iota
+	EMEA
+	NA
+	LatAm
+	APAC
+)
+
+// Areas lists the four probe areas in the paper's presentation order.
+var Areas = []Area{APAC, EMEA, NA, LatAm}
+
+var areaNames = map[Area]string{
+	AreaUnknown: "Unknown",
+	EMEA:        "EMEA",
+	NA:          "NA",
+	LatAm:       "LatAm",
+	APAC:        "APAC",
+}
+
+// String returns the paper's name for the area.
+func (a Area) String() string {
+	if s, ok := areaNames[a]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// ParseArea converts an area name back to an Area. It accepts the names
+// produced by Area.String.
+func ParseArea(s string) (Area, error) {
+	for a, name := range areaNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return AreaUnknown, fmt.Errorf("geo: unknown area %q", s)
+}
+
+// Country describes a country known to the simulator.
+type Country struct {
+	Code      string    // ISO 3166-1 alpha-2
+	Name      string    // English short name
+	Continent Continent // primary continent
+	// MiddleEast marks countries counted in the paper's EMEA area even
+	// though they sit on the Asian continent.
+	MiddleEast bool
+	// CentralAmerica marks countries the paper moves from NA to LatAm
+	// ("NA: North America, excluding countries in Central America").
+	CentralAmerica bool
+	// Caribbean marks Caribbean countries; they group with LatAm.
+	Caribbean bool
+}
+
+// AreaOf classifies a country into the paper's four probe areas.
+//
+// EMEA: Europe, the Middle East, and Africa. NA: North America excluding
+// Central America. LatAm: South America plus Central America (and the
+// Caribbean). APAC: the rest of the globe.
+func AreaOf(countryCode string) Area {
+	c, ok := CountryByCode(countryCode)
+	if !ok {
+		return AreaUnknown
+	}
+	switch {
+	case c.Continent == Europe || c.Continent == Africa || c.MiddleEast:
+		return EMEA
+	case c.Continent == NorthAmerica && !c.CentralAmerica && !c.Caribbean:
+		return NA
+	case c.Continent == SouthAmerica || c.CentralAmerica || c.Caribbean:
+		return LatAm
+	default:
+		return APAC
+	}
+}
+
+// ContinentOf returns the continent of a country code, or ContinentUnknown.
+func ContinentOf(countryCode string) Continent {
+	c, ok := CountryByCode(countryCode)
+	if !ok {
+		return ContinentUnknown
+	}
+	return c.Continent
+}
+
+// CountryByCode looks up a country by its ISO alpha-2 code.
+func CountryByCode(code string) (Country, bool) {
+	c, ok := countriesByCode[code]
+	return c, ok
+}
+
+// CountryCodes returns all known country codes in sorted order.
+func CountryCodes() []string {
+	return append([]string(nil), sortedCountryCodes...)
+}

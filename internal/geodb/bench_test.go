@@ -1,0 +1,50 @@
+package geodb
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/netplan"
+)
+
+// BenchmarkTruthLookup measures longest-prefix-match over a registry the
+// size of the full world's ground truth (~30k entries).
+func BenchmarkTruthLookup(b *testing.B) {
+	tr := &Truth{}
+	alloc := netplan.NewAllocator(netip.MustParsePrefix("16.0.0.0/6"))
+	var addrs []netip.Addr
+	for i := 0; i < 30000; i++ {
+		p := alloc.MustPrefix(27)
+		if err := tr.Add(Entry{Prefix: p, Loc: Location{Country: "DE", City: "FRA"}}); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 0 {
+			addrs = append(addrs, netplan.NthAddr(p, 3))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Lookup(addrs[i%len(addrs)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkDBLookup includes the seeded error process on top of the match.
+func BenchmarkDBLookup(b *testing.B) {
+	tr := &Truth{}
+	alloc := netplan.NewAllocator(netip.MustParsePrefix("16.0.0.0/8"))
+	var addrs []netip.Addr
+	for i := 0; i < 5000; i++ {
+		p := alloc.MustPrefix(24)
+		if err := tr.Add(Entry{Prefix: p, Loc: Location{Country: "DE", City: "FRA"}}); err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, netplan.NthAddr(p, 3))
+	}
+	db := Build("bench", tr, DefaultErrorModels()["maxmind-sim"], 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(addrs[i%len(addrs)])
+	}
+}

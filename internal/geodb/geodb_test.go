@@ -1,0 +1,183 @@
+package geodb
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/netplan"
+)
+
+func newTruth(t *testing.T) *Truth {
+	t.Helper()
+	tr := &Truth{}
+	add := func(p string, cc, city, transit string) {
+		t.Helper()
+		if err := tr.Add(Entry{Prefix: netip.MustParsePrefix(p), Loc: Location{Country: cc, City: city}, TransitHome: transit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("16.0.0.0/16", "DE", "FRA", "")
+	add("16.1.0.0/16", "US", "NYC", "")
+	add("16.2.0.0/16", "SG", "SIN", "US") // transit block homed in the US
+	add("16.0.128.0/24", "NL", "AMS", "") // more specific than 16.0.0.0/16
+	return tr
+}
+
+func TestTruthValidation(t *testing.T) {
+	tr := &Truth{}
+	if err := tr.Add(Entry{Prefix: netip.Prefix{}, Loc: Location{Country: "DE"}}); err == nil {
+		t.Error("accepted invalid prefix")
+	}
+	if err := tr.Add(Entry{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Loc: Location{Country: "XX"}}); err == nil {
+		t.Error("accepted unknown country")
+	}
+	if err := tr.Add(Entry{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Loc: Location{Country: "DE", City: "ZZZ"}}); err == nil {
+		t.Error("accepted unknown city")
+	}
+}
+
+func TestTruthLongestPrefixMatch(t *testing.T) {
+	tr := newTruth(t)
+	e, ok := tr.Lookup(netip.MustParseAddr("16.0.128.9"))
+	if !ok || e.Loc.City != "AMS" {
+		t.Errorf("Lookup = %+v, %v; want AMS (more specific)", e, ok)
+	}
+	e, ok = tr.Lookup(netip.MustParseAddr("16.0.0.9"))
+	if !ok || e.Loc.City != "FRA" {
+		t.Errorf("Lookup = %+v, %v; want FRA", e, ok)
+	}
+	if _, ok := tr.Lookup(netip.MustParseAddr("99.0.0.1")); ok {
+		t.Error("Lookup matched unregistered address")
+	}
+}
+
+func TestDBDeterministic(t *testing.T) {
+	tr := newTruth(t)
+	d := Build("x", tr, DefaultErrorModels()["maxmind-sim"], 5)
+	addr := netip.MustParseAddr("16.0.0.44")
+	l1, ok1 := d.Lookup(addr)
+	for i := 0; i < 10; i++ {
+		l2, ok2 := d.Lookup(addr)
+		if l1 != l2 || ok1 != ok2 {
+			t.Fatalf("nondeterministic lookup: %v/%v vs %v/%v", l1, ok1, l2, ok2)
+		}
+	}
+}
+
+func TestDBPerfectModelReturnsTruth(t *testing.T) {
+	tr := newTruth(t)
+	d := Build("perfect", tr, ErrorModel{}, 1)
+	loc, ok := d.Lookup(netip.MustParseAddr("16.1.2.3"))
+	if !ok || loc.Country != "US" || loc.City != "NYC" {
+		t.Errorf("perfect DB lookup = %+v, %v", loc, ok)
+	}
+}
+
+func TestDBErrorRates(t *testing.T) {
+	// Over many blocks, the realised error rates should be near the model.
+	tr := &Truth{}
+	alloc := netplan.NewAllocator(netip.MustParsePrefix("16.0.0.0/8"))
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := alloc.MustPrefix(24)
+		if err := tr.Add(Entry{Prefix: p, Loc: Location{Country: "DE", City: "FRA"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model := ErrorModel{PCityWrong: 0.10, PCountryWrong: 0.05, PMiss: 0.02}
+	d := Build("rates", tr, model, 99)
+	var miss, countryWrong, cityWrong, right int
+	for _, e := range tr.Entries() {
+		loc, ok := d.Lookup(e.Prefix.Addr())
+		switch {
+		case !ok:
+			miss++
+		case loc.Country != "DE":
+			countryWrong++
+		case loc.City != "FRA":
+			cityWrong++
+		default:
+			right++
+		}
+	}
+	within := func(got int, p float64) bool {
+		want := p * n
+		return float64(got) > want*0.6 && float64(got) < want*1.4
+	}
+	if !within(miss, 0.02) || !within(countryWrong, 0.05) || !within(cityWrong, 0.10) {
+		t.Errorf("realised rates off: miss=%d countryWrong=%d cityWrong=%d right=%d", miss, countryWrong, cityWrong, right)
+	}
+	if right < n/2 {
+		t.Errorf("right answers = %d, want majority", right)
+	}
+}
+
+func TestTransitHomeBias(t *testing.T) {
+	tr := newTruth(t)
+	// With PTransitHome=1, the SG transit block must geolocate to the US.
+	d := Build("transit", tr, ErrorModel{PTransitHome: 1}, 3)
+	loc, ok := d.Lookup(netip.MustParseAddr("16.2.0.1"))
+	if !ok || loc.Country != "US" {
+		t.Errorf("transit lookup = %+v, %v; want US home country", loc, ok)
+	}
+	// With PTransitHome=0 it must geolocate truthfully.
+	d0 := Build("transit0", tr, ErrorModel{}, 3)
+	loc, ok = d0.Lookup(netip.MustParseAddr("16.2.0.1"))
+	if !ok || loc.Country != "SG" {
+		t.Errorf("no-bias transit lookup = %+v, %v; want SG", loc, ok)
+	}
+}
+
+func TestBuildDefault(t *testing.T) {
+	tr := newTruth(t)
+	dbs := BuildDefault(tr, 42)
+	if len(dbs) != 3 {
+		t.Fatalf("BuildDefault returned %d DBs, want 3", len(dbs))
+	}
+	names := map[string]bool{}
+	for _, d := range dbs {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"maxmind-sim", "ipinfo-sim", "edgescape-sim"} {
+		if !names[want] {
+			t.Errorf("missing database %s", want)
+		}
+	}
+}
+
+func TestConsensusCountry(t *testing.T) {
+	tr := newTruth(t)
+	perfect := []*DB{
+		Build("a", tr, ErrorModel{}, 1),
+		Build("b", tr, ErrorModel{}, 2),
+		Build("c", tr, ErrorModel{}, 3),
+	}
+	cc, ok := ConsensusCountry(perfect, netip.MustParseAddr("16.1.0.7"))
+	if !ok || cc != "US" {
+		t.Errorf("consensus = %q, %v; want US", cc, ok)
+	}
+	// A database that always misses breaks consensus.
+	withMiss := append(perfect[:2:2], Build("m", tr, ErrorModel{PMiss: 1}, 4))
+	if _, ok := ConsensusCountry(withMiss, netip.MustParseAddr("16.1.0.7")); ok {
+		t.Error("consensus reached despite a missing answer")
+	}
+	// Unknown address: no consensus.
+	if _, ok := ConsensusCountry(perfect, netip.MustParseAddr("99.0.0.1")); ok {
+		t.Error("consensus for unregistered address")
+	}
+	if _, ok := ConsensusCountry(nil, netip.MustParseAddr("16.1.0.7")); ok {
+		t.Error("consensus with no databases")
+	}
+}
+
+func TestConsensusDisagreement(t *testing.T) {
+	tr := newTruth(t)
+	// One DB with certain wrong country vs one perfect: disagreement.
+	dbs := []*DB{
+		Build("good", tr, ErrorModel{}, 1),
+		Build("bad", tr, ErrorModel{PCountryWrong: 1}, 2),
+	}
+	if _, ok := ConsensusCountry(dbs, netip.MustParseAddr("16.0.0.7")); ok {
+		t.Error("consensus reached despite disagreement")
+	}
+}

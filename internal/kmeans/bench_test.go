@@ -1,0 +1,21 @@
+package kmeans
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+// BenchmarkCluster measures a k=5 clustering of every registry city.
+func BenchmarkCluster(b *testing.B) {
+	var pts []geo.Coord
+	for _, c := range geo.Cities() {
+		pts = append(pts, c.Coord)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(pts, 5, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package kmeans implements seeded K-Means clustering over geographic
+// coordinates with great-circle distances. The paper's ReOpt partitioner
+// uses it to group geographically-close anycast sites into regions (§6.1).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anysim/internal/geo"
+)
+
+// Result is a clustering outcome.
+type Result struct {
+	// Assign[i] is the cluster index of input point i.
+	Assign []int
+	// Centroids are the final cluster centres.
+	Centroids []geo.Coord
+	// Cost is the sum over points of the distance to their centroid, in
+	// kilometres.
+	Cost float64
+}
+
+// Cluster partitions the points into k clusters. It uses k-means++ style
+// seeding driven by the seed, assigns by great-circle distance, and
+// recomputes centroids as coordinate means (adequate at the scale of
+// continental partitions). Empty clusters are re-seeded with the point
+// farthest from its centroid.
+func Cluster(points []geo.Coord, k int, seed int64) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("kmeans: k must be positive, got %d", k)
+	}
+	if len(points) < k {
+		return Result{}, fmt.Errorf("kmeans: %d points cannot form %d clusters", len(points), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+
+	const maxIters = 100
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centroids {
+				if d := geo.DistanceKm(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		sums := make([]geo.Coord, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			c := assign[i]
+			sums[c].Lat += p.Lat
+			sums[c].Lon += p.Lon
+			counts[c]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with the worst-fitting point.
+				worst, worstD := 0, -1.0
+				for i, p := range points {
+					if d := geo.DistanceKm(p, centroids[assign[i]]); d > worstD {
+						worst, worstD = i, d
+					}
+				}
+				centroids[c] = points[worst]
+				changed = true
+				continue
+			}
+			centroids[c] = geo.Coord{
+				Lat: sums[c].Lat / float64(counts[c]),
+				Lon: sums[c].Lon / float64(counts[c]),
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	var cost float64
+	for i, p := range points {
+		cost += geo.DistanceKm(p, centroids[assign[i]])
+	}
+	return Result{Assign: assign, Centroids: centroids, Cost: cost}, nil
+}
+
+// seedPlusPlus picks k initial centroids: the first uniformly, each next
+// with probability proportional to squared distance from the nearest chosen
+// centroid.
+func seedPlusPlus(points []geo.Coord, k int, rng *rand.Rand) []geo.Coord {
+	centroids := make([]geo.Coord, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			min := math.Inf(1)
+			for _, c := range centroids {
+				if d := geo.DistanceKm(p, c); d < min {
+					min = d
+				}
+			}
+			d2[i] = min * min
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))])
+			continue
+		}
+		r := rng.Float64() * total
+		for i := range points {
+			r -= d2[i]
+			if r <= 0 {
+				centroids = append(centroids, points[i])
+				break
+			}
+		}
+		if r > 0 {
+			centroids = append(centroids, points[len(points)-1])
+		}
+	}
+	return centroids
+}

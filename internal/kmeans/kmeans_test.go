@@ -1,0 +1,127 @@
+package kmeans
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+func coords(iatas ...string) []geo.Coord {
+	out := make([]geo.Coord, 0, len(iatas))
+	for _, c := range iatas {
+		out = append(out, geo.MustCity(c).Coord)
+	}
+	return out
+}
+
+func TestClusterSeparatesContinents(t *testing.T) {
+	// Three obvious geographic groups must come out as three clusters.
+	cities := []string{
+		"NYC", "WAS", "BOS", "CHI", // east-coast NA
+		"LON", "PAR", "AMS", "FRA", // western Europe
+		"SIN", "KUL", "BKK", "HKG", // southeast Asia
+	}
+	res, err := Cluster(coords(cities...), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupOf := map[int]int{}
+	for g := 0; g < 3; g++ {
+		cluster := res.Assign[g*4]
+		groupOf[g] = cluster
+		for i := 1; i < 4; i++ {
+			if res.Assign[g*4+i] != cluster {
+				t.Errorf("group %d split across clusters: %v", g, res.Assign)
+			}
+		}
+	}
+	if groupOf[0] == groupOf[1] || groupOf[1] == groupOf[2] || groupOf[0] == groupOf[2] {
+		t.Errorf("continents merged: %v", res.Assign)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	pts := coords("NYC", "LON")
+	if _, err := Cluster(pts, 0, 1); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Cluster(pts, 3, 1); err == nil {
+		t.Error("accepted k > len(points)")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts := coords("NYC", "LON", "PAR", "SIN", "SYD", "SAO", "JNB", "TYO")
+	a, err := Cluster(pts, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("nondeterministic clustering: %v vs %v", a.Assign, b.Assign)
+		}
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("cost differs: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	pts := coords("NYC", "LON", "SIN")
+	res, err := Cluster(pts, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give singleton clusters: %v", res.Assign)
+	}
+	if res.Cost > 1 {
+		t.Errorf("k=n cost = %v, want ~0", res.Cost)
+	}
+}
+
+func TestCostDecreasesWithK(t *testing.T) {
+	pts := coords("NYC", "WAS", "LON", "PAR", "SIN", "HKG", "SYD", "SAO", "JNB", "TYO", "BOM", "MOW")
+	var prev float64 = -1
+	for k := 1; k <= 6; k++ {
+		res, err := Cluster(pts, k, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Cost > prev*1.10 {
+			// Allow slight non-monotonicity from local optima, but cost
+			// should broadly decrease with k.
+			t.Errorf("cost at k=%d (%.0f) far above k=%d (%.0f)", k, res.Cost, k-1, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestAllAssignmentsValid(t *testing.T) {
+	pts := coords("NYC", "WAS", "LON", "PAR", "SIN", "HKG", "SYD", "SAO")
+	res, err := Cluster(pts, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(pts) || len(res.Centroids) != 4 {
+		t.Fatalf("result shapes wrong: %d assigns, %d centroids", len(res.Assign), len(res.Centroids))
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= 4 {
+			t.Errorf("point %d assigned to invalid cluster %d", i, a)
+		}
+	}
+	for _, c := range res.Centroids {
+		if !c.Valid() {
+			t.Errorf("invalid centroid %v", c)
+		}
+	}
+}

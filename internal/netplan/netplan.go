@@ -1,0 +1,126 @@
+// Package netplan performs deterministic IPv4 address planning for the
+// simulated Internet: per-AS address blocks, router interface addresses,
+// probe addresses, and anycast prefixes. All allocation is sequential from
+// fixed base blocks, so a world built from the same seed always receives the
+// same addresses.
+package netplan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Well-known base blocks. The anycast block deliberately uses the
+// benchmarking range (RFC 2544) to make simulated anycast prefixes easy to
+// recognise in traces; AS space comes from a large low block.
+var (
+	// ASBase is the block AS address space is carved from.
+	ASBase = netip.MustParsePrefix("16.0.0.0/4")
+	// AnycastBase is the block anycast prefixes are carved from.
+	AnycastBase = netip.MustParsePrefix("198.18.0.0/15")
+	// ResolverBase is the block public resolver addresses are carved from.
+	ResolverBase = netip.MustParsePrefix("9.9.0.0/16")
+	// IXPBase is the block IXP peering-fabric prefixes are carved from.
+	// IXP fabric addresses are not announced in BGP, mirroring the paper's
+	// finding that 49% of penultimate-hop IPs belong to IXPs and are
+	// invisible in BGP tables.
+	IXPBase = netip.MustParsePrefix("185.1.0.0/16")
+)
+
+// Allocator hands out consecutive, non-overlapping sub-prefixes of a base
+// IPv4 prefix. It is not safe for concurrent use.
+type Allocator struct {
+	base netip.Prefix
+	next uint32 // offset of the next free address relative to base
+	size uint32 // total addresses in base
+}
+
+// NewAllocator returns an allocator over the base prefix. The base must be a
+// valid IPv4 prefix.
+func NewAllocator(base netip.Prefix) *Allocator {
+	if !base.IsValid() || !base.Addr().Is4() {
+		panic("netplan: allocator base must be a valid IPv4 prefix")
+	}
+	base = base.Masked()
+	return &Allocator{
+		base: base,
+		size: blockSize(base.Bits()),
+	}
+}
+
+func blockSize(bits int) uint32 {
+	if bits == 0 {
+		return 0 // entire v4 space; treated as "effectively unbounded"
+	}
+	return uint32(1) << (32 - bits)
+}
+
+// Prefix allocates the next /bits prefix, aligning as required.
+func (a *Allocator) Prefix(bits int) (netip.Prefix, error) {
+	if bits < a.base.Bits() || bits > 32 {
+		return netip.Prefix{}, fmt.Errorf("netplan: cannot allocate /%d from %s", bits, a.base)
+	}
+	sz := blockSize(bits)
+	// Align next up to a multiple of the block size.
+	aligned := (a.next + sz - 1) / sz * sz
+	if a.size != 0 && aligned+sz > a.size {
+		return netip.Prefix{}, fmt.Errorf("netplan: %s exhausted allocating /%d", a.base, bits)
+	}
+	addr := addAddr(a.base.Addr(), aligned)
+	a.next = aligned + sz
+	return netip.PrefixFrom(addr, bits), nil
+}
+
+// MustPrefix is Prefix but panics on exhaustion; for use during world
+// generation where exhaustion is a programming error.
+func (a *Allocator) MustPrefix(bits int) netip.Prefix {
+	p, err := a.Prefix(bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Remaining returns the number of unallocated addresses left in the base.
+func (a *Allocator) Remaining() uint32 {
+	if a.size == 0 {
+		return ^uint32(0) - a.next
+	}
+	return a.size - a.next
+}
+
+// addAddr returns addr + n in IPv4 arithmetic.
+func addAddr(addr netip.Addr, n uint32) netip.Addr {
+	b := addr.As4()
+	v := binary.BigEndian.Uint32(b[:]) + n
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}
+
+// NthAddr returns the n-th address inside the prefix (0-based). It panics if
+// n does not fit in the prefix, which indicates a planning bug.
+func NthAddr(p netip.Prefix, n uint32) netip.Addr {
+	if sz := blockSize(p.Bits()); sz != 0 && n >= sz {
+		panic(fmt.Sprintf("netplan: address index %d out of range for %s", n, p))
+	}
+	return addAddr(p.Masked().Addr(), n)
+}
+
+// AddrIndex returns the 0-based offset of addr within prefix, and whether
+// the address belongs to the prefix at all.
+func AddrIndex(p netip.Prefix, addr netip.Addr) (uint32, bool) {
+	if !p.Contains(addr) {
+		return 0, false
+	}
+	pb := p.Masked().Addr().As4()
+	ab := addr.As4()
+	return binary.BigEndian.Uint32(ab[:]) - binary.BigEndian.Uint32(pb[:]), true
+}
+
+// CoverPrefix returns the smallest common /24 covering the address, the unit
+// the paper uses when emulating a worldwide clientele of /24 client prefixes
+// for ECS queries (§4.2).
+func CoverPrefix(addr netip.Addr) netip.Prefix {
+	return netip.PrefixFrom(addr, 24).Masked()
+}

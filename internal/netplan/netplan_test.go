@@ -1,0 +1,140 @@
+package netplan
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorSequential(t *testing.T) {
+	a := NewAllocator(netip.MustParsePrefix("10.0.0.0/8"))
+	p1 := a.MustPrefix(16)
+	p2 := a.MustPrefix(16)
+	if p1.String() != "10.0.0.0/16" || p2.String() != "10.1.0.0/16" {
+		t.Errorf("got %s, %s", p1, p2)
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	a := NewAllocator(netip.MustParsePrefix("10.0.0.0/8"))
+	a.MustPrefix(24)      // 10.0.0.0/24
+	p := a.MustPrefix(16) // must align up to 10.1.0.0/16
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("aligned alloc = %s, want 10.1.0.0/16", p)
+	}
+	q := a.MustPrefix(24) // continues after the /16
+	if q.String() != "10.2.0.0/24" {
+		t.Errorf("follow-up alloc = %s, want 10.2.0.0/24", q)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator(netip.MustParsePrefix("192.0.2.0/24"))
+	if _, err := a.Prefix(25); err != nil {
+		t.Fatalf("first /25: %v", err)
+	}
+	if _, err := a.Prefix(25); err != nil {
+		t.Fatalf("second /25: %v", err)
+	}
+	if _, err := a.Prefix(25); err == nil {
+		t.Error("expected exhaustion error")
+	}
+	if a.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", a.Remaining())
+	}
+}
+
+func TestAllocatorRejectsBadSizes(t *testing.T) {
+	a := NewAllocator(netip.MustParsePrefix("10.0.0.0/16"))
+	if _, err := a.Prefix(8); err == nil {
+		t.Error("allocating /8 from /16 should fail")
+	}
+	if _, err := a.Prefix(33); err == nil {
+		t.Error("allocating /33 should fail")
+	}
+}
+
+func TestAllocatorDisjointProperty(t *testing.T) {
+	// Any sequence of allocations yields pairwise-disjoint prefixes.
+	f := func(sizes []uint8) bool {
+		a := NewAllocator(netip.MustParsePrefix("16.0.0.0/4"))
+		var prefixes []netip.Prefix
+		for _, s := range sizes {
+			bits := 16 + int(s%17) // 16..32
+			p, err := a.Prefix(bits)
+			if err != nil {
+				return true // exhaustion is fine
+			}
+			prefixes = append(prefixes, p)
+		}
+		for i := range prefixes {
+			for j := i + 1; j < len(prefixes); j++ {
+				if prefixes[i].Overlaps(prefixes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNthAddr(t *testing.T) {
+	p := netip.MustParsePrefix("198.18.0.0/24")
+	if got := NthAddr(p, 0); got.String() != "198.18.0.0" {
+		t.Errorf("NthAddr(0) = %s", got)
+	}
+	if got := NthAddr(p, 255); got.String() != "198.18.0.255" {
+		t.Errorf("NthAddr(255) = %s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NthAddr out of range should panic")
+		}
+	}()
+	NthAddr(p, 256)
+}
+
+func TestAddrIndex(t *testing.T) {
+	p := netip.MustParsePrefix("10.1.0.0/16")
+	idx, ok := AddrIndex(p, netip.MustParseAddr("10.1.2.3"))
+	if !ok || idx != 2*256+3 {
+		t.Errorf("AddrIndex = %d, %v", idx, ok)
+	}
+	if _, ok := AddrIndex(p, netip.MustParseAddr("10.2.0.0")); ok {
+		t.Error("AddrIndex accepted out-of-prefix address")
+	}
+}
+
+func TestNthAddrRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		p := netip.MustParsePrefix("16.0.0.0/8")
+		n %= 1 << 24
+		addr := NthAddr(p, n)
+		idx, ok := AddrIndex(p, addr)
+		return ok && idx == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverPrefix(t *testing.T) {
+	got := CoverPrefix(netip.MustParseAddr("203.0.113.77"))
+	if got.String() != "203.0.113.0/24" {
+		t.Errorf("CoverPrefix = %s", got)
+	}
+}
+
+func TestBaseBlocksDisjoint(t *testing.T) {
+	bases := []netip.Prefix{ASBase, AnycastBase, ResolverBase}
+	for i := range bases {
+		for j := i + 1; j < len(bases); j++ {
+			if bases[i].Overlaps(bases[j]) {
+				t.Errorf("base blocks %s and %s overlap", bases[i], bases[j])
+			}
+		}
+	}
+}

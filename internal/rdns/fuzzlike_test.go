@@ -1,0 +1,54 @@
+package rdns
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anysim/internal/geo"
+)
+
+// TestExtractNeverPanicsOrLies property-checks the extractor over random
+// byte strings: it must never panic, and any returned hint must reference a
+// real country (and city when present).
+func TestExtractNeverPanicsOrLies(t *testing.T) {
+	f := func(name string) bool {
+		hint, ok := Extract(name)
+		if !ok {
+			return hint == (Hint{})
+		}
+		if _, exists := geo.CountryByCode(hint.Country); !exists {
+			return false
+		}
+		if hint.City != "" {
+			city, exists := geo.CityByIATA(hint.City)
+			if !exists || city.Country != hint.Country {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNamerOutputsAlwaysParseable property-checks the generator/extractor
+// pair: whatever key the namer is given, an emitted IATA-style name must
+// extract back to the right city.
+func TestNamerOutputsAlwaysParseable(t *testing.T) {
+	n := NewNamer("prop.example.net", 99)
+	n.PIATA, n.POperator, n.POpaque = 1, 0, 0
+	cities := geo.Cities()
+	f := func(key string, idx uint16) bool {
+		city := cities[int(idx)%len(cities)]
+		name, ok := n.Name(key, city)
+		if !ok {
+			return false
+		}
+		hint, ok := Extract(name)
+		return ok && hint.City == city.IATA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package rdns
+
+import (
+	"strings"
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+func TestExtractIATA(t *testing.T) {
+	tests := []struct {
+		name     string
+		wantCity string
+		wantOK   bool
+	}{
+		{"ae-65.core1.ams.edgecastcdn.net", "AMS", true},
+		{"ae-65.core1.fra.example.net", "FRA", true},
+		{"xe-0-0-0.sin.backbone.example.com", "SIN", true},
+		{"ip-123456.example.net", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		hint, ok := Extract(tt.name)
+		if ok != tt.wantOK {
+			t.Errorf("Extract(%q) ok = %v, want %v", tt.name, ok, tt.wantOK)
+			continue
+		}
+		if ok && hint.City != tt.wantCity {
+			t.Errorf("Extract(%q) city = %q, want %q", tt.name, hint.City, tt.wantCity)
+		}
+	}
+}
+
+func TestExtractDoesNotMatchDomainLabels(t *testing.T) {
+	// "ams" appearing only in the registered domain must not count.
+	if hint, ok := Extract("ip-9.ams.net"); ok && hint.City == "AMS" {
+		t.Errorf("Extract matched a domain label: %+v", hint)
+	}
+}
+
+func TestExtractOperatorCode(t *testing.T) {
+	city := geo.MustCity("CPH")
+	name := "be12.agg1." + operatorCode(city) + ".carrier.example"
+	hint, ok := Extract(name)
+	if !ok || hint.City != "CPH" {
+		t.Errorf("Extract(%q) = %+v, %v; want CPH", name, hint, ok)
+	}
+}
+
+func TestExtractCCTLDFallback(t *testing.T) {
+	hint, ok := Extract("core1.telco.de")
+	if !ok || hint.Country != "DE" || hint.City != "" {
+		t.Errorf("Extract ccTLD = %+v, %v; want country DE only", hint, ok)
+	}
+	// Unknown TLD yields nothing.
+	if _, ok := Extract("core1.telco.zz"); ok {
+		t.Error("Extract accepted unknown ccTLD")
+	}
+}
+
+func TestNamerRoundTrip(t *testing.T) {
+	// Every IATA-style generated name must extract back to its city, and
+	// operator-style names must too.
+	n := NewNamer("carrier.example", 7)
+	n.PIATA, n.POperator, n.POpaque = 1, 0, 0
+	for _, iata := range []string{"AMS", "FRA", "SIN", "NYC", "SAO", "JNB"} {
+		city := geo.MustCity(iata)
+		name, ok := n.Name("core1/"+iata, city)
+		if !ok {
+			t.Fatalf("Name(%s) returned no PTR", iata)
+		}
+		hint, ok := Extract(name)
+		if !ok || hint.City != iata {
+			t.Errorf("round trip %s -> %q -> %+v", iata, name, hint)
+		}
+	}
+	n.PIATA, n.POperator = 0, 1
+	for _, iata := range []string{"CPH", "WAW", "BOM"} {
+		city := geo.MustCity(iata)
+		name, ok := n.Name("agg/"+iata, city)
+		if !ok {
+			t.Fatalf("Name(%s) returned no PTR", iata)
+		}
+		hint, ok := Extract(name)
+		if !ok || hint.City != iata {
+			t.Errorf("operator round trip %s -> %q -> %+v", iata, name, hint)
+		}
+	}
+}
+
+func TestNamerDeterministic(t *testing.T) {
+	a := NewNamer("x.example", 3)
+	b := NewNamer("x.example", 3)
+	city := geo.MustCity("LON")
+	for i := 0; i < 20; i++ {
+		key := strings.Repeat("k", i+1)
+		n1, ok1 := a.Name(key, city)
+		n2, ok2 := b.Name(key, city)
+		if n1 != n2 || ok1 != ok2 {
+			t.Fatalf("nondeterministic name for %q: %q vs %q", key, n1, n2)
+		}
+	}
+}
+
+func TestNamerStyleMix(t *testing.T) {
+	n := NewNamer("mix.example", 11)
+	city := geo.MustCity("PAR")
+	var iata, other, none int
+	for i := 0; i < 2000; i++ {
+		name, ok := n.Name(strings.Repeat("i", 1)+string(rune('a'+i%26))+stringsRepeatInt(i), city)
+		switch {
+		case !ok:
+			none++
+		case strings.Contains(name, ".par."):
+			iata++
+		default:
+			other++
+		}
+	}
+	if iata == 0 || other == 0 || none == 0 {
+		t.Errorf("style mix degenerate: iata=%d other=%d none=%d", iata, other, none)
+	}
+	// IATA must dominate, per the default mix.
+	if iata <= other || iata <= none {
+		t.Errorf("IATA style should dominate: iata=%d other=%d none=%d", iata, other, none)
+	}
+}
+
+func stringsRepeatInt(i int) string {
+	return strings.Repeat("x", i%7) + string(rune('0'+i%10))
+}
+
+func TestOperatorCodeAvoidsIATACollision(t *testing.T) {
+	// The operator code must not be a bare 3-letter IATA token (it embeds
+	// the country code), so extraction is unambiguous.
+	for _, iata := range []string{"AMS", "SIN", "PAR"} {
+		code := operatorCode(geo.MustCity(iata))
+		if len(code) == 3 {
+			t.Errorf("operatorCode(%s) = %q collides with the IATA namespace", iata, code)
+		}
+	}
+}

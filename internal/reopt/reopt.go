@@ -1,0 +1,289 @@
+// Package reopt implements ReOpt, the paper's latency-based region
+// partition and client mapping scheme (§6.1): (1) partition the testbed's
+// sites into geographic regions with K-Means; (2) measure each probe's
+// unicast latency to every site and assign the probe to the region holding
+// its lowest-latency site; (3) aggregate to a country-level client-to-region
+// mapping by majority vote, so an operator can deploy it with country-level
+// geolocation DNS; and (4) sweep the region count (3-6 in the paper) and
+// keep the partition with the lowest average client latency.
+package reopt
+
+import (
+	"fmt"
+	"sort"
+
+	"anysim/internal/atlas"
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/geo"
+	"anysim/internal/kmeans"
+	"anysim/internal/stats"
+)
+
+// Config parameterises the sweep.
+type Config struct {
+	Seed       int64
+	MinRegions int // default 3
+	MaxRegions int // default 6
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinRegions == 0 {
+		c.MinRegions = 3
+	}
+	if c.MaxRegions == 0 {
+		c.MaxRegions = 6
+	}
+	return c
+}
+
+// Candidate is one evaluated partition.
+type Candidate struct {
+	K int
+	// Partition maps region name to site cities.
+	Partition map[string][]string
+	// ClientCountries is the country-level majority mapping.
+	ClientCountries map[string]string
+	// ProbeRegion is the per-probe lowest-latency region assignment
+	// (before country aggregation), keyed by probe ID.
+	ProbeRegion map[int]string
+	// Deployment is the regional deployment built from the partition,
+	// already announced on the engine.
+	Deployment *cdn.Deployment
+	// MeanLatencyMs is the average probe latency under the deployed
+	// partition with country-level mapping.
+	MeanLatencyMs float64
+}
+
+// Sweep is the outcome of a ReOpt run.
+type Sweep struct {
+	Best       *Candidate
+	Candidates []*Candidate
+	// UnicastRTT[probeID][city] are the measured per-site unicast RTTs.
+	UnicastRTT map[int]map[string]float64
+}
+
+// Run executes ReOpt on the Tangled testbed model.
+func Run(e *bgp.Engine, m *atlas.Measurer, tangled *cdn.Tangled, probes []*atlas.Probe, cfg Config) (*Sweep, error) {
+	cfg = cfg.withDefaults()
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("reopt: no probes")
+	}
+	if cfg.MaxRegions > len(tangled.Cities) {
+		return nil, fmt.Errorf("reopt: cannot form %d regions from %d sites", cfg.MaxRegions, len(tangled.Cities))
+	}
+
+	// Step 0: per-site unicast latency measurements.
+	uniPrefixes, err := tangled.AnnounceUnicast(e)
+	if err != nil {
+		return nil, fmt.Errorf("reopt: unicast announcements: %w", err)
+	}
+	unicast := map[int]map[string]float64{}
+	for _, p := range probes {
+		rtts := map[string]float64{}
+		for city, prefix := range uniPrefixes {
+			if fwd, ok := e.Lookup(prefix, p.ASN, p.City); ok {
+				rtts[city] = m.RTT(p, fwd)
+			}
+		}
+		if len(rtts) > 0 {
+			unicast[p.ID] = rtts
+		}
+	}
+
+	sweep := &Sweep{UnicastRTT: unicast}
+	for k := cfg.MinRegions; k <= cfg.MaxRegions; k++ {
+		cand, err := buildCandidate(e, m, tangled, probes, unicast, k, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Candidates = append(sweep.Candidates, cand)
+		if sweep.Best == nil || cand.MeanLatencyMs < sweep.Best.MeanLatencyMs {
+			sweep.Best = cand
+		}
+	}
+	return sweep, nil
+}
+
+func buildCandidate(e *bgp.Engine, m *atlas.Measurer, tangled *cdn.Tangled, probes []*atlas.Probe, unicast map[int]map[string]float64, k int, seed int64) (*Candidate, error) {
+	// Step 1: K-Means over site coordinates.
+	coords := make([]geo.Coord, len(tangled.Cities))
+	for i, city := range tangled.Cities {
+		coords[i] = geo.MustCity(city).Coord
+	}
+	clusters, err := kmeans.Cluster(coords, k, seed+int64(k))
+	if err != nil {
+		return nil, err
+	}
+	partition := map[string][]string{}
+	cityRegion := map[string]string{}
+	names := regionNames(tangled.Cities, clusters.Assign, k)
+	for i, city := range tangled.Cities {
+		rn := names[clusters.Assign[i]]
+		partition[rn] = append(partition[rn], city)
+		cityRegion[city] = rn
+	}
+
+	// Step 2: assign each probe to the region of its lowest-unicast-latency
+	// site.
+	probeRegion := map[int]string{}
+	regionVotes := map[string]int{}
+	for _, p := range probes {
+		rtts, ok := unicast[p.ID]
+		if !ok {
+			continue
+		}
+		bestCity, bestRTT := "", 0.0
+		for city, rtt := range rtts {
+			if bestCity == "" || rtt < bestRTT || (rtt == bestRTT && city < bestCity) {
+				bestCity, bestRTT = city, rtt
+			}
+		}
+		rn := cityRegion[bestCity]
+		probeRegion[p.ID] = rn
+		regionVotes[rn]++
+	}
+
+	// Step 3: country-level majority mapping.
+	countryVotes := map[string]map[string]int{}
+	for _, p := range probes {
+		rn, ok := probeRegion[p.ID]
+		if !ok {
+			continue
+		}
+		if countryVotes[p.Country] == nil {
+			countryVotes[p.Country] = map[string]int{}
+		}
+		countryVotes[p.Country][rn]++
+	}
+	clientCountries := map[string]string{}
+	for cc, votes := range countryVotes {
+		clientCountries[cc] = majority(votes)
+	}
+	defaultRegion := majority(regionVotes)
+
+	// Step 4: deploy the partition and evaluate mean client latency.
+	dep, err := tangled.Regionalize(fmt.Sprintf("Tangled-ReOpt-%d", k), partition, clientCountries, defaultRegion)
+	if err != nil {
+		return nil, err
+	}
+	if err := dep.Announce(e); err != nil {
+		return nil, err
+	}
+	var latencies []float64
+	for _, p := range probes {
+		region, ok := dep.RegionForCountry(p.Country)
+		if !ok {
+			continue
+		}
+		fwd, ok := e.Lookup(region.Prefix, p.ASN, p.City)
+		if !ok {
+			continue
+		}
+		latencies = append(latencies, m.RTT(p, fwd))
+	}
+	return &Candidate{
+		K:               k,
+		Partition:       partition,
+		ClientCountries: clientCountries,
+		ProbeRegion:     probeRegion,
+		Deployment:      dep,
+		MeanLatencyMs:   stats.Mean(latencies),
+	}, nil
+}
+
+// majority returns the key with the most votes, ties broken
+// lexicographically for determinism.
+func majority(votes map[string]int) string {
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, n := "", -1
+	for _, k := range keys {
+		if votes[k] > n {
+			best, n = k, votes[k]
+		}
+	}
+	return best
+}
+
+// regionNames derives human-readable region labels from the dominant paper
+// area of each cluster's sites (e.g. "na", "emea", "emea-2").
+func regionNames(cities []string, assign []int, k int) []string {
+	names := make([]string, k)
+	used := map[string]int{}
+	for c := 0; c < k; c++ {
+		areaVotes := map[string]int{}
+		for i, city := range cities {
+			if assign[i] == c {
+				areaVotes[lowerArea(geo.MustCity(city).Area())]++
+			}
+		}
+		base := majorityInt(areaVotes)
+		if base == "" {
+			base = fmt.Sprintf("r%d", c)
+		}
+		used[base]++
+		if used[base] > 1 {
+			names[c] = fmt.Sprintf("%s-%d", base, used[base])
+		} else {
+			names[c] = base
+		}
+	}
+	return names
+}
+
+func lowerArea(a geo.Area) string {
+	switch a {
+	case geo.EMEA:
+		return "emea"
+	case geo.NA:
+		return "na"
+	case geo.LatAm:
+		return "latam"
+	case geo.APAC:
+		return "apac"
+	}
+	return "other"
+}
+
+func majorityInt(votes map[string]int) string {
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, n := "", -1
+	for _, k := range keys {
+		if votes[k] > n {
+			best, n = k, votes[k]
+		}
+	}
+	return best
+}
+
+// DirectAssignmentRTTs measures every probe's RTT to the regional VIP
+// containing its lowest-unicast-latency site — the §6.2 "directly assign
+// each probe a regional IP" experiment (no geolocation, no country
+// aggregation).
+func DirectAssignmentRTTs(e *bgp.Engine, m *atlas.Measurer, cand *Candidate, probes []*atlas.Probe) map[geo.Area][]float64 {
+	out := map[geo.Area][]float64{}
+	for _, p := range probes {
+		rn, ok := cand.ProbeRegion[p.ID]
+		if !ok {
+			continue
+		}
+		region, ok := cand.Deployment.RegionByName(rn)
+		if !ok {
+			continue
+		}
+		fwd, ok := e.Lookup(region.Prefix, p.ASN, p.City)
+		if !ok {
+			continue
+		}
+		out[p.Area()] = append(out[p.Area()], m.RTT(p, fwd))
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package reopt
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+	"anysim/internal/stats"
+	"anysim/internal/worldgen"
+)
+
+var (
+	sharedWorld *worldgen.World
+	sharedSweep *Sweep
+)
+
+func fixtures(t *testing.T) (*worldgen.World, *Sweep) {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := worldgen.Default()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(), Config{Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld, sharedSweep = w, sweep
+	}
+	return sharedWorld, sharedSweep
+}
+
+func TestSweepShape(t *testing.T) {
+	_, sweep := fixtures(t)
+	if len(sweep.Candidates) != 4 {
+		t.Fatalf("candidates = %d, want 4 (k=3..6)", len(sweep.Candidates))
+	}
+	for i, c := range sweep.Candidates {
+		if c.K != i+3 {
+			t.Errorf("candidate %d has k=%d", i, c.K)
+		}
+		// Every site is in exactly one region.
+		seen := map[string]bool{}
+		for _, cities := range c.Partition {
+			for _, city := range cities {
+				if seen[city] {
+					t.Errorf("k=%d: site %s in two regions", c.K, city)
+				}
+				seen[city] = true
+			}
+		}
+		if len(seen) != 12 {
+			t.Errorf("k=%d: partition covers %d of 12 sites", c.K, len(seen))
+		}
+		if len(c.Partition) != c.K {
+			t.Errorf("k=%d: %d regions", c.K, len(c.Partition))
+		}
+		if c.MeanLatencyMs <= 0 || c.MeanLatencyMs > 300 {
+			t.Errorf("k=%d: implausible mean latency %v", c.K, c.MeanLatencyMs)
+		}
+	}
+	if sweep.Best == nil {
+		t.Fatal("no best candidate")
+	}
+	for _, c := range sweep.Candidates {
+		if c.MeanLatencyMs < sweep.Best.MeanLatencyMs {
+			t.Errorf("best (k=%d, %.1f ms) is not minimal: k=%d has %.1f ms",
+				sweep.Best.K, sweep.Best.MeanLatencyMs, c.K, c.MeanLatencyMs)
+		}
+	}
+}
+
+func TestUnicastMeasurements(t *testing.T) {
+	w, sweep := fixtures(t)
+	if len(sweep.UnicastRTT) < len(w.Platform.Retained())*9/10 {
+		t.Errorf("unicast RTTs for %d probes, want most of %d", len(sweep.UnicastRTT), len(w.Platform.Retained()))
+	}
+	for id, rtts := range sweep.UnicastRTT {
+		if len(rtts) < 10 {
+			t.Fatalf("probe %d has unicast RTTs to only %d of 12 sites", id, len(rtts))
+		}
+		for city, rtt := range rtts {
+			if rtt <= 0 || rtt > 500 {
+				t.Fatalf("probe %d unicast RTT to %s = %v", id, city, rtt)
+			}
+		}
+		break
+	}
+}
+
+func TestProbeAssignmentFollowsLowestLatency(t *testing.T) {
+	_, sweep := fixtures(t)
+	c := sweep.Best
+	cityRegion := map[string]string{}
+	for rn, cities := range c.Partition {
+		for _, city := range cities {
+			cityRegion[city] = rn
+		}
+	}
+	checked := 0
+	for id, rn := range c.ProbeRegion {
+		rtts := sweep.UnicastRTT[id]
+		bestCity, bestRTT := "", -1.0
+		for city, rtt := range rtts {
+			if bestRTT < 0 || rtt < bestRTT || (rtt == bestRTT && city < bestCity) {
+				bestCity, bestRTT = city, rtt
+			}
+		}
+		if cityRegion[bestCity] != rn {
+			t.Fatalf("probe %d assigned to %s but best site %s is in %s", id, rn, bestCity, cityRegion[bestCity])
+		}
+		checked++
+		if checked > 200 {
+			break
+		}
+	}
+}
+
+func TestCountryMappingIsMajority(t *testing.T) {
+	w, sweep := fixtures(t)
+	c := sweep.Best
+	// Recompute the majority for one populous country and compare.
+	votes := map[string]map[string]int{}
+	for _, p := range w.Platform.Retained() {
+		rn, ok := c.ProbeRegion[p.ID]
+		if !ok {
+			continue
+		}
+		if votes[p.Country] == nil {
+			votes[p.Country] = map[string]int{}
+		}
+		votes[p.Country][rn]++
+	}
+	for cc, v := range votes {
+		mapped := c.ClientCountries[cc]
+		bestN := -1
+		for _, n := range v {
+			if n > bestN {
+				bestN = n
+			}
+		}
+		if v[mapped] != bestN {
+			t.Errorf("country %s mapped to %s (%d votes) but max is %d", cc, mapped, v[mapped], bestN)
+		}
+	}
+}
+
+// TestFigure6cShape is the §6.2 headline: with the ReOpt partition deployed
+// on Tangled, regional anycast beats global anycast in every area, with a
+// large 90th-percentile reduction.
+func TestFigure6cShape(t *testing.T) {
+	w, sweep := fixtures(t)
+	best := sweep.Best
+
+	globVIP := w.Tangled.Global.VIPs()[0]
+	regRTTs := map[geo.Area][]float64{}
+	globRTTs := map[geo.Area][]float64{}
+	for _, p := range w.Platform.Retained() {
+		region, ok := best.Deployment.RegionForCountry(p.Country)
+		if !ok {
+			continue
+		}
+		fwd, ok := w.Engine.Lookup(region.Prefix, p.ASN, p.City)
+		if !ok {
+			continue
+		}
+		regRTTs[p.Area()] = append(regRTTs[p.Area()], w.Measurer.RTT(p, fwd))
+		if rtt, ok := w.Measurer.Ping(p, globVIP); ok {
+			globRTTs[p.Area()] = append(globRTTs[p.Area()], rtt)
+		}
+	}
+	for _, area := range geo.Areas {
+		if len(regRTTs[area]) == 0 || len(globRTTs[area]) == 0 {
+			t.Errorf("no measurements in %v", area)
+			continue
+		}
+		r90 := stats.Percentile(regRTTs[area], 90)
+		g90 := stats.Percentile(globRTTs[area], 90)
+		if r90 >= g90 {
+			t.Errorf("%v: ReOpt p90 %.1f !< global p90 %.1f", area, r90, g90)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w, _ := fixtures(t)
+	if _, err := Run(w.Engine, w.Measurer, w.Tangled, nil, Config{}); err == nil {
+		t.Error("Run accepted empty probe set")
+	}
+	if _, err := Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(), Config{MinRegions: 3, MaxRegions: 50}); err == nil {
+		t.Error("Run accepted k > number of sites")
+	}
+}
+
+func TestDirectAssignmentRTTs(t *testing.T) {
+	w, sweep := fixtures(t)
+	direct := DirectAssignmentRTTs(w.Engine, w.Measurer, sweep.Best, w.Platform.Retained())
+	total := 0
+	for _, vals := range direct {
+		total += len(vals)
+		for _, v := range vals {
+			if v <= 0 || v > 500 {
+				t.Fatalf("implausible direct RTT %v", v)
+			}
+		}
+	}
+	if total < len(w.Platform.Retained())*8/10 {
+		t.Errorf("direct RTTs for %d probes, want most of %d", total, len(w.Platform.Retained()))
+	}
+}

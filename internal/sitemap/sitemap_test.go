@@ -1,0 +1,192 @@
+package sitemap
+
+import (
+	"testing"
+
+	"anysim/internal/atlas"
+	"anysim/internal/geo"
+	"anysim/internal/worldgen"
+)
+
+var (
+	sharedWorld  *worldgen.World
+	sharedTraces map[string][]*atlas.Trace // per deployment name
+)
+
+func fixtures(t *testing.T) (*worldgen.World, []*atlas.Trace) {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := worldgen.Small(13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld = w
+		sharedTraces = map[string][]*atlas.Trace{}
+		// Traceroute every probe to every Imperva-6 regional VIP so all
+		// announcing sites can be discovered.
+		var traces []*atlas.Trace
+		for _, p := range w.Platform.Retained() {
+			for _, vip := range w.Imperva.IM6.VIPs() {
+				if tr, ok := w.Measurer.Traceroute(p, vip); ok && tr.Reached {
+					traces = append(traces, tr)
+				}
+			}
+		}
+		sharedTraces["IM6"] = traces
+	}
+	return sharedWorld, sharedTraces["IM6"]
+}
+
+func TestCollectPHops(t *testing.T) {
+	_, traces := fixtures(t)
+	obs := CollectPHops(traces)
+	if len(obs) == 0 {
+		t.Fatal("no p-hops collected")
+	}
+	total := 0
+	for _, o := range obs {
+		total += o.Traces
+		if o.MinRTTProbe == nil || o.MinRTTMs < 0 {
+			t.Fatalf("bad observation: %+v", o)
+		}
+	}
+	// Every reached trace has exactly one p-hop.
+	reached := 0
+	for _, tr := range traces {
+		if _, ok := tr.PHop(); ok {
+			reached++
+		}
+	}
+	if total != reached {
+		t.Errorf("observation traces %d != traces with p-hop %d", total, reached)
+	}
+}
+
+func TestEnumerateDiscoversSites(t *testing.T) {
+	w, traces := fixtures(t)
+	cfg := DefaultConfig(w.GeoDBs)
+	res := Enumerate("IM-6", traces, w.Imperva.Published, cfg)
+
+	if len(res.Sites) == 0 {
+		t.Fatal("no sites discovered")
+	}
+	// Discovered sites must be a subset of the published list.
+	pub := map[string]bool{}
+	for _, s := range w.Imperva.Published {
+		pub[s] = true
+	}
+	for s := range res.Sites {
+		if !pub[s] {
+			t.Errorf("discovered non-published site %s", s)
+		}
+	}
+	// The pipeline should uncover the bulk of the 48 active sites (the
+	// paper uncovers 48 of 50 published).
+	if len(res.Sites) < 36 {
+		t.Errorf("discovered only %d sites, want most of 48", len(res.Sites))
+	}
+	// Manila is not an Imperva-6 site and must not be discovered.
+	if res.Sites["MNL"] {
+		t.Error("discovered MNL, which does not announce Imperva-6 prefixes")
+	}
+}
+
+func TestEnumerateAccuracy(t *testing.T) {
+	w, traces := fixtures(t)
+	cfg := DefaultConfig(w.GeoDBs)
+	res := Enumerate("IM-6", traces, w.Imperva.Published, cfg)
+
+	// Check resolved p-hops against ground truth: the resolution should
+	// usually match the p-hop's true city (or at least country).
+	truthCity := map[string]string{}
+	for _, tr := range traces {
+		if ph, ok := tr.PHop(); ok {
+			truthCity[ph.Addr.String()] = ph.City
+		}
+	}
+	var resolved, cityRight, countryRight int
+	for addr, r := range res.PHops {
+		if r.Technique == Unresolved {
+			continue
+		}
+		resolved++
+		want := truthCity[addr.String()]
+		if r.City == want {
+			cityRight++
+		}
+		if geo.MustCity(r.City).Country == geo.MustCity(want).Country {
+			countryRight++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("nothing resolved")
+	}
+	if frac := float64(cityRight) / float64(resolved); frac < 0.70 {
+		t.Errorf("city-level accuracy %.2f, want >= 0.70", frac)
+	}
+	if frac := float64(countryRight) / float64(resolved); frac < 0.85 {
+		t.Errorf("country-level accuracy %.2f, want >= 0.85", frac)
+	}
+}
+
+func TestFigure3Fractions(t *testing.T) {
+	w, traces := fixtures(t)
+	res := Enumerate("IM-6", traces, w.Imperva.Published, DefaultConfig(w.GeoDBs))
+
+	var phopSum, traceSum float64
+	for _, tech := range Techniques {
+		phopSum += res.PHopFraction(tech)
+		traceSum += res.TraceFraction(tech)
+	}
+	if phopSum < 0.999 || phopSum > 1.001 || traceSum < 0.999 || traceSum > 1.001 {
+		t.Errorf("fractions don't sum to 1: phop=%.3f trace=%.3f", phopSum, traceSum)
+	}
+	// rDNS dominates, per Figure 3.
+	if res.PHopFraction(ByRDNS) < res.PHopFraction(ByRTTRange) ||
+		res.PHopFraction(ByRDNS) < res.PHopFraction(ByCountryIPGeo) {
+		t.Errorf("rDNS should dominate: %v=%0.2f %v=%0.2f %v=%0.2f",
+			ByRDNS, res.PHopFraction(ByRDNS), ByRTTRange, res.PHopFraction(ByRTTRange),
+			ByCountryIPGeo, res.PHopFraction(ByCountryIPGeo))
+	}
+	// Unresolved stays a small minority (2.3%-9.9% of valid traces in the
+	// paper; allow some slack).
+	if f := res.TraceFraction(Unresolved); f > 0.25 {
+		t.Errorf("unresolved trace fraction %.2f too high", f)
+	}
+}
+
+func TestSingleSiteIn(t *testing.T) {
+	published := []string{"FRA", "MUC", "SIN", "SAO"}
+	if _, ok := singleSiteIn("DE", published); ok {
+		t.Error("two German sites should not resolve")
+	}
+	site, ok := singleSiteIn("SG", published)
+	if !ok || site != "SIN" {
+		t.Errorf("singleSiteIn(SG) = %v, %v", site, ok)
+	}
+	if _, ok := singleSiteIn("JP", published); ok {
+		t.Error("no Japanese site should not resolve")
+	}
+}
+
+func TestNearestSite(t *testing.T) {
+	published := []string{"FRA", "SIN"}
+	// Amsterdam maps to Frankfurt, not Singapore.
+	if got := nearestSite("AMS", published); got != "FRA" {
+		t.Errorf("nearestSite(AMS) = %s", got)
+	}
+	if got := nearestSite("ZZZ", published); got != "" {
+		t.Errorf("nearestSite(unknown) = %s", got)
+	}
+}
+
+func TestEnumerateEmptyInput(t *testing.T) {
+	w, _ := fixtures(t)
+	res := Enumerate("empty", nil, w.Imperva.Published, DefaultConfig(w.GeoDBs))
+	if res.TotalTraces != 0 || len(res.Sites) != 0 {
+		t.Errorf("empty enumeration non-empty: %+v", res)
+	}
+	if res.PHopFraction(ByRDNS) != 0 {
+		t.Error("fractions over empty result should be 0")
+	}
+}

@@ -1,0 +1,92 @@
+package siteopt
+
+import (
+	"testing"
+
+	"anysim/internal/worldgen"
+)
+
+var (
+	sharedWorld  *worldgen.World
+	sharedResult *Result
+)
+
+func fixtures(t *testing.T) (*worldgen.World, *Result) {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := worldgen.Small(31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(w.Engine, w.Measurer, w.Tangled.Global, w.Platform.Retained(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedWorld, sharedResult = w, res
+	}
+	return sharedWorld, sharedResult
+}
+
+func TestOptimizeStructure(t *testing.T) {
+	_, res := fixtures(t)
+	if len(res.Order) == 0 || len(res.Order) != len(res.MeanMsAt) {
+		t.Fatalf("order/means shape: %d vs %d", len(res.Order), len(res.MeanMsAt))
+	}
+	seen := map[string]bool{}
+	for _, id := range res.Order {
+		if seen[id] {
+			t.Errorf("site %s selected twice", id)
+		}
+		seen[id] = true
+	}
+	if len(res.Best) == 0 || len(res.Best) > len(res.Order) {
+		t.Fatalf("best set size %d out of range", len(res.Best))
+	}
+	// Best must be a prefix of Order.
+	for i, id := range res.Best {
+		if res.Order[i] != id {
+			t.Errorf("best[%d] = %s, want order prefix %s", i, id, res.Order[i])
+		}
+	}
+	if res.BestMeanMs <= 0 || res.BestMeanMs > 300 {
+		t.Errorf("implausible best mean %.1f", res.BestMeanMs)
+	}
+}
+
+func TestGreedyImprovesOverSingleSite(t *testing.T) {
+	_, res := fixtures(t)
+	if len(res.MeanMsAt) < 2 {
+		t.Skip("greedy stopped after one site")
+	}
+	if res.BestMeanMs >= res.MeanMsAt[0] {
+		t.Errorf("best mean %.1f not better than single-site %.1f", res.BestMeanMs, res.MeanMsAt[0])
+	}
+}
+
+func TestAnnouncementCostIsQuadraticish(t *testing.T) {
+	// The paper's criticism of AnyOpt: the experiments are expensive. The
+	// greedy pass costs O(k * n) announcements; with 12 sites that is
+	// dozens, not a handful.
+	_, res := fixtures(t)
+	if res.Announcements < len(res.Order)*2 {
+		t.Errorf("announcement count %d suspiciously low for %d rounds", res.Announcements, len(res.Order))
+	}
+}
+
+func TestOptimizeRespectsMaxSites(t *testing.T) {
+	w, _ := fixtures(t)
+	res, err := Optimize(w.Engine, w.Measurer, w.Tangled.Global, w.Platform.Retained(), Config{MaxSites: 3, Patience: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) > 3 {
+		t.Errorf("selected %d sites, cap was 3", len(res.Order))
+	}
+}
+
+func TestOptimizeRejectsRegionalDeployment(t *testing.T) {
+	w, _ := fixtures(t)
+	if _, err := Optimize(w.Engine, w.Measurer, w.Imperva.IM6, w.Platform.Retained(), Config{}); err == nil {
+		t.Error("Optimize accepted a multi-region deployment")
+	}
+}

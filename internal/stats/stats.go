@@ -1,0 +1,230 @@
+// Package stats provides the statistical helpers the paper's analyses rely
+// on: empirical CDFs, percentiles, medians, and <city,AS> probe-group
+// aggregation (the paper reports all CDFs, percentages, and percentiles over
+// probe groups rather than individual probes, §3.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the values using
+// linear interpolation between closest ranks. It returns NaN for an empty
+// input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of the values.
+func Median(values []float64) float64 { return Percentile(values, 50) }
+
+// Mean returns the arithmetic mean, or NaN for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// FractionBelow returns the fraction of values strictly below the threshold.
+// It returns 0 for an empty input.
+func FractionBelow(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// FractionAbove returns the fraction of values strictly above the threshold.
+func FractionAbove(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF over a copy of the values.
+func NewCDF(values []float64) *CDF {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.sorted, q*100)
+}
+
+// Points samples the CDF at n evenly spaced x positions between the min and
+// max sample, suitable for plotting. It returns nil when there are no
+// samples or n < 2.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n < 2 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is an (x, y) sample of a distribution curve.
+type Point struct{ X, Y float64 }
+
+// GroupMedians aggregates per-member values into group medians: the paper's
+// <city,AS> probe-group statistic. Keys identify groups; each group's
+// representative value is the median of its members' values. The result maps
+// group key to median.
+func GroupMedians(keys []string, values []float64) map[string]float64 {
+	if len(keys) != len(values) {
+		panic("stats: GroupMedians called with mismatched slice lengths")
+	}
+	grouped := make(map[string][]float64)
+	for i, k := range keys {
+		grouped[k] = append(grouped[k], values[i])
+	}
+	out := make(map[string]float64, len(grouped))
+	for k, vs := range grouped {
+		out[k] = Median(vs)
+	}
+	return out
+}
+
+// Values extracts the values of a map in key-sorted order, giving
+// deterministic downstream statistics.
+func Values(m map[string]float64) []float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Table renders a simple aligned text table: a header row followed by data
+// rows. It is used by the experiment harness to print paper-style tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Fmt1 formats a float with one decimal place; NaN renders as "-".
+func Fmt1(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// FmtPct formats a fraction as a percentage with one decimal place.
+func FmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}

@@ -1,0 +1,12 @@
+package topo
+
+import "testing"
+
+// BenchmarkGenerate measures full default-scale topology generation.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(GenConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

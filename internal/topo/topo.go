@@ -1,0 +1,448 @@
+// Package topo models the AS-level Internet the simulator routes over:
+// autonomous systems with geographic footprints, customer-provider and
+// peering relationships, and Internet exchange points offering both public
+// bilateral peering and route-server peering. A Topology can be generated
+// from a seed (Generate) or built by hand for controlled scenarios such as
+// the paper's Figure 1 and Figure 7 examples.
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/geo"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the ASN in the conventional "AS64496" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Tier classifies an AS's role in the transit hierarchy.
+type Tier uint8
+
+// AS tiers. TierCDN marks content networks (anycast origins) that buy
+// transit and peer widely but provide no transit themselves.
+const (
+	Tier1 Tier = iota + 1
+	Tier2
+	TierStub
+	TierCDN
+)
+
+var tierNames = map[Tier]string{
+	Tier1: "tier1", Tier2: "tier2", TierStub: "stub", TierCDN: "cdn",
+}
+
+// String returns a short tier name.
+func (t Tier) String() string {
+	if s, ok := tierNames[t]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// AS is an autonomous system.
+type AS struct {
+	ASN     ASN
+	Name    string
+	Tier    Tier
+	Home    string       // ISO country code of the AS's home country
+	Cities  []string     // IATA codes of cities the AS has presence in
+	Prefix  netip.Prefix // the AS's own (unicast) address block
+	citySet map[string]bool
+}
+
+// PresentIn reports whether the AS has presence in the given city.
+func (a *AS) PresentIn(iata string) bool { return a.citySet[iata] }
+
+// RelType is the business relationship a link encodes.
+type RelType uint8
+
+// Link relationship types. For CustomerToProvider links, the link's A side
+// is always the customer and the B side the provider. Peering links are
+// symmetric. RouteServerPeer marks multilateral peering via an IXP route
+// server, which BGP best-path selection prefers less than public bilateral
+// peering (paper §5.4).
+const (
+	CustomerToProvider RelType = iota + 1
+	PublicPeer
+	RouteServerPeer
+)
+
+var relNames = map[RelType]string{
+	CustomerToProvider: "c2p", PublicPeer: "peer", RouteServerPeer: "rs-peer",
+}
+
+// String returns a short relationship name.
+func (r RelType) String() string {
+	if s, ok := relNames[r]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Link is an inter-AS adjacency. Cities lists the interconnection points
+// (cities where the two ASes exchange traffic over this relationship);
+// hot-potato egress selection and path-latency computation use them.
+type Link struct {
+	A, B   ASN
+	Type   RelType
+	Cities []string
+	IXP    string // IXP identifier for IXP-mediated peering, else ""
+}
+
+// Other returns the far end of the link as seen from asn. The second return
+// is false if asn is not an endpoint.
+func (l Link) Other(asn ASN) (ASN, bool) {
+	switch asn {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	}
+	return 0, false
+}
+
+// IXP is an Internet exchange point in a city. Members peer over the fabric;
+// a subset of member pairs peer publicly (bilaterally), the rest reach each
+// other via the route server when both are route-server members.
+type IXP struct {
+	ID      string // e.g. "IX-FRA"
+	City    string // IATA code
+	Members []ASN
+}
+
+// Topology is an immutable-after-Freeze AS-level graph.
+type Topology struct {
+	ases  map[ASN]*AS
+	links []Link
+	ixps  map[string]*IXP
+	// neighbors indexes links by endpoint ASN.
+	neighbors map[ASN][]int
+	frozen    bool
+}
+
+// New returns an empty topology for manual construction.
+func New() *Topology {
+	return &Topology{
+		ases:      make(map[ASN]*AS),
+		ixps:      make(map[string]*IXP),
+		neighbors: make(map[ASN][]int),
+	}
+}
+
+// AddAS inserts an AS. The AS's city list is validated against the geo
+// registry and deduplicated.
+func (t *Topology) AddAS(a *AS) error {
+	if t.frozen {
+		return fmt.Errorf("topo: topology is frozen")
+	}
+	if a.ASN == 0 {
+		return fmt.Errorf("topo: AS number must be nonzero")
+	}
+	if _, dup := t.ases[a.ASN]; dup {
+		return fmt.Errorf("topo: duplicate %s", a.ASN)
+	}
+	if _, ok := geo.CountryByCode(a.Home); !ok {
+		return fmt.Errorf("topo: %s has unknown home country %q", a.ASN, a.Home)
+	}
+	if len(a.Cities) == 0 {
+		return fmt.Errorf("topo: %s has no city presence", a.ASN)
+	}
+	a.citySet = make(map[string]bool, len(a.Cities))
+	var cities []string
+	for _, c := range a.Cities {
+		if _, ok := geo.CityByIATA(c); !ok {
+			return fmt.Errorf("topo: %s lists unknown city %q", a.ASN, c)
+		}
+		if !a.citySet[c] {
+			a.citySet[c] = true
+			cities = append(cities, c)
+		}
+	}
+	sort.Strings(cities)
+	a.Cities = cities
+	t.ases[a.ASN] = a
+	return nil
+}
+
+// AddLink inserts a link. Both endpoints must exist, and every listed
+// interconnection city must host both ASes.
+func (t *Topology) AddLink(l Link) error {
+	if t.frozen {
+		return fmt.Errorf("topo: topology is frozen")
+	}
+	a, okA := t.ases[l.A]
+	b, okB := t.ases[l.B]
+	if !okA || !okB {
+		return fmt.Errorf("topo: link %s-%s references unknown AS", l.A, l.B)
+	}
+	if l.A == l.B {
+		return fmt.Errorf("topo: self-link on %s", l.A)
+	}
+	if len(l.Cities) == 0 {
+		return fmt.Errorf("topo: link %s-%s has no interconnection city", l.A, l.B)
+	}
+	for _, c := range l.Cities {
+		if !a.PresentIn(c) || !b.PresentIn(c) {
+			return fmt.Errorf("topo: link %s-%s interconnects at %s where an endpoint has no presence", l.A, l.B, c)
+		}
+	}
+	if _, dup := t.LinkBetween(l.A, l.B); dup {
+		return fmt.Errorf("topo: duplicate link between %s and %s", l.A, l.B)
+	}
+	idx := len(t.links)
+	t.links = append(t.links, l)
+	t.neighbors[l.A] = append(t.neighbors[l.A], idx)
+	t.neighbors[l.B] = append(t.neighbors[l.B], idx)
+	return nil
+}
+
+// AddIXP registers an IXP. Members must exist and be present in the IXP's
+// city.
+func (t *Topology) AddIXP(ix *IXP) error {
+	if t.frozen {
+		return fmt.Errorf("topo: topology is frozen")
+	}
+	if _, dup := t.ixps[ix.ID]; dup {
+		return fmt.Errorf("topo: duplicate IXP %s", ix.ID)
+	}
+	if _, ok := geo.CityByIATA(ix.City); !ok {
+		return fmt.Errorf("topo: IXP %s in unknown city %q", ix.ID, ix.City)
+	}
+	for _, m := range ix.Members {
+		a, ok := t.ases[m]
+		if !ok {
+			return fmt.Errorf("topo: IXP %s lists unknown member %s", ix.ID, m)
+		}
+		if !a.PresentIn(ix.City) {
+			return fmt.Errorf("topo: IXP %s member %s has no presence in %s", ix.ID, m, ix.City)
+		}
+	}
+	t.ixps[ix.ID] = ix
+	return nil
+}
+
+// AddIXPMember adds an AS to an existing IXP's member list (used when
+// content networks join exchanges after base-topology generation).
+func (t *Topology) AddIXPMember(ixID string, asn ASN) error {
+	if t.frozen {
+		return fmt.Errorf("topo: topology is frozen")
+	}
+	ix, ok := t.ixps[ixID]
+	if !ok {
+		return fmt.Errorf("topo: unknown IXP %s", ixID)
+	}
+	a, ok := t.ases[asn]
+	if !ok {
+		return fmt.Errorf("topo: unknown %s", asn)
+	}
+	if !a.PresentIn(ix.City) {
+		return fmt.Errorf("topo: %s has no presence in %s", asn, ix.City)
+	}
+	for _, m := range ix.Members {
+		if m == asn {
+			return nil // already a member
+		}
+	}
+	ix.Members = append(ix.Members, asn)
+	sort.Slice(ix.Members, func(i, j int) bool { return ix.Members[i] < ix.Members[j] })
+	return nil
+}
+
+// Freeze finalises the topology. After Freeze, mutation methods fail, and
+// read methods may be used concurrently.
+func (t *Topology) Freeze() { t.frozen = true }
+
+// AS returns the AS with the given number.
+func (t *Topology) AS(asn ASN) (*AS, bool) {
+	a, ok := t.ases[asn]
+	return a, ok
+}
+
+// MustAS returns the AS or panics; for use with ASNs the caller created.
+func (t *Topology) MustAS(asn ASN) *AS {
+	a, ok := t.ases[asn]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown %s", asn))
+	}
+	return a
+}
+
+// ASNs returns all AS numbers in ascending order.
+func (t *Topology) ASNs() []ASN {
+	out := make([]ASN, 0, len(t.ases))
+	for asn := range t.ases {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumASes returns the number of ASes.
+func (t *Topology) NumASes() int { return len(t.ases) }
+
+// Links returns all links. The returned slice must not be modified.
+func (t *Topology) Links() []Link { return t.links }
+
+// LinksOf returns the indices into Links() of the links incident to asn.
+func (t *Topology) LinksOf(asn ASN) []int { return t.neighbors[asn] }
+
+// IXPByID returns the IXP with the given ID.
+func (t *Topology) IXPByID(id string) (*IXP, bool) {
+	ix, ok := t.ixps[id]
+	return ix, ok
+}
+
+// IXPs returns all IXPs ordered by ID.
+func (t *Topology) IXPs() []*IXP {
+	ids := make([]string, 0, len(t.ixps))
+	for id := range t.ixps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*IXP, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, t.ixps[id])
+	}
+	return out
+}
+
+// LinkBetween returns the (unique) link between two ASes, if any. The
+// topology maintains the invariant that at most one link exists per AS pair,
+// so business relationships between two ASes are unambiguous.
+func (t *Topology) LinkBetween(x, y ASN) (Link, bool) {
+	if x == y {
+		return Link{}, false
+	}
+	a, b := x, y
+	if len(t.neighbors[b]) < len(t.neighbors[a]) {
+		a, b = b, a
+	}
+	for _, idx := range t.neighbors[a] {
+		l := t.links[idx]
+		if other, ok := l.Other(a); ok && other == b {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// CommonCities returns the sorted list of cities where both ASes are
+// present.
+func (t *Topology) CommonCities(x, y ASN) []string {
+	a, okA := t.ases[x]
+	b, okB := t.ases[y]
+	if !okA || !okB {
+		return nil
+	}
+	// Iterate the smaller set.
+	if len(b.Cities) < len(a.Cities) {
+		a, b = b, a
+	}
+	var out []string
+	for _, c := range a.Cities {
+		if b.PresentIn(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Providers returns the provider ASNs of asn (sorted, deduplicated).
+func (t *Topology) Providers(asn ASN) []ASN {
+	return t.relatedASes(asn, func(l Link) (ASN, bool) {
+		if l.Type == CustomerToProvider && l.A == asn {
+			return l.B, true
+		}
+		return 0, false
+	})
+}
+
+// Customers returns the customer ASNs of asn (sorted, deduplicated).
+func (t *Topology) Customers(asn ASN) []ASN {
+	return t.relatedASes(asn, func(l Link) (ASN, bool) {
+		if l.Type == CustomerToProvider && l.B == asn {
+			return l.A, true
+		}
+		return 0, false
+	})
+}
+
+// Peers returns the peering ASNs of asn of the given relationship type.
+func (t *Topology) Peers(asn ASN, rel RelType) []ASN {
+	return t.relatedASes(asn, func(l Link) (ASN, bool) {
+		if l.Type != rel {
+			return 0, false
+		}
+		return l.Other(asn)
+	})
+}
+
+func (t *Topology) relatedASes(asn ASN, pick func(Link) (ASN, bool)) []ASN {
+	seen := map[ASN]bool{}
+	var out []ASN
+	for _, idx := range t.neighbors[asn] {
+		if other, ok := pick(t.links[idx]); ok && !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate performs structural sanity checks: every non-tier-1 AS must have
+// at least one provider (so the graph is transit-connected), and
+// customer-provider links must not form cycles.
+func (t *Topology) Validate() error {
+	for asn, a := range t.ases {
+		if a.Tier == Tier1 {
+			continue
+		}
+		if len(t.Providers(asn)) == 0 && len(t.Peers(asn, PublicPeer)) == 0 && len(t.Peers(asn, RouteServerPeer)) == 0 {
+			return fmt.Errorf("topo: %s (%s) is isolated", asn, a.Tier)
+		}
+	}
+	if cycle := t.findProviderCycle(); cycle != nil {
+		return fmt.Errorf("topo: customer-provider cycle through %v", cycle)
+	}
+	return nil
+}
+
+// findProviderCycle detects a cycle in the customer→provider digraph.
+func (t *Topology) findProviderCycle() []ASN {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[ASN]int, len(t.ases))
+	var cycle []ASN
+	var visit func(ASN) bool
+	visit = func(asn ASN) bool {
+		color[asn] = grey
+		for _, p := range t.Providers(asn) {
+			switch color[p] {
+			case grey:
+				cycle = []ASN{asn, p}
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		color[asn] = black
+		return false
+	}
+	for _, asn := range t.ASNs() {
+		if color[asn] == white && visit(asn) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package topo
+
+import (
+	"net/netip"
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+// buildTiny constructs a 4-AS chain: stub -> t2 -> t1, plus a peer of t2.
+func buildTiny(t *testing.T) *Topology {
+	t.Helper()
+	tp := New()
+	mustAS := func(a *AS) {
+		t.Helper()
+		if err := tp.AddAS(a); err != nil {
+			t.Fatalf("AddAS(%v): %v", a.ASN, err)
+		}
+	}
+	mustAS(&AS{ASN: 100, Name: "T1", Tier: Tier1, Home: "US", Cities: []string{"NYC", "LON", "FRA", "SIN"}})
+	mustAS(&AS{ASN: 200, Name: "T2", Tier: Tier2, Home: "DE", Cities: []string{"FRA", "AMS", "LON"}})
+	mustAS(&AS{ASN: 201, Name: "T2b", Tier: Tier2, Home: "GB", Cities: []string{"LON", "AMS"}})
+	mustAS(&AS{ASN: 300, Name: "Stub", Tier: TierStub, Home: "DE", Cities: []string{"FRA"}})
+	mustLink := func(l Link) {
+		t.Helper()
+		if err := tp.AddLink(l); err != nil {
+			t.Fatalf("AddLink(%v-%v): %v", l.A, l.B, err)
+		}
+	}
+	mustLink(Link{A: 200, B: 100, Type: CustomerToProvider, Cities: []string{"FRA", "LON"}})
+	mustLink(Link{A: 300, B: 200, Type: CustomerToProvider, Cities: []string{"FRA"}})
+	mustLink(Link{A: 200, B: 201, Type: PublicPeer, Cities: []string{"LON", "AMS"}})
+	return tp
+}
+
+func TestAddASValidation(t *testing.T) {
+	tp := New()
+	if err := tp.AddAS(&AS{ASN: 0, Home: "US", Cities: []string{"NYC"}}); err == nil {
+		t.Error("accepted ASN 0")
+	}
+	if err := tp.AddAS(&AS{ASN: 1, Home: "XX", Cities: []string{"NYC"}}); err == nil {
+		t.Error("accepted unknown country")
+	}
+	if err := tp.AddAS(&AS{ASN: 1, Home: "US", Cities: []string{"ZZZ"}}); err == nil {
+		t.Error("accepted unknown city")
+	}
+	if err := tp.AddAS(&AS{ASN: 1, Home: "US"}); err == nil {
+		t.Error("accepted empty footprint")
+	}
+	if err := tp.AddAS(&AS{ASN: 1, Home: "US", Cities: []string{"NYC", "NYC", "BOS"}}); err != nil {
+		t.Fatalf("valid AS rejected: %v", err)
+	}
+	a := tp.MustAS(1)
+	if len(a.Cities) != 2 {
+		t.Errorf("cities not deduplicated: %v", a.Cities)
+	}
+	if err := tp.AddAS(&AS{ASN: 1, Home: "US", Cities: []string{"NYC"}}); err == nil {
+		t.Error("accepted duplicate ASN")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	tp := buildTiny(t)
+	if err := tp.AddLink(Link{A: 300, B: 999, Type: PublicPeer, Cities: []string{"FRA"}}); err == nil {
+		t.Error("accepted link to unknown AS")
+	}
+	if err := tp.AddLink(Link{A: 300, B: 300, Type: PublicPeer, Cities: []string{"FRA"}}); err == nil {
+		t.Error("accepted self link")
+	}
+	if err := tp.AddLink(Link{A: 300, B: 100, Type: CustomerToProvider}); err == nil {
+		t.Error("accepted link with no interconnection city")
+	}
+	// Stub 300 is only in FRA; AMS interconnection is invalid.
+	if err := tp.AddLink(Link{A: 300, B: 200, Type: PublicPeer, Cities: []string{"AMS"}}); err == nil {
+		t.Error("accepted interconnection city without dual presence")
+	}
+}
+
+func TestRelationshipQueries(t *testing.T) {
+	tp := buildTiny(t)
+	if got := tp.Providers(300); len(got) != 1 || got[0] != 200 {
+		t.Errorf("Providers(300) = %v", got)
+	}
+	if got := tp.Customers(100); len(got) != 1 || got[0] != 200 {
+		t.Errorf("Customers(100) = %v", got)
+	}
+	if got := tp.Peers(200, PublicPeer); len(got) != 1 || got[0] != 201 {
+		t.Errorf("Peers(200) = %v", got)
+	}
+	if got := tp.Peers(200, RouteServerPeer); len(got) != 0 {
+		t.Errorf("rs-Peers(200) = %v", got)
+	}
+}
+
+func TestCommonCities(t *testing.T) {
+	tp := buildTiny(t)
+	got := tp.CommonCities(100, 200)
+	want := map[string]bool{"FRA": true, "LON": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("CommonCities(100,200) = %v", got)
+	}
+	if got := tp.CommonCities(300, 201); len(got) != 0 {
+		t.Errorf("CommonCities(300,201) = %v, want none", got)
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	tp := buildTiny(t)
+	tp.Freeze()
+	if err := tp.AddAS(&AS{ASN: 9, Home: "US", Cities: []string{"NYC"}}); err == nil {
+		t.Error("AddAS allowed after freeze")
+	}
+	if err := tp.AddLink(Link{A: 100, B: 200, Type: PublicPeer, Cities: []string{"FRA"}}); err == nil {
+		t.Error("AddLink allowed after freeze")
+	}
+}
+
+func TestValidateDetectsIsolation(t *testing.T) {
+	tp := New()
+	if err := tp.AddAS(&AS{ASN: 1, Tier: TierStub, Home: "US", Cities: []string{"NYC"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err == nil {
+		t.Error("Validate accepted an isolated stub")
+	}
+}
+
+func TestValidateDetectsProviderCycle(t *testing.T) {
+	tp := New()
+	for i, cities := range [][]string{{"NYC", "LON"}, {"NYC", "LON"}, {"NYC", "LON"}} {
+		if err := tp.AddAS(&AS{ASN: ASN(i + 1), Tier: Tier2, Home: "US", Cities: cities}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink := func(a, b ASN) {
+		if err := tp.AddLink(Link{A: a, B: b, Type: CustomerToProvider, Cities: []string{"NYC"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(1, 2)
+	mustLink(2, 3)
+	mustLink(3, 1)
+	if err := tp.Validate(); err == nil {
+		t.Error("Validate accepted a provider cycle")
+	}
+}
+
+func TestIXPValidation(t *testing.T) {
+	tp := buildTiny(t)
+	if err := tp.AddIXP(&IXP{ID: "IX-FRA", City: "FRA", Members: []ASN{100, 200, 300}}); err != nil {
+		t.Fatalf("valid IXP rejected: %v", err)
+	}
+	if err := tp.AddIXP(&IXP{ID: "IX-FRA", City: "FRA"}); err == nil {
+		t.Error("accepted duplicate IXP")
+	}
+	if err := tp.AddIXP(&IXP{ID: "IX-AMS", City: "AMS", Members: []ASN{300}}); err == nil {
+		t.Error("accepted member without presence in IXP city")
+	}
+	ix, ok := tp.IXPByID("IX-FRA")
+	if !ok || ix.City != "FRA" {
+		t.Errorf("IXPByID = %v, %v", ix, ok)
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := Link{A: 1, B: 2}
+	if o, ok := l.Other(1); !ok || o != 2 {
+		t.Errorf("Other(1) = %v, %v", o, ok)
+	}
+	if o, ok := l.Other(2); !ok || o != 1 {
+		t.Errorf("Other(2) = %v, %v", o, ok)
+	}
+	if _, ok := l.Other(3); ok {
+		t.Error("Other(3) should be false")
+	}
+}
+
+func TestGenerateSmallWorld(t *testing.T) {
+	cfg := GenConfig{Seed: 7, NumTier1: 4, NumTier2: 20, NumStub: 120, NumIXP: 8}
+	tp, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	tp.Freeze()
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tp.NumASes(); got != 4+20+120 {
+		t.Errorf("NumASes = %d, want 144", got)
+	}
+	// Every stub must have a provider path to a tier-1 (transit-connected).
+	for _, asn := range tp.ASNs() {
+		a := tp.MustAS(asn)
+		if a.Tier == Tier1 {
+			continue
+		}
+		if !reachesTier1(tp, asn, map[ASN]bool{}) {
+			t.Errorf("%s cannot reach any tier-1 via providers", asn)
+		}
+	}
+	// IXPs exist and host members.
+	ixps := tp.IXPs()
+	if len(ixps) == 0 {
+		t.Fatal("no IXPs generated")
+	}
+	// There is at least one route-server peering link and one public
+	// peering link at an IXP.
+	var rs, pub int
+	for _, l := range tp.Links() {
+		switch {
+		case l.Type == RouteServerPeer:
+			rs++
+		case l.Type == PublicPeer && l.IXP != "":
+			pub++
+		}
+	}
+	if rs == 0 || pub == 0 {
+		t.Errorf("IXP peering mix: rs=%d public=%d, want both > 0", rs, pub)
+	}
+}
+
+func reachesTier1(tp *Topology, asn ASN, seen map[ASN]bool) bool {
+	if seen[asn] {
+		return false
+	}
+	seen[asn] = true
+	if tp.MustAS(asn).Tier == Tier1 {
+		return true
+	}
+	for _, p := range tp.Providers(asn) {
+		if reachesTier1(tp, p, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, NumTier1: 3, NumTier2: 10, NumStub: 50, NumIXP: 5}
+	t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Links()) != len(t2.Links()) {
+		t.Fatalf("link counts differ: %d vs %d", len(t1.Links()), len(t2.Links()))
+	}
+	for i, l := range t1.Links() {
+		m := t2.Links()[i]
+		if l.A != m.A || l.B != m.B || l.Type != m.Type {
+			t.Fatalf("link %d differs: %+v vs %+v", i, l, m)
+		}
+	}
+	for _, asn := range t1.ASNs() {
+		a, b := t1.MustAS(asn), t2.MustAS(asn)
+		if a.Prefix != b.Prefix || len(a.Cities) != len(b.Cities) {
+			t.Fatalf("%s differs between runs", asn)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg1 := GenConfig{Seed: 1, NumTier1: 3, NumTier2: 10, NumStub: 50, NumIXP: 5}
+	cfg2 := cfg1
+	cfg2.Seed = 2
+	t1, _ := Generate(cfg1)
+	t2, _ := Generate(cfg2)
+	same := true
+	for _, asn := range t1.ASNs() {
+		a := t1.MustAS(asn)
+		b, ok := t2.AS(asn)
+		if !ok || len(a.Cities) != len(b.Cities) {
+			same = false
+			break
+		}
+		for i := range a.Cities {
+			if a.Cities[i] != b.Cities[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical footprints")
+	}
+}
+
+func TestGeneratedAreaSkew(t *testing.T) {
+	// Stub ASes must be skewed toward EMEA per the paper's probe density.
+	tp, err := Generate(GenConfig{Seed: 5, NumTier1: 4, NumTier2: 30, NumStub: 600, NumIXP: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[geo.Area]int{}
+	for _, asn := range tp.ASNs() {
+		a := tp.MustAS(asn)
+		if a.Tier == TierStub {
+			counts[geo.AreaOf(a.Home)]++
+		}
+	}
+	if counts[geo.EMEA] <= counts[geo.NA] || counts[geo.NA] <= counts[geo.LatAm] {
+		t.Errorf("area skew not respected: %v", counts)
+	}
+}
+
+func TestASPrefixesDisjoint(t *testing.T) {
+	tp, err := Generate(GenConfig{Seed: 9, NumTier1: 3, NumTier2: 10, NumStub: 80, NumIXP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefixes []netip.Prefix
+	for _, asn := range tp.ASNs() {
+		prefixes = append(prefixes, tp.MustAS(asn).Prefix)
+	}
+	for i := range prefixes {
+		for j := i + 1; j < len(prefixes); j++ {
+			if prefixes[i].Overlaps(prefixes[j]) {
+				t.Fatalf("prefixes %s and %s overlap", prefixes[i], prefixes[j])
+			}
+		}
+	}
+}

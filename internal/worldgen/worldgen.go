@@ -1,0 +1,283 @@
+// Package worldgen composes the simulated Internet the experiments run on:
+// a seeded topology, the Edgio / Imperva / Tangled content networks, their
+// anycast announcements, the address plan and its geolocation ground truth,
+// the three public geolocation databases plus the operators' own, the
+// authoritative DNS with every studied customer hostname, and the probe
+// platform.
+package worldgen
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/atlas"
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/dnssim"
+	"anysim/internal/geodb"
+	"anysim/internal/netplan"
+	"anysim/internal/topo"
+)
+
+// DefaultSeed is the seed of the canonical "paper world".
+const DefaultSeed = 2023
+
+// cdnASBase is the address block content-network AS prefixes are carved
+// from. It lies outside netplan.ASBase, so it cannot collide with the
+// generated topology's allocations.
+var cdnASBase = netip.MustParsePrefix("32.0.0.0/8")
+
+// Config parameterises world construction. The zero Config (plus a seed)
+// yields the full-scale paper world.
+type Config struct {
+	Seed int64
+	// Scale multiplies the probe population; 1.0 reproduces the paper's
+	// probe counts. Topology size is controlled via Topo.
+	Scale float64
+	// Topo overrides topology generation; zero fields take defaults.
+	Topo topo.GenConfig
+	// Population overrides probe generation; zero fields take defaults.
+	Population atlas.PopulationConfig
+}
+
+// HostnameSets are the customer hostname populations of §4.2: per CDN, the
+// hostnames served by the regional anycast platform, plus hostnames on
+// other (non-regional) services that the census must filter out.
+type HostnameSets struct {
+	EG3 []string // 50 hostnames resolving to 3 distinct regional IPs
+	EG4 []string // 34 hostnames resolving to 4 distinct regional IPs
+	IM6 []string // 78 hostnames resolving to 6 distinct regional IPs
+	// EdgioOther / ImpervaOther are hostnames on the same CDNs but not on
+	// the regional anycast platform (single-IP services).
+	EdgioOther   []string
+	ImpervaOther []string
+}
+
+// Representative hostnames (§4.3): the ones the paper's in-depth study
+// uses.
+const (
+	RepEG3 = "www.straitstimes.com"
+	RepEG4 = "www.asus.com"
+	RepIM6 = "www.stamps.com"
+)
+
+// All returns every registered customer hostname.
+func (h HostnameSets) All() []string {
+	var out []string
+	out = append(out, h.EG3...)
+	out = append(out, h.EG4...)
+	out = append(out, h.IM6...)
+	out = append(out, h.EdgioOther...)
+	out = append(out, h.ImpervaOther...)
+	sort.Strings(out)
+	return out
+}
+
+// World is the fully-wired simulation.
+type World struct {
+	Config Config
+
+	Topo     *topo.Topology
+	Engine   *bgp.Engine
+	Addr     *atlas.Addressing
+	Platform *atlas.Platform
+	Measurer *atlas.Measurer
+
+	Truth  *geodb.Truth
+	GeoDBs []*geodb.DB // the three public databases (Appendix B)
+	// OperatorDB is the CDNs' own mapping database (used by their
+	// authoritative DNS); slightly better than the public ones but not
+	// perfect.
+	OperatorDB *geodb.DB
+	// Route53DB backs the Route 53-style country-level mapping (§6.2).
+	Route53DB *geodb.DB
+
+	Edgio   *cdn.Edgio
+	Imperva *cdn.Imperva
+	Tangled *cdn.Tangled
+
+	Auth      *dnssim.Authoritative
+	Hostnames HostnameSets
+}
+
+// New builds a world. Deterministic per Config.
+func New(cfg Config) (*World, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	w := &World{Config: cfg}
+
+	// 1. Base topology.
+	tcfg := cfg.Topo
+	tcfg.Seed = cfg.Seed
+	tp, err := topo.Generate(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("worldgen: topology: %w", err)
+	}
+	w.Topo = tp
+
+	// 2. Content networks.
+	anycastAlloc := netplan.NewAllocator(netplan.AnycastBase)
+	asAlloc := netplan.NewAllocator(cdnASBase)
+	if w.Edgio, err = cdn.NewEdgio(tp, anycastAlloc, asAlloc, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("worldgen: edgio: %w", err)
+	}
+	if w.Imperva, err = cdn.NewImperva(tp, anycastAlloc, asAlloc, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("worldgen: imperva: %w", err)
+	}
+	if w.Tangled, err = cdn.NewTangled(tp, anycastAlloc, asAlloc, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("worldgen: tangled: %w", err)
+	}
+	tp.Freeze()
+	if err := tp.Validate(); err != nil {
+		return nil, fmt.Errorf("worldgen: topology invalid: %w", err)
+	}
+
+	// 3. Routing.
+	w.Engine = bgp.NewEngine(tp)
+	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
+		if err := d.Announce(w.Engine); err != nil {
+			return nil, fmt.Errorf("worldgen: %w", err)
+		}
+	}
+
+	// 4. Address plan and probes.
+	if w.Addr, err = atlas.NewAddressing(tp, cfg.Seed); err != nil {
+		return nil, fmt.Errorf("worldgen: addressing: %w", err)
+	}
+	pcfg := cfg.Population
+	pcfg.Seed = cfg.Seed
+	if pcfg.Scale == 0 {
+		pcfg.Scale = cfg.Scale
+	}
+	if w.Platform, err = atlas.NewPlatform(tp, w.Addr, pcfg); err != nil {
+		return nil, fmt.Errorf("worldgen: platform: %w", err)
+	}
+	w.Measurer = atlas.NewMeasurer(w.Engine, w.Addr, cfg.Seed)
+
+	// 5. Geolocation ground truth and databases.
+	w.Truth = &geodb.Truth{}
+	err = w.Addr.RegisterTruth(w.Truth, atlas.TruthConfig{TransitAddressedStubs: w.Platform.TransitAddressedStubs})
+	if err != nil {
+		return nil, fmt.Errorf("worldgen: truth: %w", err)
+	}
+	if err := w.Platform.RegisterTruth(w.Truth); err != nil {
+		return nil, fmt.Errorf("worldgen: truth: %w", err)
+	}
+	w.GeoDBs = geodb.BuildDefault(w.Truth, cfg.Seed)
+	w.OperatorDB = geodb.Build("cdn-geo-sim", w.Truth, geodb.ErrorModel{
+		PCityWrong: 0.06, PCountryWrong: 0.010, PTransitHome: 0.15, PMiss: 0.01,
+	}, cfg.Seed+101)
+	w.Route53DB = geodb.Build("route53-geo-sim", w.Truth, geodb.ErrorModel{
+		PCityWrong: 0.07, PCountryWrong: 0.012, PTransitHome: 0.15, PMiss: 0.01,
+	}, cfg.Seed+202)
+
+	// 6. Authoritative DNS and customer hostnames.
+	w.Auth = dnssim.NewAuthoritative()
+	if err := w.registerHostnames(); err != nil {
+		return nil, fmt.Errorf("worldgen: hostnames: %w", err)
+	}
+	return w, nil
+}
+
+// registerHostnames creates the §4.2 customer populations: 50 Edgio-3, 34
+// Edgio-4, and 78 Imperva-6 hostnames (including the representative ones),
+// plus non-regional hostnames that resolve to a single address.
+func (w *World) registerHostnames() error {
+	eg3Mapper := w.Edgio.EG3.Mapper(w.OperatorDB)
+	eg4Mapper := w.Edgio.EG4.Mapper(w.OperatorDB)
+	im6Mapper := w.Imperva.IM6.Mapper(w.OperatorDB)
+
+	add := func(host string, m dnssim.Mapper, set *[]string) error {
+		if err := w.Auth.Register(host, m); err != nil {
+			return err
+		}
+		*set = append(*set, host)
+		return nil
+	}
+
+	if err := add(RepEG3, eg3Mapper, &w.Hostnames.EG3); err != nil {
+		return err
+	}
+	for i := 1; i < 50; i++ {
+		if err := add(fmt.Sprintf("www.eg3-customer-%02d.example", i), eg3Mapper, &w.Hostnames.EG3); err != nil {
+			return err
+		}
+	}
+	if err := add(RepEG4, eg4Mapper, &w.Hostnames.EG4); err != nil {
+		return err
+	}
+	for i := 1; i < 34; i++ {
+		if err := add(fmt.Sprintf("www.eg4-customer-%02d.example", i), eg4Mapper, &w.Hostnames.EG4); err != nil {
+			return err
+		}
+	}
+	if err := add(RepIM6, im6Mapper, &w.Hostnames.IM6); err != nil {
+		return err
+	}
+	for i := 1; i < 78; i++ {
+		if err := add(fmt.Sprintf("www.im6-customer-%02d.example", i), im6Mapper, &w.Hostnames.IM6); err != nil {
+			return err
+		}
+	}
+
+	// Non-regional customers: single-address services on the same CDNs
+	// (the census must exclude them, §4.2).
+	egStatic := dnssim.Static(atlas.VIPOf(w.Topo.MustAS(w.Edgio.ASN).Prefix))
+	imStatic := dnssim.Static(atlas.VIPOf(w.Topo.MustAS(w.Imperva.ASN).Prefix))
+	for i := 0; i < 12; i++ {
+		host := fmt.Sprintf("www.eg-other-%02d.example", i)
+		if err := add(host, egStatic, &w.Hostnames.EdgioOther); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 13; i++ {
+		host := fmt.Sprintf("www.im-other-%02d.example", i)
+		if err := add(host, imStatic, &w.Hostnames.ImpervaOther); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeploymentOfHostname returns the regional deployment serving a hostname,
+// or nil for non-regional hostnames.
+func (w *World) DeploymentOfHostname(host string) *cdn.Deployment {
+	for _, h := range w.Hostnames.EG3 {
+		if h == host {
+			return w.Edgio.EG3
+		}
+	}
+	for _, h := range w.Hostnames.EG4 {
+		if h == host {
+			return w.Edgio.EG4
+		}
+	}
+	for _, h := range w.Hostnames.IM6 {
+		if h == host {
+			return w.Imperva.IM6
+		}
+	}
+	return nil
+}
+
+// Small returns a reduced-scale world for tests and quick experiments:
+// around 1,300 ASes and ~12% of the paper's probe population — large enough
+// for per-area tail statistics to be meaningful, small enough to build in
+// well under a second.
+func Small(seed int64) (*World, error) {
+	return New(Config{
+		Seed:  seed,
+		Scale: 0.12,
+		Topo:  topo.GenConfig{NumTier1: 8, NumTier2: 90, NumStub: 1200, NumIXP: 20},
+	})
+}
+
+// Default builds the full-scale paper world with the canonical seed.
+func Default() (*World, error) {
+	return New(Config{Seed: DefaultSeed})
+}

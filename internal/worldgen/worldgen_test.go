@@ -1,0 +1,192 @@
+package worldgen
+
+import (
+	"testing"
+
+	"anysim/internal/atlas"
+	"anysim/internal/geo"
+	"anysim/internal/topo"
+)
+
+// small worlds are expensive enough to share across tests.
+var sharedWorld *World
+
+func world(t *testing.T) *World {
+	t.Helper()
+	if sharedWorld == nil {
+		w, err := Small(7)
+		if err != nil {
+			t.Fatalf("Small: %v", err)
+		}
+		sharedWorld = w
+	}
+	return sharedWorld
+}
+
+func TestWorldWiring(t *testing.T) {
+	w := world(t)
+	if w.Topo == nil || w.Engine == nil || w.Platform == nil || w.Auth == nil {
+		t.Fatal("world has nil components")
+	}
+	// All five deployments announced: 3+4+6+1+1 = 15 prefixes.
+	if got := len(w.Engine.Prefixes()); got != 15 {
+		t.Errorf("announced prefixes = %d, want 15", got)
+	}
+	// Hostname census sizes per §4.2.
+	if len(w.Hostnames.EG3) != 50 || len(w.Hostnames.EG4) != 34 || len(w.Hostnames.IM6) != 78 {
+		t.Errorf("hostname sets = %d/%d/%d, want 50/34/78",
+			len(w.Hostnames.EG3), len(w.Hostnames.EG4), len(w.Hostnames.IM6))
+	}
+	if len(w.GeoDBs) != 3 {
+		t.Errorf("public geo DBs = %d, want 3", len(w.GeoDBs))
+	}
+}
+
+func TestRepresentativeHostnamesResolve(t *testing.T) {
+	w := world(t)
+	probes := w.Platform.Retained()
+	if len(probes) == 0 {
+		t.Fatal("no probes")
+	}
+	p := probes[0]
+	for _, tc := range []struct {
+		host string
+		dep  string
+	}{
+		{RepEG3, "Edgio-3"},
+		{RepEG4, "Edgio-4"},
+		{RepIM6, "Imperva-6"},
+	} {
+		addr, ok := w.Measurer.ResolveHost(w.Auth, tc.host, p, atlas.ADNS)
+		if !ok {
+			t.Errorf("%s did not resolve", tc.host)
+			continue
+		}
+		d := w.DeploymentOfHostname(tc.host)
+		if d == nil || d.Name != tc.dep {
+			t.Errorf("DeploymentOfHostname(%s) = %v, want %s", tc.host, d, tc.dep)
+			continue
+		}
+		if _, ok := d.RegionOfVIP(addr); !ok {
+			t.Errorf("%s resolved to %v, not a regional VIP of %s", tc.host, addr, tc.dep)
+		}
+	}
+}
+
+func TestNonRegionalHostnamesResolveToSingleIP(t *testing.T) {
+	w := world(t)
+	probes := w.Platform.Retained()
+	host := w.Hostnames.EdgioOther[0]
+	first, ok := w.Measurer.ResolveHost(w.Auth, host, probes[0], atlas.ADNS)
+	if !ok {
+		t.Fatalf("%s did not resolve", host)
+	}
+	for _, p := range probes[:50] {
+		a, ok := w.Measurer.ResolveHost(w.Auth, host, p, atlas.ADNS)
+		if !ok || a != first {
+			t.Fatalf("non-regional hostname varies: %v vs %v", a, first)
+		}
+	}
+	if w.DeploymentOfHostname(host) != nil {
+		t.Error("non-regional hostname mapped to a deployment")
+	}
+}
+
+func TestMostProbesReachTheirRegionalVIP(t *testing.T) {
+	w := world(t)
+	var resolved, reached, total int
+	for _, p := range w.Platform.Retained() {
+		total++
+		addr, ok := w.Measurer.ResolveHost(w.Auth, RepIM6, p, atlas.ADNS)
+		if !ok {
+			continue
+		}
+		resolved++
+		if _, ok := w.Measurer.Ping(p, addr); ok {
+			reached++
+		}
+	}
+	if resolved < total*95/100 {
+		t.Errorf("only %d/%d probes resolved the hostname", resolved, total)
+	}
+	if reached < resolved*95/100 {
+		t.Errorf("only %d/%d probes reached their VIP", reached, resolved)
+	}
+}
+
+// TestRegionalReachability reproduces §4.5: every probe can reach regional
+// VIPs that DNS did not return to it (global reachability of regional
+// prefixes).
+func TestRegionalReachability(t *testing.T) {
+	w := world(t)
+	probes := w.Platform.Retained()
+	var checked, reachable int
+	for _, p := range probes[:200] {
+		for _, vip := range w.Imperva.IM6.VIPs() {
+			checked++
+			if _, ok := w.Measurer.Ping(p, vip); ok {
+				reachable++
+			}
+		}
+	}
+	if frac := float64(reachable) / float64(checked); frac < 0.99 {
+		t.Errorf("regional VIP reachability = %.3f, want ~1.0", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w1, err := Small(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Small(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := w1.Platform.Retained()
+	p2 := w2.Platform.Retained()
+	if len(p1) != len(p2) {
+		t.Fatalf("probe counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i].Addr != p2[i].Addr || p1[i].City != p2[i].City {
+			t.Fatalf("probe %d differs between identical builds", i)
+		}
+	}
+	vip := w1.Imperva.IM6.VIPs()[0]
+	for i := 0; i < 100 && i < len(p1); i++ {
+		r1, ok1 := w1.Measurer.Ping(p1[i], vip)
+		r2, ok2 := w2.Measurer.Ping(p2[i], vip)
+		if ok1 != ok2 || r1 != r2 {
+			t.Fatalf("ping differs for probe %d: %v/%v vs %v/%v", i, r1, ok1, r2, ok2)
+		}
+	}
+}
+
+func TestAreasCoveredByTangled(t *testing.T) {
+	w := world(t)
+	counts := map[geo.Area]int{}
+	for _, s := range w.Tangled.Global.Sites {
+		counts[s.Area()]++
+	}
+	want := map[geo.Area]int{geo.APAC: 2, geo.EMEA: 5, geo.NA: 3, geo.LatAm: 2}
+	for a, n := range want {
+		if counts[a] != n {
+			t.Errorf("Tangled sites in %v = %d, want %d", a, counts[a], n)
+		}
+	}
+}
+
+func TestCDNPrefixOutsideGeneratedSpace(t *testing.T) {
+	w := world(t)
+	cdnPrefix := w.Topo.MustAS(w.Edgio.ASN).Prefix
+	for _, asn := range w.Topo.ASNs() {
+		a := w.Topo.MustAS(asn)
+		if a.Tier == topo.TierCDN || asn == w.Edgio.ASN {
+			continue
+		}
+		if a.Prefix.Overlaps(cdnPrefix) {
+			t.Fatalf("CDN prefix %v overlaps %s's %v", cdnPrefix, asn, a.Prefix)
+		}
+	}
+}
