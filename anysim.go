@@ -21,6 +21,7 @@ import (
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/core"
+	"anysim/internal/dynamics"
 	"anysim/internal/experiments"
 	"anysim/internal/geo"
 	"anysim/internal/reopt"
@@ -148,6 +149,46 @@ type (
 // testbed.
 func RunReOpt(w *World, seed int64) (*ReOptSweep, error) {
 	return reopt.Run(w.Engine, w.Measurer, w.Tangled, w.Platform.Retained(), reopt.Config{Seed: seed})
+}
+
+// Routing dynamics and fault injection (extension X2).
+type (
+	// Scenario is a schedule of fault and repair events, writable in a
+	// line-oriented DSL (see ParseScenario) or generated from a seed.
+	Scenario = dynamics.Scenario
+	// FaultEvent is one scheduled routing event (site, link, or IXP).
+	FaultEvent = dynamics.Event
+	// ScenarioRunner applies scenarios to one deployment through the
+	// engine's incremental reconvergence API, measuring catchment churn.
+	ScenarioRunner = dynamics.Runner
+	// ScenarioStep is one applied event with its churn and solver stats.
+	ScenarioStep = dynamics.Step
+	// ChurnStats aggregates per-AS catchment changes across an event.
+	ChurnStats = dynamics.ChurnStats
+	// ScenarioGenConfig parameterises the seeded fault-schedule generator.
+	ScenarioGenConfig = dynamics.GenConfig
+)
+
+// NewScenarioRunner wires a runner for one of the world's deployments,
+// with probe-level analyses enabled.
+func NewScenarioRunner(w *World, dep *Deployment) *ScenarioRunner {
+	r := dynamics.NewRunner(w.Engine, dep)
+	r.Measurer = w.Measurer
+	r.Probes = w.Platform.Retained()
+	return r
+}
+
+// ParseScenario reads a scenario from its DSL text.
+func ParseScenario(text string) (*Scenario, error) { return dynamics.ParseString(text) }
+
+// GenerateScenario builds a deterministic fault schedule for a deployment.
+func GenerateScenario(w *World, dep *Deployment, cfg ScenarioGenConfig) (*Scenario, error) {
+	return dynamics.Generate(cfg, w.Topo, dep)
+}
+
+// FailoverPenalties extracts per-probe RTT deltas between two probe views.
+func FailoverPenalties(pre, post []dynamics.View) []float64 {
+	return dynamics.Penalties(pre, post)
 }
 
 // Experiments (every table and figure).

@@ -12,6 +12,7 @@
 //	catchment <host>         per-area catchment-site histogram for a hostname
 //	probe <groupKey> <host>  one probe group's DNS answers, pings, traceroute
 //	routes <asn> <vip>       an AS's selected routes toward a VIP's prefix
+//	scenario <file>          replay a fault scenario (see -dep) step by step
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"anysim/internal/atlas"
 	"anysim/internal/cdn"
+	"anysim/internal/dynamics"
 	"anysim/internal/geo"
 	"anysim/internal/topo"
 	"anysim/internal/worldgen"
@@ -33,6 +35,7 @@ func main() {
 	var (
 		seed  = flag.Int64("seed", worldgen.DefaultSeed, "world seed")
 		small = flag.Bool("small", false, "use the reduced-scale world")
+		dep   = flag.String("dep", "im6", "deployment for the scenario subcommand (eg3, eg4, im6, ns, tangled)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -70,6 +73,11 @@ func main() {
 			usage()
 		}
 		routes(w, flag.Arg(1), flag.Arg(2))
+	case "scenario":
+		if flag.NArg() != 2 {
+			usage()
+		}
+		scenario(w, *dep, flag.Arg(1))
 	default:
 		usage()
 	}
@@ -194,12 +202,62 @@ func routes(w *worldgen.World, asnStr, vipStr string) {
 	}
 }
 
+func scenario(w *worldgen.World, depName, file string) {
+	deps := map[string]*cdn.Deployment{
+		"eg3": w.Edgio.EG3, "eg4": w.Edgio.EG4,
+		"im6": w.Imperva.IM6, "ns": w.Imperva.NS,
+		"tangled": w.Tangled.Global,
+	}
+	d, ok := deps[depName]
+	if !ok {
+		fatalf("unknown deployment %q (want eg3, eg4, im6, ns, or tangled)", depName)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	sc, err := dynamics.Parse(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	r := dynamics.NewRunner(w.Engine, d)
+	r.Measurer = w.Measurer
+	r.Probes = w.Platform.Retained()
+
+	fmt.Printf("scenario %s on %s (AS%d, %d prefixes)\n", sc.Name, d.Name, d.ASN, len(r.Prefixes()))
+	pre := r.ProbeViews()
+	steps, err := r.Run(sc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, st := range steps {
+		mode := "incremental"
+		if st.Stats.Full {
+			mode = "full"
+		}
+		fmt.Printf("%-32s moved %4d  lost %4d  gained %4d  blast %6.2f%%  (%s: %d dirty, %d passes)\n",
+			st.Event, st.Churn.Moved, st.Churn.Lost, st.Churn.Gained,
+			100*st.Churn.ChangedFraction(), mode, st.Stats.Dirty, st.Stats.Passes)
+	}
+	post := r.ProbeViews()
+	changed, total := r.GroupChurn(pre, post)
+	fmt.Printf("net effect: %d/%d probe groups changed service", changed, total)
+	if pens := dynamics.Penalties(pre, post); len(pens) > 0 {
+		sort.Float64s(pens)
+		fmt.Printf(", median residual RTT delta %.1f ms", pens[len(pens)/2])
+	}
+	fmt.Println()
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: anysim [-seed N] [-small] <subcommand>
   deployments              list deployments, regions, and VIPs
   catchment <host>         per-area catchment histogram for a hostname
   probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
-  routes <asn> <vip>       an AS's selected routes toward a VIP`)
+  routes <asn> <vip>       an AS's selected routes toward a VIP
+  scenario <file>          replay a fault scenario against -dep (default im6)`)
 	os.Exit(2)
 }
 

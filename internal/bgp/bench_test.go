@@ -55,6 +55,44 @@ func BenchmarkAnnounce(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalReconvergence compares a single-site withdrawal plus
+// restore through the incremental API against the same transition done with
+// full recomputes. The incremental path must win: it only revisits the ASes
+// whose offer sets can change.
+func BenchmarkIncrementalReconvergence(b *testing.B) {
+	_, e, anns, prefix := benchWorld(b)
+	if err := e.Announce(prefix, anns); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := e.WithdrawSite(prefix, "fra"); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.AnnounceSite(prefix, anns[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := e.LastReconvergeStats()
+		b.ReportMetric(float64(st.Dirty), "dirty-ases")
+		if st.Full {
+			b.Error("incremental path fell back to full recompute")
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		minus := append([]SiteAnnouncement(nil), anns[:1]...)
+		minus = append(minus, anns[2:]...)
+		for i := 0; i < b.N; i++ {
+			if err := e.Announce(prefix, minus); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Announce(prefix, anns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkLookup measures catchment queries against a converged prefix.
 func BenchmarkLookup(b *testing.B) {
 	tp, e, anns, prefix := benchWorld(b)

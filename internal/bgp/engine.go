@@ -3,6 +3,7 @@ package bgp
 import (
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 	"sync"
 
@@ -34,9 +35,14 @@ type Engine struct {
 	cityIdx map[string]int
 	cityKm  [][]float64 // pairwise great-circle distances
 
-	mu   sync.RWMutex
-	ribs map[netip.Prefix]map[topo.ASN]*rib
-	anns map[netip.Prefix][]SiteAnnouncement
+	mu        sync.RWMutex
+	ribs      map[netip.Prefix]map[topo.ASN]*rib
+	anns      map[netip.Prefix][]SiteAnnouncement
+	lastStats ReconvergeStats
+	// hints is the failover memory of incremental reconvergence: per
+	// (prefix, site), the ASes the last withdraw/restore of that site
+	// touched, used to pre-seed the next operation on the same site.
+	hints map[netip.Prefix]map[string]map[topo.ASN]bool
 }
 
 // rib holds one AS's routes for one prefix, bucketed by preference class.
@@ -83,6 +89,7 @@ func NewEngine(t *topo.Topology) *Engine {
 		cityKm:  km,
 		ribs:    make(map[netip.Prefix]map[topo.ASN]*rib),
 		anns:    make(map[netip.Prefix][]SiteAnnouncement),
+		hints:   make(map[netip.Prefix]map[string]map[topo.ASN]bool),
 	}
 }
 
@@ -125,6 +132,22 @@ func (e *Engine) Withdraw(p netip.Prefix) {
 	defer e.mu.Unlock()
 	delete(e.ribs, p)
 	delete(e.anns, p)
+	delete(e.hints, p)
+}
+
+// NonTerminationError reports that route propagation failed to reach a fixed
+// point within its iteration budget — the signature of a topology bug (e.g. a
+// customer-provider cycle slipping past validation), not a recoverable
+// condition.
+type NonTerminationError struct {
+	Prefix     netip.Prefix
+	Phase      int // propagation phase: 1 = customer climb, 3 = provider descent
+	Iterations int
+}
+
+func (err *NonTerminationError) Error() string {
+	return fmt.Sprintf("bgp: phase %d for %s failed to terminate after %d iterations",
+		err.Phase, err.Prefix, err.Iterations)
 }
 
 // Announce originates a prefix from a set of anycast sites and converges
@@ -136,15 +159,8 @@ func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
 	}
 	siteIDs := map[string]bool{}
 	for _, a := range anns {
-		origin, ok := e.topo.AS(a.Origin)
-		if !ok {
-			return fmt.Errorf("bgp: announcement for %s from unknown %s", prefix, a.Origin)
-		}
-		if !origin.PresentIn(a.City) {
-			return fmt.Errorf("bgp: %s announces %s at %s where it has no presence", a.Origin, prefix, a.City)
-		}
-		if a.Site == "" {
-			return fmt.Errorf("bgp: announcement for %s with empty site ID", prefix)
+		if err := e.validateAnn(prefix, a); err != nil {
+			return err
 		}
 		if siteIDs[a.Site] {
 			return fmt.Errorf("bgp: duplicate site ID %q for %s", a.Site, prefix)
@@ -152,19 +168,69 @@ func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
 		siteIDs[a.Site] = true
 	}
 
-	ribs := e.converge(anns)
-
-	e.mu.Lock()
-	e.ribs[prefix] = ribs
-	e.anns[prefix] = append([]SiteAnnouncement(nil), anns...)
-	e.mu.Unlock()
+	ribs, err := e.converge(prefix, anns, nil)
+	if err != nil {
+		return err
+	}
+	e.install(prefix, anns, ribs, ReconvergeStats{Dirty: len(ribs), Passes: 1, Full: true})
 	return nil
 }
 
+// validateAnn checks a single site announcement against the topology.
+func (e *Engine) validateAnn(prefix netip.Prefix, a SiteAnnouncement) error {
+	origin, ok := e.topo.AS(a.Origin)
+	if !ok {
+		return fmt.Errorf("bgp: announcement for %s from unknown %s", prefix, a.Origin)
+	}
+	if !origin.PresentIn(a.City) {
+		return fmt.Errorf("bgp: %s announces %s at %s where it has no presence", a.Origin, prefix, a.City)
+	}
+	if a.Site == "" {
+		return fmt.Errorf("bgp: announcement for %s with empty site ID", prefix)
+	}
+	return nil
+}
+
+// install publishes a converged routing table for a prefix.
+func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs map[topo.ASN]*rib, st ReconvergeStats) {
+	e.mu.Lock()
+	e.ribs[prefix] = ribs
+	e.anns[prefix] = append([]SiteAnnouncement(nil), anns...)
+	e.lastStats = st
+	e.mu.Unlock()
+}
+
+// convergeScope restricts convergence to a dirty region for incremental
+// reconvergence. dirty lists the ASes whose RIBs must be recomputed; old
+// holds the previous RIBs, carried over untouched for clean ASes and used as
+// the source of boundary exports into the dirty region. A nil scope
+// recomputes every AS.
+type convergeScope struct {
+	dirty map[topo.ASN]bool
+	old   map[topo.ASN]*rib
+}
+
+// isDirty reports whether asn must be recomputed; with no scope every AS is.
+func (sc *convergeScope) isDirty(asn topo.ASN) bool {
+	return sc == nil || sc.dirty[asn]
+}
+
 // converge runs the three Gao-Rexford propagation phases and returns the
-// per-AS RIBs.
-func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
+// per-AS RIBs. With a scope it recomputes only the dirty ASes, injecting the
+// offers clean neighbours would export at the round the full computation
+// delivers them: in phases 1 and 3 an offer's arrival round equals its
+// AS-path length, so boundary exports can be scheduled exactly. Links
+// disabled via Topology.SetLinkEnabled carry no offers in any phase.
+func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *convergeScope) (map[topo.ASN]*rib, error) {
+	links := e.topo.Links()
 	ribs := make(map[topo.ASN]*rib, e.topo.NumASes())
+	if sc != nil {
+		for asn, r := range sc.old {
+			if !sc.dirty[asn] {
+				ribs[asn] = r
+			}
+		}
+	}
 	getRIB := func(asn topo.ASN) *rib {
 		r := ribs[asn]
 		if r == nil {
@@ -176,27 +242,37 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 
 	// Phase 0: origin self routes and seed routes at direct neighbours.
 	// A site announces its prefixes over the BGP sessions at the site's
-	// own city only; other cities of the same link do not carry it.
+	// own city only; other cities of the same link do not carry it. In
+	// scoped mode only dirty origins rebuild their self routes (a clean
+	// origin's carried-over rib must never be appended to) and only dirty
+	// neighbours receive seeds.
 	type offer struct {
 		to topo.ASN
 		r  Route
 	}
 	var custSeeds, peerSeeds, provSeeds []offer
+	dirtyOrigins := map[topo.ASN]bool{}
 	for _, a := range anns {
-		getRIB(a.Origin).classes[FromOrigin] = append(getRIB(a.Origin).classes[FromOrigin], Route{
-			Rel:           FromOrigin,
-			Path:          []topo.ASN{a.Origin},
-			Cities:        []string{a.City},
-			Site:          a.Site,
-			FinalUpstream: a.Origin,
-		})
+		if sc.isDirty(a.Origin) {
+			dirtyOrigins[a.Origin] = true
+			getRIB(a.Origin).classes[FromOrigin] = append(getRIB(a.Origin).classes[FromOrigin], Route{
+				Rel:           FromOrigin,
+				Path:          []topo.ASN{a.Origin},
+				Cities:        []string{a.City},
+				Site:          a.Site,
+				FinalUpstream: a.Origin,
+			})
+		}
 		for _, li := range e.topo.LinksOf(a.Origin) {
-			l := e.topo.Links()[li]
+			if !e.topo.LinkEnabled(li) {
+				continue
+			}
+			l := links[li]
 			if !containsCity(l.Cities, a.City) {
 				continue
 			}
 			nbr, _ := l.Other(a.Origin)
-			if !a.announcesTo(nbr) {
+			if !a.announcesTo(nbr) || !sc.isDirty(nbr) {
 				continue
 			}
 			rel := classify(l, nbr)
@@ -219,15 +295,69 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 			}
 		}
 	}
+	// Canonicalise self-route order so routing state is a function of the
+	// announcement *set*, not its slice order (withdraw + re-announce moves
+	// a site to the end of the announcement list).
+	for asn := range dirtyOrigins {
+		cls := getRIB(asn).classes[FromOrigin]
+		sort.Slice(cls, func(i, j int) bool { return routeLess(cls[i], cls[j]) })
+	}
 
 	// Phase 1: customer routes climb the provider hierarchy level by
-	// level; each AS keeps only its first (shortest) generation.
+	// level; each AS keeps only its first (shortest) generation. An
+	// offer's arrival round equals its AS-path length, which is what lets
+	// scoped runs inject boundary exports from clean customers at the
+	// round the full computation would deliver them.
 	pending := map[topo.ASN][]Route{}
 	for _, o := range custSeeds {
 		pending[o.to] = append(pending[o.to], o.r)
 	}
+	sched1 := map[int]map[topo.ASN][]Route{} // arrival round -> dirty AS -> boundary offers
+	maxRound := 0
+	if sc != nil {
+		for asn := range sc.dirty {
+			for _, li := range e.topo.LinksOf(asn) {
+				if !e.topo.LinkEnabled(li) {
+					continue
+				}
+				l := links[li]
+				if l.Type != topo.CustomerToProvider || l.B != asn {
+					continue
+				}
+				cust := l.A
+				if sc.dirty[cust] {
+					continue
+				}
+				crib := sc.old[cust]
+				if crib == nil || len(crib.classes[FromOrigin]) > 0 {
+					continue // origin exports arrive as per-site seeds
+				}
+				offers := e.export(cust, crib.classes[FromCustomer], l, asn)
+				if len(offers) == 0 {
+					continue
+				}
+				round := offers[0].Len()
+				m := sched1[round]
+				if m == nil {
+					m = map[topo.ASN][]Route{}
+					sched1[round] = m
+				}
+				m[asn] = append(m[asn], offers...)
+				if round > maxRound {
+					maxRound = round
+				}
+			}
+		}
+	}
 	finalizedCust := map[topo.ASN]bool{}
-	for len(pending) > 0 {
+	for round := 1; len(pending) > 0 || round <= maxRound; round++ {
+		if round > e.topo.NumASes()+1 {
+			return nil, &NonTerminationError{Prefix: prefix, Phase: 1, Iterations: round}
+		}
+		for asn, offers := range sched1[round] {
+			pending[asn] = append(pending[asn], offers...)
+		}
+		delete(sched1, round)
 		frontier := make([]topo.ASN, 0, len(pending))
 		for asn, routes := range pending {
 			rb := getRIB(asn)
@@ -244,12 +374,15 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 		for _, asn := range frontier {
 			set := getRIB(asn).classes[FromCustomer]
 			for _, li := range e.topo.LinksOf(asn) {
-				l := e.topo.Links()[li]
+				if !e.topo.LinkEnabled(li) {
+					continue
+				}
+				l := links[li]
 				if l.Type != topo.CustomerToProvider || l.A != asn {
 					continue // only climb customer->provider edges
 				}
 				prov := l.B
-				if finalizedCust[prov] || len(getRIB(prov).classes[FromOrigin]) > 0 {
+				if !sc.isDirty(prov) || finalizedCust[prov] || len(getRIB(prov).classes[FromOrigin]) > 0 {
 					continue
 				}
 				for _, nr := range e.export(asn, set, l, prov) {
@@ -260,17 +393,22 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 	}
 
 	// Phase 2: one hop over peering links; only own/customer routes are
-	// exported to peers (Gao-Rexford).
+	// exported to peers (Gao-Rexford). Collected per receiving AS so a
+	// scoped run visits only the dirty region's peering sessions.
 	peerOffers := map[topo.ASN][]Route{}
 	for _, o := range peerSeeds {
 		peerOffers[o.to] = append(peerOffers[o.to], o.r)
 	}
-	for _, l := range e.topo.Links() {
-		if l.Type != topo.PublicPeer && l.Type != topo.RouteServerPeer {
-			continue
-		}
-		for _, pair := range [2][2]topo.ASN{{l.A, l.B}, {l.B, l.A}} {
-			from, to := pair[0], pair[1]
+	collectPeer := func(to topo.ASN) {
+		for _, li := range e.topo.LinksOf(to) {
+			if !e.topo.LinkEnabled(li) {
+				continue
+			}
+			l := links[li]
+			if l.Type != topo.PublicPeer && l.Type != topo.RouteServerPeer {
+				continue
+			}
+			from, _ := l.Other(to)
 			fromRIB := ribs[from]
 			if fromRIB == nil {
 				continue
@@ -284,6 +422,15 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 				continue
 			}
 			peerOffers[to] = append(peerOffers[to], e.export(from, set, l, to)...)
+		}
+	}
+	if sc == nil {
+		for _, asn := range e.topo.ASNs() {
+			collectPeer(asn)
+		}
+	} else {
+		for asn := range sc.dirty {
+			collectPeer(asn)
 		}
 	}
 	for asn, offers := range peerOffers {
@@ -307,16 +454,52 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 
 	// Phase 3: selected routes descend provider->customer edges
 	// level-synchronously by path length. Every AS always exports its
-	// final selection to its customers.
+	// final selection to its customers. A clean provider's selection is
+	// unchanged by definition, so a scoped run injects its export at the
+	// level its selected-path length dictates.
 	exportersByLen := map[int][]topo.ASN{}
 	finalized := map[topo.ASN]bool{}
 	maxLen := 0
 	for asn, rb := range ribs {
+		if sc != nil && !sc.dirty[asn] {
+			continue // clean ASes export via sched3 below
+		}
 		if n, ok := rb.selLen(); ok {
 			exportersByLen[n] = append(exportersByLen[n], asn)
 			finalized[asn] = true
 			if n > maxLen {
 				maxLen = n
+			}
+		}
+	}
+	sched3 := map[int][]int{} // selected-path length -> clean provider->dirty customer links
+	if sc != nil {
+		for asn := range sc.dirty {
+			for _, li := range e.topo.LinksOf(asn) {
+				if !e.topo.LinkEnabled(li) {
+					continue
+				}
+				l := links[li]
+				if l.Type != topo.CustomerToProvider || l.A != asn {
+					continue
+				}
+				prov := l.B
+				if sc.dirty[prov] {
+					continue
+				}
+				prib := sc.old[prov]
+				if prib == nil {
+					continue
+				}
+				cls, set, ok := prib.best()
+				if !ok || cls == FromOrigin {
+					continue // origin exports arrive as per-site seeds
+				}
+				ln := set[0].Len()
+				sched3[ln] = append(sched3[ln], li)
+				if ln > maxLen {
+					maxLen = ln
+				}
 			}
 		}
 	}
@@ -327,6 +510,9 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 		}
 	}
 	for ln := 0; ln <= maxLen || len(provPending) > 0; ln++ {
+		if ln > e.topo.NumASes() {
+			return nil, &NonTerminationError{Prefix: prefix, Phase: 3, Iterations: ln}
+		}
 		// Finalize ASes whose cheapest provider offers have length ln.
 		var newly []topo.ASN
 		for asn, offers := range provPending {
@@ -365,22 +551,33 @@ func (e *Engine) converge(anns []SiteAnnouncement) map[topo.ASN]*rib {
 				continue // origin exports were seeded per site
 			}
 			for _, li := range e.topo.LinksOf(asn) {
-				l := e.topo.Links()[li]
+				if !e.topo.LinkEnabled(li) {
+					continue
+				}
+				l := links[li]
 				if l.Type != topo.CustomerToProvider || l.B != asn {
 					continue // only descend provider->customer edges
 				}
 				cust := l.A
-				if finalized[cust] {
+				if !sc.isDirty(cust) || finalized[cust] {
 					continue
 				}
 				provPending[cust] = append(provPending[cust], e.export(asn, set, l, cust)...)
 			}
 		}
-		if ln > e.topo.NumASes() {
-			panic("bgp: phase 3 failed to terminate")
+		// Inject boundary exports whose selected-path length is ln.
+		for _, li := range sched3[ln] {
+			l := links[li]
+			cust, prov := l.A, l.B
+			if finalized[cust] {
+				continue
+			}
+			_, set, _ := sc.old[prov].best()
+			provPending[cust] = append(provPending[cust], e.export(prov, set, l, cust)...)
 		}
+		delete(sched3, ln)
 	}
-	return ribs
+	return ribs, nil
 }
 
 // ArbitraryTieBreakFraction is the share of non-tier-1 ASes whose
@@ -469,13 +666,28 @@ func less(d1 float64, r1 Route, d2 float64, r2 Route) bool {
 	if d1 != d2 {
 		return d1 < d2
 	}
-	if r1.DownKm != r2.DownKm {
-		return r1.DownKm < r2.DownKm
+	return routeLess(r1, r2)
+}
+
+// routeLess is a total order on routes: downstream carriage, handoff city,
+// site, then path and city identity. The trailing identity keys make every
+// route-set computation independent of offer arrival and map-iteration
+// order, which incremental reconvergence relies on to reproduce a full
+// recompute bit-for-bit.
+func routeLess(a, b Route) bool {
+	if a.DownKm != b.DownKm {
+		return a.DownKm < b.DownKm
 	}
-	if r1.Handoff() != r2.Handoff() {
-		return r1.Handoff() < r2.Handoff()
+	if a.Handoff() != b.Handoff() {
+		return a.Handoff() < b.Handoff()
 	}
-	return r1.Site < r2.Site
+	if a.Site != b.Site {
+		return a.Site < b.Site
+	}
+	if c := slices.Compare(a.Path, b.Path); c != 0 {
+		return c < 0
+	}
+	return slices.Compare(a.Cities, b.Cities) < 0
 }
 
 // capClass normalises a class's candidate set. It keeps only shortest AS
@@ -522,7 +734,7 @@ func capClass(routes []Route, cap int, arbitrary bool) []Route {
 			groups[r.Path[0]] = g
 		}
 		cur, ok := g.byCity[r.Handoff()]
-		if !ok || r.DownKm < cur.DownKm || (r.DownKm == cur.DownKm && r.Site < cur.Site) {
+		if !ok || routeLess(r, cur) {
 			g.byCity[r.Handoff()] = r
 		}
 		if r.DownKm < g.bestKm {
@@ -563,15 +775,7 @@ func capClass(routes []Route, cap int, arbitrary bool) []Route {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DownKm != out[j].DownKm {
-			return out[i].DownKm < out[j].DownKm
-		}
-		if out[i].Handoff() != out[j].Handoff() {
-			return out[i].Handoff() < out[j].Handoff()
-		}
-		return out[i].Site < out[j].Site
-	})
+	sort.Slice(out, func(i, j int) bool { return routeLess(out[i], out[j]) })
 	if len(out) > MaxRoutesPerClass {
 		out = out[:MaxRoutesPerClass]
 	}

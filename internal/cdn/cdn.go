@@ -228,14 +228,13 @@ func (d *Deployment) Announcements() map[netip.Prefix][]bgp.SiteAnnouncement {
 	return out
 }
 
-// Announce computes routing for every regional prefix of the deployment.
-// Site-level SkipNeighbors are resolved against the engine's topology into
-// allowlists.
-func (d *Deployment) Announce(e *bgp.Engine) error {
+// ResolvedAnnouncements builds the per-prefix announcement plan with
+// site-level SkipNeighbors resolved against a topology into OnlyNeighbors
+// allowlists — the exact announcements Announce installs. The dynamics
+// subsystem uses it to withdraw and faithfully restore individual sites.
+func (d *Deployment) ResolvedAnnouncements(tp *topo.Topology) map[netip.Prefix][]bgp.SiteAnnouncement {
 	plan := d.Announcements()
-	tp := e.Topology()
-	// Resolve skip lists into OnlyNeighbors allowlists.
-	for prefix, anns := range plan {
+	for _, anns := range plan {
 		for i, a := range anns {
 			skip := d.SkipNeighbors[a.Site]
 			if len(skip) == 0 {
@@ -257,6 +256,15 @@ func (d *Deployment) Announce(e *bgp.Engine) error {
 			sort.Slice(allow, func(x, y int) bool { return allow[x] < allow[y] })
 			anns[i].OnlyNeighbors = allow
 		}
+	}
+	return plan
+}
+
+// Announce computes routing for every regional prefix of the deployment.
+// Site-level SkipNeighbors are resolved against the engine's topology into
+// allowlists.
+func (d *Deployment) Announce(e *bgp.Engine) error {
+	for prefix, anns := range d.ResolvedAnnouncements(e.Topology()) {
 		if err := e.Announce(prefix, anns); err != nil {
 			return fmt.Errorf("cdn: announcing %s for %s: %w", prefix, d.Name, err)
 		}

@@ -1,0 +1,267 @@
+// Package dynamics turns the simulator's one-shot routing snapshot into a
+// timeline of routing events. The paper (§5–§6) evaluates regional anycast
+// statically, but its operational-viability question hinges on behaviour
+// under churn: regional deployments have fewer fallback sites per prefix
+// than a global one, so a site outage or link failure moves (or strands)
+// more of a prefix's catchment. This package provides the event model —
+// site withdrawal/restore, single-link failure/repair, IXP outage, per-site
+// re-announcement — a scenario DSL and seeded generator for schedules of
+// such events, and the catchment snapshot/diff machinery the churn,
+// failover-penalty, and blast-radius analyses are built on. Events are
+// applied through the BGP engine's incremental reconvergence API, so a
+// step costs work proportional to the event's blast radius, not to the
+// size of the Internet.
+package dynamics
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/atlas"
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/topo"
+)
+
+// Kind enumerates routing event types.
+type Kind int
+
+const (
+	// SiteDown withdraws a site's announcements from every prefix it
+	// originates.
+	SiteDown Kind = iota
+	// SiteUp restores a previously withdrawn site.
+	SiteUp
+	// LinkDown fails a single inter-AS link.
+	LinkDown
+	// LinkUp repairs a failed link.
+	LinkUp
+	// IXPDown fails every peering link of one IXP (a facility outage).
+	IXPDown
+	// IXPUp repairs an IXP.
+	IXPUp
+	// Reannounce withdraws and immediately re-announces a site's prefixes
+	// (a maintenance flap); routing returns to the pre-event state.
+	Reannounce
+)
+
+var kindNames = map[Kind]string{
+	SiteDown:   "site-down",
+	SiteUp:     "site-up",
+	LinkDown:   "link-down",
+	LinkUp:     "link-up",
+	IXPDown:    "ixp-down",
+	IXPUp:      "ixp-up",
+	Reannounce: "reannounce",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one routing event at a virtual tick. Exactly the fields the
+// Kind needs are set: Site for site events and re-announcements, A/B for
+// link events, IXP for IXP events.
+type Event struct {
+	At   int
+	Kind Kind
+	Site string
+	A, B topo.ASN
+	IXP  string
+}
+
+func (ev Event) String() string {
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		return fmt.Sprintf("at %d %s %d %d", ev.At, ev.Kind, ev.A, ev.B)
+	case IXPDown, IXPUp:
+		return fmt.Sprintf("at %d %s %s", ev.At, ev.Kind, ev.IXP)
+	default:
+		return fmt.Sprintf("at %d %s %s", ev.At, ev.Kind, ev.Site)
+	}
+}
+
+// Scenario is a named, time-ordered event schedule.
+type Scenario struct {
+	Name   string
+	Events []Event
+}
+
+// sorted returns the events in application order: by tick, declaration
+// order within a tick.
+func (s *Scenario) sorted() []Event {
+	out := append([]Event(nil), s.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Snapshot is the per-AS serving site for each of a deployment's prefixes
+// at one instant.
+type Snapshot map[netip.Prefix]map[topo.ASN]string
+
+// Runner applies events for one deployment against a BGP engine. The
+// deployment's resolved announcement plan is captured at construction so
+// withdrawn sites are restored with their exact original announcements
+// (including OnlyNeighbors allowlists).
+type Runner struct {
+	Engine *bgp.Engine
+	Dep    *cdn.Deployment
+
+	// Measurer and Probes enable the probe-level analyses (ProbeViews);
+	// nil/empty leaves the AS-level machinery fully functional.
+	Measurer *atlas.Measurer
+	Probes   []*atlas.Probe
+
+	prefixes []netip.Prefix                            // sorted deployment prefixes
+	siteAnns map[string]map[netip.Prefix]bgp.SiteAnnouncement // site ID -> prefix -> announcement
+}
+
+// NewRunner captures the deployment's announcement plan. The deployment is
+// assumed to be announced on the engine already (Deployment.Announce).
+func NewRunner(e *bgp.Engine, dep *cdn.Deployment) *Runner {
+	r := &Runner{Engine: e, Dep: dep, siteAnns: map[string]map[netip.Prefix]bgp.SiteAnnouncement{}}
+	plan := dep.ResolvedAnnouncements(e.Topology())
+	for prefix, anns := range plan {
+		r.prefixes = append(r.prefixes, prefix)
+		for _, a := range anns {
+			m := r.siteAnns[a.Site]
+			if m == nil {
+				m = map[netip.Prefix]bgp.SiteAnnouncement{}
+				r.siteAnns[a.Site] = m
+			}
+			m[prefix] = a
+		}
+	}
+	sort.Slice(r.prefixes, func(i, j int) bool { return r.prefixes[i].String() < r.prefixes[j].String() })
+	return r
+}
+
+// Prefixes returns the deployment's announced prefixes in sorted order.
+func (r *Runner) Prefixes() []netip.Prefix { return r.prefixes }
+
+// sitePrefixes returns the prefixes a site announces, in sorted order.
+func (r *Runner) sitePrefixes(site string) []netip.Prefix {
+	m := r.siteAnns[site]
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Apply executes one event against the engine and topology.
+func (r *Runner) Apply(ev Event) error {
+	tp := r.Engine.Topology()
+	switch ev.Kind {
+	case SiteDown:
+		return r.siteDown(ev.Site)
+	case SiteUp:
+		return r.siteUp(ev.Site)
+	case Reannounce:
+		if err := r.siteDown(ev.Site); err != nil {
+			return err
+		}
+		return r.siteUp(ev.Site)
+	case LinkDown, LinkUp:
+		li, ok := tp.LinkIndexBetween(ev.A, ev.B)
+		if !ok {
+			return fmt.Errorf("dynamics: no link between %d and %d", ev.A, ev.B)
+		}
+		enable := ev.Kind == LinkUp
+		if tp.LinkEnabled(li) == enable {
+			return nil // already in the desired state
+		}
+		if err := tp.SetLinkEnabled(li, enable); err != nil {
+			return err
+		}
+		return r.Engine.ReconvergeLinks([]int{li})
+	case IXPDown, IXPUp:
+		lis := tp.LinksOfIXP(ev.IXP)
+		if len(lis) == 0 {
+			return fmt.Errorf("dynamics: IXP %q has no links", ev.IXP)
+		}
+		enable := ev.Kind == IXPUp
+		changed := make([]int, 0, len(lis))
+		for _, li := range lis {
+			if tp.LinkEnabled(li) == enable {
+				continue
+			}
+			if err := tp.SetLinkEnabled(li, enable); err != nil {
+				return err
+			}
+			changed = append(changed, li)
+		}
+		return r.Engine.ReconvergeLinks(changed)
+	default:
+		return fmt.Errorf("dynamics: unknown event kind %v", ev.Kind)
+	}
+}
+
+func (r *Runner) siteDown(site string) error {
+	if _, ok := r.siteAnns[site]; !ok {
+		return fmt.Errorf("dynamics: deployment %s has no site %q", r.Dep.Name, site)
+	}
+	for _, p := range r.sitePrefixes(site) {
+		if err := r.Engine.WithdrawSite(p, site); err != nil {
+			return fmt.Errorf("dynamics: site-down %s: %w", site, err)
+		}
+	}
+	return nil
+}
+
+func (r *Runner) siteUp(site string) error {
+	anns, ok := r.siteAnns[site]
+	if !ok {
+		return fmt.Errorf("dynamics: deployment %s has no site %q", r.Dep.Name, site)
+	}
+	for _, p := range r.sitePrefixes(site) {
+		if err := r.Engine.AnnounceSite(p, anns[p]); err != nil {
+			return fmt.Errorf("dynamics: site-up %s: %w", site, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the per-AS catchment of every deployment prefix.
+func (r *Runner) Snapshot() Snapshot {
+	out := make(Snapshot, len(r.prefixes))
+	for _, p := range r.prefixes {
+		out[p] = r.Engine.Catchments(p)
+	}
+	return out
+}
+
+// Step is the outcome of applying one event.
+type Step struct {
+	Event Event
+	// Churn aggregates per-AS catchment changes across all prefixes.
+	Churn ChurnStats
+	// Stats reports the reconvergence work of the event's last engine
+	// operation (a site event touching several prefixes reports the last).
+	Stats bgp.ReconvergeStats
+}
+
+// Run applies a scenario in time order, diffing catchments around every
+// event. The returned steps are in application order.
+func (r *Runner) Run(sc *Scenario) ([]Step, error) {
+	steps := make([]Step, 0, len(sc.Events))
+	pre := r.Snapshot()
+	for _, ev := range sc.sorted() {
+		if err := r.Apply(ev); err != nil {
+			return steps, fmt.Errorf("dynamics: %s (scenario %s): %w", ev, sc.Name, err)
+		}
+		post := r.Snapshot()
+		steps = append(steps, Step{
+			Event: ev,
+			Churn: Diff(pre, post),
+			Stats: r.Engine.LastReconvergeStats(),
+		})
+		pre = post
+	}
+	return steps, nil
+}

@@ -1,0 +1,113 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"anysim/internal/cdn"
+	"anysim/internal/topo"
+)
+
+// GenConfig parameterises the seeded fault-schedule generator.
+type GenConfig struct {
+	Seed int64
+	// Faults is the number of fault events; each is paired with a repair
+	// (or is a self-restoring re-announcement flap), so scenarios end with
+	// the world back in its initial state.
+	Faults int
+	// Start is the tick of the first fault onset (default 1).
+	Start int
+	// Spacing is the gap in ticks between fault onsets (default 10).
+	Spacing int
+	// RepairAfter is how many ticks a fault lasts (default 5; must be
+	// smaller than Spacing so faults on the same entity cannot overlap).
+	RepairAfter int
+	// PSite, PLink, PIXP, PFlap weight the fault mix; they are
+	// renormalised. All zero selects the default mix.
+	PSite, PLink, PIXP, PFlap float64
+}
+
+func (cfg GenConfig) withDefaults() GenConfig {
+	if cfg.Faults == 0 {
+		cfg.Faults = 10
+	}
+	if cfg.Start == 0 {
+		cfg.Start = 1
+	}
+	if cfg.Spacing == 0 {
+		cfg.Spacing = 10
+	}
+	if cfg.RepairAfter == 0 {
+		cfg.RepairAfter = 5
+	}
+	if cfg.PSite == 0 && cfg.PLink == 0 && cfg.PIXP == 0 && cfg.PFlap == 0 {
+		cfg.PSite, cfg.PLink, cfg.PIXP, cfg.PFlap = 0.4, 0.35, 0.1, 0.15
+	}
+	return cfg
+}
+
+// Generate builds a deterministic fault schedule for a deployment on a
+// topology: a seeded mix of site outages, link failures, IXP outages, and
+// re-announcement flaps, each outage paired with a repair RepairAfter ticks
+// later. The same (config, topology, deployment) always yields the same
+// scenario.
+func Generate(cfg GenConfig, tp *topo.Topology, dep *cdn.Deployment) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	if cfg.RepairAfter >= cfg.Spacing {
+		return nil, fmt.Errorf("dynamics: RepairAfter (%d) must be below Spacing (%d)", cfg.RepairAfter, cfg.Spacing)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sites := make([]string, 0, len(dep.Sites))
+	for _, s := range dep.Sites {
+		sites = append(sites, s.ID)
+	}
+	sort.Strings(sites)
+
+	// Candidate links: inter-carrier links only. The deployment's own
+	// uplinks are exercised through site events; failing them directly
+	// would conflate the two fault classes.
+	var linkIdx []int
+	for i, l := range tp.Links() {
+		if l.A == dep.ASN || l.B == dep.ASN {
+			continue
+		}
+		linkIdx = append(linkIdx, i)
+	}
+	ixps := make([]string, 0, len(tp.IXPs()))
+	for _, ix := range tp.IXPs() {
+		ixps = append(ixps, ix.ID)
+	}
+	sort.Strings(ixps)
+
+	total := cfg.PSite + cfg.PLink + cfg.PIXP + cfg.PFlap
+	sc := &Scenario{Name: fmt.Sprintf("gen-%s-%d", dep.Name, cfg.Seed)}
+	links := tp.Links()
+	for i := 0; i < cfg.Faults; i++ {
+		onset := cfg.Start + i*cfg.Spacing
+		repair := onset + cfg.RepairAfter
+		roll := rng.Float64() * total
+		switch {
+		case roll < cfg.PSite && len(sites) > 0:
+			site := sites[rng.Intn(len(sites))]
+			sc.Events = append(sc.Events,
+				Event{At: onset, Kind: SiteDown, Site: site},
+				Event{At: repair, Kind: SiteUp, Site: site})
+		case roll < cfg.PSite+cfg.PLink && len(linkIdx) > 0:
+			l := links[linkIdx[rng.Intn(len(linkIdx))]]
+			sc.Events = append(sc.Events,
+				Event{At: onset, Kind: LinkDown, A: l.A, B: l.B},
+				Event{At: repair, Kind: LinkUp, A: l.A, B: l.B})
+		case roll < cfg.PSite+cfg.PLink+cfg.PIXP && len(ixps) > 0:
+			ix := ixps[rng.Intn(len(ixps))]
+			sc.Events = append(sc.Events,
+				Event{At: onset, Kind: IXPDown, IXP: ix},
+				Event{At: repair, Kind: IXPUp, IXP: ix})
+		case len(sites) > 0:
+			sc.Events = append(sc.Events,
+				Event{At: onset, Kind: Reannounce, Site: sites[rng.Intn(len(sites))]})
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,130 @@
+package dynamics
+
+// The scenario DSL is a line-oriented format for event schedules:
+//
+//	scenario <name>
+//	# comment
+//	at <tick> site-down <siteID>
+//	at <tick> site-up <siteID>
+//	at <tick> link-down <asnA> <asnB>
+//	at <tick> link-up <asnA> <asnB>
+//	at <tick> ixp-down <ixpID>
+//	at <tick> ixp-up <ixpID>
+//	at <tick> reannounce <siteID>
+//
+// Parse and Scenario.String round-trip: serializing a parsed scenario and
+// parsing it again yields the same schedule (events sorted by tick,
+// declaration order preserved within a tick).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"anysim/internal/topo"
+)
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Parse reads a scenario from DSL text.
+func Parse(r io.Reader) (*Scenario, error) {
+	sc := &Scenario{}
+	s := bufio.NewScanner(r)
+	lineNo := 0
+	for s.Scan() {
+		lineNo++
+		line := strings.TrimSpace(s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "scenario":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dynamics: line %d: want `scenario <name>`", lineNo)
+			}
+			if sc.Name != "" {
+				return nil, fmt.Errorf("dynamics: line %d: duplicate scenario header", lineNo)
+			}
+			sc.Name = fields[1]
+		case "at":
+			ev, err := parseEvent(fields)
+			if err != nil {
+				return nil, fmt.Errorf("dynamics: line %d: %w", lineNo, err)
+			}
+			sc.Events = append(sc.Events, ev)
+		default:
+			return nil, fmt.Errorf("dynamics: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("dynamics: reading scenario: %w", err)
+	}
+	if sc.Name == "" {
+		return nil, fmt.Errorf("dynamics: scenario has no `scenario <name>` header")
+	}
+	return sc, nil
+}
+
+// ParseString parses a scenario from a string.
+func ParseString(text string) (*Scenario, error) {
+	return Parse(strings.NewReader(text))
+}
+
+func parseEvent(fields []string) (Event, error) {
+	if len(fields) < 4 {
+		return Event{}, fmt.Errorf("want `at <tick> <kind> <args>`")
+	}
+	tick, err := strconv.Atoi(fields[1])
+	if err != nil || tick < 0 {
+		return Event{}, fmt.Errorf("bad tick %q", fields[1])
+	}
+	kind, ok := kindByName[fields[2]]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", fields[2])
+	}
+	ev := Event{At: tick, Kind: kind}
+	args := fields[3:]
+	switch kind {
+	case LinkDown, LinkUp:
+		if len(args) != 2 {
+			return Event{}, fmt.Errorf("%s wants two ASNs", kind)
+		}
+		a, errA := strconv.ParseUint(args[0], 10, 32)
+		b, errB := strconv.ParseUint(args[1], 10, 32)
+		if errA != nil || errB != nil {
+			return Event{}, fmt.Errorf("%s: bad ASN pair %q %q", kind, args[0], args[1])
+		}
+		ev.A, ev.B = topo.ASN(a), topo.ASN(b)
+	case IXPDown, IXPUp:
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("%s wants one IXP ID", kind)
+		}
+		ev.IXP = args[0]
+	default:
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("%s wants one site ID", kind)
+		}
+		ev.Site = args[0]
+	}
+	return ev, nil
+}
+
+// String serializes the scenario in canonical DSL form.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	for _, ev := range s.sorted() {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

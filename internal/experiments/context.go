@@ -216,6 +216,7 @@ func All() []Experiment {
 		{"T5", "Table 5: CDN redirection survey", Table5},
 		{"T6", "Table 6: representative vs other hostnames", Table6},
 		{"X1", "Extension: DailyCatch and AnyOpt-style baselines vs regional anycast", Extensions},
+		{"X2", "Extension: routing dynamics — fault blast radius, regional vs global", Dynamics},
 	}
 }
 

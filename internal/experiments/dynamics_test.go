@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDynamicsBlastRadius runs X2 once and checks the comparison is
+// non-degenerate: every fault is measured against both deployments, at
+// least one fault moves catchments in each, and the regional deployment's
+// mean blast radius is reported alongside the global one.
+func TestDynamicsBlastRadius(t *testing.T) {
+	ctx := testCtx(t)
+	r, err := Dynamics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := r.Data.(*DynamicsData)
+	if !ok {
+		t.Fatalf("Data is %T", r.Data)
+	}
+	if len(data.Regional) == 0 || len(data.Regional) != len(data.Global) {
+		t.Fatalf("%d regional vs %d global event results", len(data.Regional), len(data.Global))
+	}
+	churnedReg, churnedGlob := false, false
+	for i := range data.Regional {
+		if data.Regional[i].Event != data.Global[i].Event {
+			t.Fatalf("event %d: schedules diverge: %q vs %q", i, data.Regional[i].Event, data.Global[i].Event)
+		}
+		if data.Regional[i].Churn.ChangedFraction() > 0 {
+			churnedReg = true
+		}
+		if data.Global[i].Churn.ChangedFraction() > 0 {
+			churnedGlob = true
+		}
+	}
+	if !churnedReg || !churnedGlob {
+		t.Fatalf("no churn observed (regional=%v global=%v)", churnedReg, churnedGlob)
+	}
+	if data.MeanBlastRegional <= 0 || data.MeanBlastGlobal <= 0 {
+		t.Fatalf("degenerate mean blast radii: %v vs %v", data.MeanBlastRegional, data.MeanBlastGlobal)
+	}
+	if !strings.Contains(r.Text, "mean blast radius") {
+		t.Fatalf("report text missing summary:\n%s", r.Text)
+	}
+	if len(r.Series["penalty-cdf-regional"]) == 0 {
+		t.Fatal("no regional penalty CDF points")
+	}
+}

@@ -115,14 +115,19 @@ type IXP struct {
 	Members []ASN
 }
 
-// Topology is an immutable-after-Freeze AS-level graph.
+// Topology is an immutable-after-Freeze AS-level graph. The one sanctioned
+// post-Freeze mutation is link up/down state (SetLinkEnabled), the hook the
+// fault-injection subsystem uses; flipping it invalidates any routing state
+// computed from the topology until the caller reconverges.
 type Topology struct {
 	ases  map[ASN]*AS
 	links []Link
 	ixps  map[string]*IXP
 	// neighbors indexes links by endpoint ASN.
 	neighbors map[ASN][]int
-	frozen    bool
+	// disabled marks failed links; nil until the first fault is injected.
+	disabled []bool
+	frozen   bool
 }
 
 // New returns an empty topology for manual construction.
@@ -290,6 +295,72 @@ func (t *Topology) Links() []Link { return t.links }
 
 // LinksOf returns the indices into Links() of the links incident to asn.
 func (t *Topology) LinksOf(asn ASN) []int { return t.neighbors[asn] }
+
+// SetLinkEnabled flips a link's up/down state. Unlike the structural
+// mutators it is permitted after Freeze: it is the fault-injection hook for
+// the routing-dynamics subsystem. Routing state computed before the flip is
+// stale until the caller reconverges the affected prefixes.
+func (t *Topology) SetLinkEnabled(idx int, enabled bool) error {
+	if idx < 0 || idx >= len(t.links) {
+		return fmt.Errorf("topo: link index %d out of range [0,%d)", idx, len(t.links))
+	}
+	if t.disabled == nil {
+		if enabled {
+			return nil
+		}
+		t.disabled = make([]bool, len(t.links))
+	}
+	t.disabled[idx] = !enabled
+	return nil
+}
+
+// LinkEnabled reports whether a link is up. Out-of-range indices are up,
+// matching the zero-fault default.
+func (t *Topology) LinkEnabled(idx int) bool {
+	return t.disabled == nil || idx < 0 || idx >= len(t.disabled) || !t.disabled[idx]
+}
+
+// DisabledLinks returns the indices of all currently failed links.
+func (t *Topology) DisabledLinks() []int {
+	var out []int
+	for i := range t.disabled {
+		if t.disabled[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LinkIndexBetween returns the index into Links() of the (unique) link
+// between two ASes, if any.
+func (t *Topology) LinkIndexBetween(x, y ASN) (int, bool) {
+	if x == y {
+		return 0, false
+	}
+	a, b := x, y
+	if len(t.neighbors[b]) < len(t.neighbors[a]) {
+		a, b = b, a
+	}
+	for _, idx := range t.neighbors[a] {
+		if other, ok := t.links[idx].Other(a); ok && other == b {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// LinksOfIXP returns the indices of all links mediated by the given IXP
+// (public bilateral and route-server peerings over its fabric), the set an
+// IXP outage takes down.
+func (t *Topology) LinksOfIXP(ixpID string) []int {
+	var out []int
+	for i, l := range t.links {
+		if l.IXP == ixpID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // IXPByID returns the IXP with the given ID.
 func (t *Topology) IXPByID(id string) (*IXP, bool) {

@@ -322,3 +322,70 @@ func TestASPrefixesDisjoint(t *testing.T) {
 		}
 	}
 }
+
+func TestLinkEnableDisable(t *testing.T) {
+	tp := buildTiny(t)
+	tp.Freeze()
+	if got := tp.DisabledLinks(); len(got) != 0 {
+		t.Fatalf("fresh topology has disabled links: %v", got)
+	}
+	li, ok := tp.LinkIndexBetween(300, 200)
+	if !ok {
+		t.Fatal("LinkIndexBetween(300,200) not found")
+	}
+	if !tp.LinkEnabled(li) {
+		t.Fatal("link disabled before any fault")
+	}
+	if err := tp.SetLinkEnabled(li, false); err != nil {
+		t.Fatal(err)
+	}
+	if tp.LinkEnabled(li) {
+		t.Error("link still enabled after SetLinkEnabled(false)")
+	}
+	if got := tp.DisabledLinks(); len(got) != 1 || got[0] != li {
+		t.Errorf("DisabledLinks = %v, want [%d]", got, li)
+	}
+	if err := tp.SetLinkEnabled(li, true); err != nil {
+		t.Fatal(err)
+	}
+	if !tp.LinkEnabled(li) || len(tp.DisabledLinks()) != 0 {
+		t.Error("link not restored by SetLinkEnabled(true)")
+	}
+	if err := tp.SetLinkEnabled(len(tp.Links()), false); err == nil {
+		t.Error("accepted out-of-range link index")
+	}
+	if _, ok := tp.LinkIndexBetween(300, 100); ok {
+		t.Error("LinkIndexBetween invented a link")
+	}
+}
+
+func TestLinksOfIXP(t *testing.T) {
+	tp, err := Generate(GenConfig{Seed: 9, NumTier1: 3, NumTier2: 10, NumStub: 80, NumIXP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := tp.Links()
+	byIXP := map[string]int{}
+	for _, l := range links {
+		if l.IXP != "" {
+			byIXP[l.IXP]++
+		}
+	}
+	if len(byIXP) == 0 {
+		t.Fatal("generated world has no IXP links")
+	}
+	for id, want := range byIXP {
+		got := tp.LinksOfIXP(id)
+		if len(got) != want {
+			t.Errorf("LinksOfIXP(%s) = %d links, want %d", id, len(got), want)
+		}
+		for _, li := range got {
+			if links[li].IXP != id {
+				t.Errorf("LinksOfIXP(%s) returned link %d of IXP %q", id, li, links[li].IXP)
+			}
+		}
+	}
+	if got := tp.LinksOfIXP("IX-NOPE"); len(got) != 0 {
+		t.Errorf("LinksOfIXP(unknown) = %v", got)
+	}
+}
