@@ -26,6 +26,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/reopt"
 	"anysim/internal/sitemap"
+	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
 )
 
@@ -189,6 +190,67 @@ func GenerateScenario(w *World, dep *Deployment, cfg ScenarioGenConfig) (*Scenar
 // FailoverPenalties extracts per-probe RTT deltas between two probe views.
 func FailoverPenalties(pre, post []dynamics.View) []float64 {
 	return dynamics.Penalties(pre, post)
+}
+
+// Traffic load and steering (extension X3).
+type (
+	// DemandConfig shapes the seeded per-probe-group demand model.
+	DemandConfig = traffic.DemandConfig
+	// DemandModel is a deterministic day of client demand: Zipf-skewed
+	// group popularity with a longitude-keyed diurnal cycle.
+	DemandModel = traffic.Model
+	// DemandMatrix is one time bucket's request rate per probe group.
+	DemandMatrix = traffic.Matrix
+	// CapacityConfig derives per-site serving capacity from the Table-1
+	// site tiers and the baseline diurnal peak.
+	CapacityConfig = traffic.CapacityConfig
+	// LoadEvaluator computes the catchment × demand product for a
+	// deployment under the engine's current routing state.
+	LoadEvaluator = traffic.Evaluator
+	// LoadReport is per-site demand, capacity, and utilization for one
+	// demand matrix.
+	LoadReport = traffic.LoadReport
+	// SiteLoad is one site's load state within a report.
+	SiteLoad = traffic.SiteLoad
+	// SteeringConfig bounds the steering loop and selects which BGP
+	// knobs it may use.
+	SteeringConfig = traffic.SteeringConfig
+	// Steerer resolves site overload with BGP-level actions (prepending,
+	// selective announcement, cross-announcement), restorable via Reset.
+	Steerer = traffic.Steerer
+	// SteeringResult is the action log plus the initial and final loads.
+	SteeringResult = traffic.SteeringResult
+	// SteeringAction is one applied BGP knob with its measured effect.
+	SteeringAction = traffic.Action
+)
+
+// NewDemandModel builds the seeded demand model over the world's retained
+// probe groups. A zero cfg.Seed inherits the world's seed, so demand is
+// reproducible alongside everything else.
+func NewDemandModel(w *World, cfg DemandConfig) *DemandModel {
+	if cfg.Seed == 0 {
+		cfg.Seed = w.Config.Seed
+	}
+	return traffic.NewModel(w.Platform, cfg)
+}
+
+// NewLoadEvaluator derives site capacities for a deployment against the
+// current (baseline) routing state and returns the load evaluator. Build
+// it before steering or faults perturb the catchments.
+func NewLoadEvaluator(w *World, dep *Deployment, m *DemandModel, cfg CapacityConfig) *LoadEvaluator {
+	return traffic.NewEvaluator(w.Engine, dep, m, cfg)
+}
+
+// NewSteerer captures a deployment's announcements as the restore point
+// and returns a steering engine over the evaluator's deployment.
+func NewSteerer(ev *LoadEvaluator, cfg SteeringConfig) *Steerer {
+	return traffic.NewSteerer(ev, cfg)
+}
+
+// LoadPenaltyMs converts a site utilization into the excess serving
+// latency its clients see (zero below the soft-utilization knee).
+func LoadPenaltyMs(utilization, softUtil float64) float64 {
+	return traffic.PenaltyMs(utilization, softUtil)
 }
 
 // Experiments (every table and figure).

@@ -75,8 +75,8 @@ func TestFacadeReOpt(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("experiment count = %d, want 17 (15 tables/figures + X1 + X2)", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("experiment count = %d, want 18 (15 tables/figures + X1 + X2 + X3)", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, ex := range exps {

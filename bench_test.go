@@ -20,7 +20,9 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/geodb"
 	"anysim/internal/reopt"
+	"anysim/internal/stats"
 	"anysim/internal/topo"
+	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
 )
 
@@ -111,6 +113,15 @@ func BenchmarkExtensionBaselines(b *testing.B) {
 	b.ReportMetric(data.DailyCatch.Chosen().P90Ms, "dailycatch-p90-ms")
 	b.ReportMetric(data.SiteOptP90, "siteopt-p90-ms")
 	b.ReportMetric(data.RegionalP90, "regional-p90-ms")
+}
+
+func BenchmarkExtensionTraffic(b *testing.B) {
+	rep := benchExperiment(b, "X3")
+	data := rep.Data.(*experiments.TrafficData)
+	b.ReportMetric(stats.Percentile(data.Regional.Inflations, 90), "regional-p90-inflation-ms")
+	b.ReportMetric(stats.Percentile(data.Global.Inflations, 90), "global-p90-inflation-ms")
+	b.ReportMetric(float64(data.Regional.OverloadsAfter), "regional-residual-overloads")
+	b.ReportMetric(float64(data.Global.OverloadsAfter), "global-residual-overloads")
 }
 
 func BenchmarkSection54Causes(b *testing.B) {
@@ -224,6 +235,67 @@ func BenchmarkAblationReOptK(b *testing.B) {
 	b.StopTimer()
 	for _, cand := range sweep.Candidates {
 		b.ReportMetric(cand.MeanLatencyMs, "mean-ms-k"+string(rune('0'+cand.K)))
+	}
+}
+
+// BenchmarkDemandMatrix times materializing a full day of demand matrices
+// from the seeded model — the inner product every load evaluation starts
+// from.
+func BenchmarkDemandMatrix(b *testing.B) {
+	ctx := benchContext(b)
+	model := traffic.NewModel(ctx.World.Platform, traffic.DemandConfig{Seed: ctx.World.Config.Seed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mats := model.Matrices()
+		if len(mats) != model.Buckets() {
+			b.Fatalf("got %d matrices", len(mats))
+		}
+	}
+}
+
+// BenchmarkTrafficSteering times one full steering resolution of the X3
+// flash crowd (LatAm demand scaled up at its peak bucket) on the regional
+// deployment, including the restore. Each iteration replays the same
+// deterministic search, so this tracks the cost of the trial-and-rollback
+// loop over the incremental routing solver.
+func BenchmarkTrafficSteering(b *testing.B) {
+	ctx := benchContext(b)
+	w := ctx.World
+	model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
+	ev := traffic.NewEvaluator(w.Engine, w.Imperva.IM6, model, traffic.CapacityConfig{})
+	// The crowd of experiment X3: the area's peak bucket, demand x2.8.
+	peak, peakRate := 0, -1.0
+	for bu := 0; bu < model.Buckets(); bu++ {
+		mat := model.Matrix(bu)
+		rate := 0.0
+		for _, g := range model.Groups {
+			if g.Area == geo.LatAm {
+				rate += mat.Rates[g.Key]
+			}
+		}
+		if rate > peakRate {
+			peak, peakRate = bu, rate
+		}
+	}
+	flash := model.FlashCrowd(model.Matrix(peak), geo.LatAm, 2.8)
+	b.ResetTimer()
+	var resolved bool
+	for i := 0; i < b.N; i++ {
+		st := traffic.NewSteerer(ev, traffic.SteeringConfig{
+			MaxActions: 64, AllowSelective: true, AllowCrossAnnounce: true,
+		})
+		res, err := st.Resolve(flash)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolved = len(res.Final.Overloads()) == 0
+		if err := st.Reset(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !resolved {
+		b.Fatal("steering left overloads unresolved")
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command anysim builds a simulated world and answers interactive queries
-// about it: anycast catchments, probe measurements, route tables, and
-// deployment inventories. It is the debugging companion to cmd/repro.
+// about it: anycast catchments, probe measurements, route tables, site
+// load, and deployment inventories. It is the debugging companion to
+// cmd/repro.
 //
 // Usage:
 //
@@ -13,33 +14,93 @@
 //	probe <groupKey> <host>  one probe group's DNS answers, pings, traceroute
 //	routes <asn> <vip>       an AS's selected routes toward a VIP's prefix
 //	scenario <file>          replay a fault scenario (see -dep) step by step
+//	load [bucket]            per-site demand and utilization (see -dep)
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 3 routing
+// non-termination (the scenario drove the BGP solver past its iteration
+// bound — a policy-dispute configuration, not a crash).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"sort"
 	"strconv"
 
+	"anysim/internal/asciimap"
 	"anysim/internal/atlas"
+	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/dynamics"
 	"anysim/internal/geo"
 	"anysim/internal/topo"
+	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
 )
 
+// Exit codes.
+const (
+	exitOK             = 0
+	exitError          = 1
+	exitUsage          = 2
+	exitNonTermination = 3
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, builds the world, and
+// dispatches, writing to the given streams instead of the process globals.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("anysim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
 	var (
-		seed  = flag.Int64("seed", worldgen.DefaultSeed, "world seed")
-		small = flag.Bool("small", false, "use the reduced-scale world")
-		dep   = flag.String("dep", "im6", "deployment for the scenario subcommand (eg3, eg4, im6, ns, tangled)")
+		seed  = fs.Int64("seed", worldgen.DefaultSeed, "world seed")
+		small = fs.Bool("small", false, "use the reduced-scale world")
+		dep   = fs.String("dep", "im6", "deployment for the scenario and load subcommands (eg3, eg4, im6, ns, tangled)")
 	)
-	flag.Parse()
-	if flag.NArg() < 1 {
-		usage()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return exitUsage
+	}
+
+	// Validate argument counts before paying for world construction.
+	wantArgs := map[string][]int{
+		"deployments": {1}, "catchment": {2}, "probe": {3},
+		"routes": {3}, "scenario": {2}, "load": {1, 2},
+	}
+	want, ok := wantArgs[fs.Arg(0)]
+	if !ok {
+		usage(stderr)
+		return exitUsage
+	}
+	okCount := false
+	for _, n := range want {
+		if fs.NArg() == n {
+			okCount = true
+		}
+	}
+	if !okCount {
+		usage(stderr)
+		return exitUsage
+	}
+	bucket := -1
+	if fs.Arg(0) == "load" && fs.NArg() == 2 {
+		var err error
+		bucket, err = strconv.Atoi(fs.Arg(1))
+		if err != nil || bucket < 0 {
+			fmt.Fprintf(stderr, "anysim: bad bucket %q\n", fs.Arg(1))
+			return exitUsage
+		}
 	}
 
 	var (
@@ -52,52 +113,57 @@ func main() {
 		w, err = worldgen.New(worldgen.Config{Seed: *seed})
 	}
 	if err != nil {
-		fatalf("building world: %v", err)
+		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
+		return exitError
 	}
 
-	switch flag.Arg(0) {
+	switch fs.Arg(0) {
 	case "deployments":
-		deployments(w)
+		deployments(stdout, w)
 	case "catchment":
-		if flag.NArg() != 2 {
-			usage()
-		}
-		catchment(w, flag.Arg(1))
+		catchment(stdout, w, fs.Arg(1))
 	case "probe":
-		if flag.NArg() != 3 {
-			usage()
-		}
-		probe(w, flag.Arg(1), flag.Arg(2))
+		err = probe(stdout, w, fs.Arg(1), fs.Arg(2))
 	case "routes":
-		if flag.NArg() != 3 {
-			usage()
-		}
-		routes(w, flag.Arg(1), flag.Arg(2))
+		err = routes(stdout, w, fs.Arg(1), fs.Arg(2))
 	case "scenario":
-		if flag.NArg() != 2 {
-			usage()
-		}
-		scenario(w, *dep, flag.Arg(1))
-	default:
-		usage()
+		err = scenario(stdout, w, *dep, fs.Arg(1))
+	case "load":
+		err = load(stdout, w, *dep, bucket)
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitCode(err)
+	}
+	return exitOK
 }
 
-func deployments(w *worldgen.World) {
+// exitCode maps a subcommand error to the process exit code. Routing
+// non-termination gets its own code so scripts can tell a policy dispute
+// (a legitimate, reportable simulation outcome) from an ordinary failure.
+func exitCode(err error) int {
+	var nte *bgp.NonTerminationError
+	if errors.As(err, &nte) {
+		return exitNonTermination
+	}
+	return exitError
+}
+
+func deployments(out io.Writer, w *worldgen.World) {
 	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
-		fmt.Printf("%s (AS%d): %d sites, %d regions\n", d.Name, d.ASN, len(d.Sites), len(d.Regions))
+		fmt.Fprintf(out, "%s (AS%d): %d sites, %d regions\n", d.Name, d.ASN, len(d.Sites), len(d.Regions))
 		for _, r := range d.Regions {
 			sites := d.SitesOfRegion(r.Name)
 			cities := make([]string, 0, len(sites))
 			for _, s := range sites {
 				cities = append(cities, s.City)
 			}
-			fmt.Printf("  %-8s %-18s VIP %-15s sites: %v\n", r.Name, r.Prefix.String(), r.VIP, cities)
+			fmt.Fprintf(out, "  %-8s %-18s VIP %-15s sites: %v\n", r.Name, r.Prefix.String(), r.VIP, cities)
 		}
 	}
 }
 
-func catchment(w *worldgen.World, host string) {
+func catchment(out io.Writer, w *worldgen.World, host string) {
 	counts := map[geo.Area]map[string]int{}
 	for _, p := range w.Platform.Retained() {
 		addr, ok := w.Measurer.ResolveHost(w.Auth, host, p, atlas.LDNS)
@@ -125,35 +191,35 @@ func catchment(w *worldgen.World, host string) {
 			list = append(list, sc{s, n})
 		}
 		sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
-		fmt.Printf("%s:", area)
+		fmt.Fprintf(out, "%s:", area)
 		for i, e := range list {
 			if i == 8 {
-				fmt.Printf(" …")
+				fmt.Fprintf(out, " …")
 				break
 			}
-			fmt.Printf(" %s:%d", e.site, e.n)
+			fmt.Fprintf(out, " %s:%d", e.site, e.n)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }
 
-func probe(w *worldgen.World, groupKey, host string) {
+func probe(out io.Writer, w *worldgen.World, groupKey, host string) error {
 	found := false
 	for _, p := range w.Platform.Retained() {
 		if p.GroupKey() != groupKey {
 			continue
 		}
 		found = true
-		fmt.Printf("probe %d: %s (%s, %s), AS%d, addr %v, access %.1f ms\n",
+		fmt.Fprintf(out, "probe %d: %s (%s, %s), AS%d, addr %v, access %.1f ms\n",
 			p.ID, p.City, p.Country, p.Area(), p.ASN, p.Addr, p.AccessMs)
 		for _, mode := range []atlas.DNSMode{atlas.LDNS, atlas.ADNS} {
 			addr, ok := w.Measurer.ResolveHost(w.Auth, host, p, mode)
 			if !ok {
-				fmt.Printf("  %-18s no answer\n", mode)
+				fmt.Fprintf(out, "  %-18s no answer\n", mode)
 				continue
 			}
 			rtt, _ := w.Measurer.Ping(p, addr)
-			fmt.Printf("  %-18s %v (%.1f ms)\n", mode, addr, rtt)
+			fmt.Fprintf(out, "  %-18s %v (%.1f ms)\n", mode, addr, rtt)
 			if mode == atlas.LDNS {
 				if tr, ok := w.Measurer.Traceroute(p, addr); ok && tr.Reached {
 					for i, h := range tr.Hops {
@@ -161,26 +227,27 @@ func probe(w *worldgen.World, groupKey, host string) {
 						if h.Owner != 0 {
 							owner = h.Owner.String()
 						}
-						fmt.Printf("    %2d  %-15v %-10s %6.1f ms  %s\n", i+1, h.Addr, owner, h.RTTMs, h.RDNS)
+						fmt.Fprintf(out, "    %2d  %-15v %-10s %6.1f ms  %s\n", i+1, h.Addr, owner, h.RTTMs, h.RDNS)
 					}
-					fmt.Printf("    %2d  %-15v (site %s)\n", len(tr.Hops)+1, tr.Dest, tr.Fwd.Site)
+					fmt.Fprintf(out, "    %2d  %-15v (site %s)\n", len(tr.Hops)+1, tr.Dest, tr.Fwd.Site)
 				}
 			}
 		}
 	}
 	if !found {
-		fatalf("no probe with group key %q (format CITY|ASN, e.g. FRA|10042)", groupKey)
+		return fmt.Errorf("no probe with group key %q (format CITY|ASN, e.g. FRA|10042)", groupKey)
 	}
+	return nil
 }
 
-func routes(w *worldgen.World, asnStr, vipStr string) {
+func routes(out io.Writer, w *worldgen.World, asnStr, vipStr string) error {
 	asn64, err := strconv.ParseUint(asnStr, 10, 32)
 	if err != nil {
-		fatalf("bad ASN %q", asnStr)
+		return fmt.Errorf("bad ASN %q", asnStr)
 	}
 	vip, err := netip.ParseAddr(vipStr)
 	if err != nil {
-		fatalf("bad address %q", vipStr)
+		return fmt.Errorf("bad address %q", vipStr)
 	}
 	var prefix netip.Prefix
 	for _, p := range w.Engine.Prefixes() {
@@ -189,79 +256,153 @@ func routes(w *worldgen.World, asnStr, vipStr string) {
 		}
 	}
 	if !prefix.IsValid() {
-		fatalf("%v is not inside any announced prefix", vip)
+		return fmt.Errorf("%v is not inside any announced prefix", vip)
 	}
 	cls, rts, ok := w.Engine.Routes(prefix, topo.ASN(asn64))
 	if !ok {
-		fatalf("AS%d has no route to %v", asn64, prefix)
+		return fmt.Errorf("AS%d has no route to %v", asn64, prefix)
 	}
-	fmt.Printf("AS%d routes to %v (class %s):\n", asn64, prefix, cls)
+	fmt.Fprintf(out, "AS%d routes to %v (class %s):\n", asn64, prefix, cls)
 	for _, r := range rts {
-		fmt.Printf("  via %-8v handoff %-4s site %-5s downstream %6.0f km  path %v\n",
+		fmt.Fprintf(out, "  via %-8v handoff %-4s site %-5s downstream %6.0f km  path %v\n",
 			r.Path[0], r.Handoff(), r.Site, r.DownKm, r.Path)
 	}
+	return nil
 }
 
-func scenario(w *worldgen.World, depName, file string) {
+// deploymentByName resolves the -dep flag.
+func deploymentByName(w *worldgen.World, name string) (*cdn.Deployment, error) {
 	deps := map[string]*cdn.Deployment{
 		"eg3": w.Edgio.EG3, "eg4": w.Edgio.EG4,
 		"im6": w.Imperva.IM6, "ns": w.Imperva.NS,
 		"tangled": w.Tangled.Global,
 	}
-	d, ok := deps[depName]
+	d, ok := deps[name]
 	if !ok {
-		fatalf("unknown deployment %q (want eg3, eg4, im6, ns, or tangled)", depName)
+		return nil, fmt.Errorf("unknown deployment %q (want eg3, eg4, im6, ns, or tangled)", name)
+	}
+	return d, nil
+}
+
+func scenario(out io.Writer, w *worldgen.World, depName, file string) error {
+	d, err := deploymentByName(w, depName)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(file)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer f.Close()
 	sc, err := dynamics.Parse(f)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 
 	r := dynamics.NewRunner(w.Engine, d)
 	r.Measurer = w.Measurer
 	r.Probes = w.Platform.Retained()
 
-	fmt.Printf("scenario %s on %s (AS%d, %d prefixes)\n", sc.Name, d.Name, d.ASN, len(r.Prefixes()))
+	fmt.Fprintf(out, "scenario %s on %s (AS%d, %d prefixes)\n", sc.Name, d.Name, d.ASN, len(r.Prefixes()))
 	pre := r.ProbeViews()
 	steps, err := r.Run(sc)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	for _, st := range steps {
 		mode := "incremental"
 		if st.Stats.Full {
 			mode = "full"
 		}
-		fmt.Printf("%-32s moved %4d  lost %4d  gained %4d  blast %6.2f%%  (%s: %d dirty, %d passes)\n",
+		fmt.Fprintf(out, "%-32s moved %4d  lost %4d  gained %4d  blast %6.2f%%  (%s: %d dirty, %d passes)\n",
 			st.Event, st.Churn.Moved, st.Churn.Lost, st.Churn.Gained,
 			100*st.Churn.ChangedFraction(), mode, st.Stats.Dirty, st.Stats.Passes)
 	}
 	post := r.ProbeViews()
 	changed, total := r.GroupChurn(pre, post)
-	fmt.Printf("net effect: %d/%d probe groups changed service", changed, total)
+	fmt.Fprintf(out, "net effect: %d/%d probe groups changed service", changed, total)
 	if pens := dynamics.Penalties(pre, post); len(pens) > 0 {
 		sort.Float64s(pens)
-		fmt.Printf(", median residual RTT delta %.1f ms", pens[len(pens)/2])
+		fmt.Fprintf(out, ", median residual RTT delta %.1f ms", pens[len(pens)/2])
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: anysim [-seed N] [-small] <subcommand>
+// load prints a deployment's per-site demand and utilization under the
+// seeded traffic model. With no bucket argument it summarizes the whole
+// day and details the peak bucket; with one it details that bucket.
+func load(out io.Writer, w *worldgen.World, depName string, bucket int) error {
+	d, err := deploymentByName(w, depName)
+	if err != nil {
+		return err
+	}
+	model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
+	if bucket >= model.Buckets() {
+		return fmt.Errorf("bucket %d outside [0,%d)", bucket, model.Buckets())
+	}
+	ev := traffic.NewEvaluator(w.Engine, d, model, traffic.CapacityConfig{})
+
+	fmt.Fprintf(out, "%s under the seeded demand model: %d probe groups, %.0f req/s day-mean\n\n",
+		d.Name, len(model.Groups), model.TotalBase())
+
+	// Day summary: each bucket's aggregate demand and worst site.
+	fmt.Fprintln(out, "bucket  UTC      demand     max util  overloaded")
+	peak, peakUtil := 0, -1.0
+	reports := make([]*traffic.LoadReport, model.Buckets())
+	for b := 0; b < model.Buckets(); b++ {
+		mat := model.Matrix(b)
+		rep := ev.Evaluate(mat)
+		reports[b] = rep
+		u := rep.MaxUtilization()
+		if u > peakUtil {
+			peak, peakUtil = b, u
+		}
+		h := b * 24 / model.Buckets()
+		fmt.Fprintf(out, "%-7d %02d-%02dh   %9.0f  %8.2f  %d\n",
+			b, h, h+24/model.Buckets(), mat.Total, u, len(rep.Overloads()))
+	}
+	if bucket < 0 {
+		bucket = peak
+	}
+	rep := reports[bucket]
+
+	fmt.Fprintf(out, "\nper-site load at bucket %d:\n", bucket)
+	fmt.Fprintln(out, "site   city  tier   capacity     demand   groups   util")
+	sites := append([]traffic.SiteLoad(nil), rep.Sites...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Utilization() > sites[j].Utilization() })
+	for _, s := range sites {
+		mark := ""
+		if s.Overloaded() {
+			mark = "  OVERLOADED"
+		}
+		fmt.Fprintf(out, "%-6s %-5s %-5s %10.0f %10.0f   %6d   %4.2f%s\n",
+			s.Site, s.City, s.Tier, s.Capacity, s.Demand, s.Groups, s.Utilization(), mark)
+	}
+	if rep.Unserved > 0 {
+		fmt.Fprintf(out, "unserved demand: %.0f req/s\n", rep.Unserved)
+	}
+
+	points := make([]asciimap.HeatPoint, 0, len(rep.Sites))
+	for _, s := range rep.Sites {
+		points = append(points, asciimap.HeatPoint{
+			Coord: geo.MustCity(s.City).Coord,
+			Value: s.Utilization(),
+		})
+	}
+	m := asciimap.New(100, 22)
+	m.Plot(asciimap.HeatMarkers(points))
+	fmt.Fprintf(out, "\nutilization at bucket %d:\n%s%s", bucket, m.String(), asciimap.HeatLegend())
+	return nil
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] <subcommand>
   deployments              list deployments, regions, and VIPs
   catchment <host>         per-area catchment histogram for a hostname
   probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
   routes <asn> <vip>       an AS's selected routes toward a VIP
-  scenario <file>          replay a fault scenario against -dep (default im6)`)
-	os.Exit(2)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "anysim: "+format+"\n", args...)
-	os.Exit(1)
+  scenario <file>          replay a fault scenario against -dep (default im6)
+  load [bucket]            per-site demand and utilization for -dep
+                           (default: the peak bucket)`)
 }

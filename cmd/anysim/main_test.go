@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anysim/internal/bgp"
+)
+
+// TestRunUsageErrors checks that flag and argument mistakes exit with the
+// usage code before any world is built (these must all return instantly).
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // no subcommand
+		{"-bogusflag"},          // unknown flag
+		{"frobnicate"},          // unknown subcommand
+		{"catchment"},           // missing argument
+		{"probe", "FRA|1"},      // missing argument
+		{"routes", "1", "2", "3", "4"}, // too many arguments
+		{"scenario"},            // missing file
+		{"load", "nine"},        // non-numeric bucket
+		{"load", "-3"},          // negative bucket
+		{"load", "0", "extra"},  // too many arguments
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != exitUsage {
+			t.Errorf("run(%q) = %d, want usage exit %d (stderr: %s)",
+				args, code, exitUsage, errOut.String())
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("run(%q) printed nothing to stderr", args)
+		}
+	}
+}
+
+// TestExitCode checks the error-to-exit-code mapping, in particular that a
+// wrapped routing non-termination is distinguished from ordinary errors.
+func TestExitCode(t *testing.T) {
+	nte := &bgp.NonTerminationError{
+		Prefix: netip.MustParsePrefix("198.51.100.0/24"), Phase: 1, Iterations: 7,
+	}
+	if got := exitCode(fmt.Errorf("scenario step 3: %w", nte)); got != exitNonTermination {
+		t.Errorf("wrapped NonTerminationError -> %d, want %d", got, exitNonTermination)
+	}
+	if got := exitCode(fmt.Errorf("plain failure")); got != exitError {
+		t.Errorf("plain error -> %d, want %d", got, exitError)
+	}
+}
+
+// TestRunSubcommands drives the CLI end to end on the reduced world.
+func TestRunSubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world")
+	}
+	base := []string{"-small", "-seed", "7"}
+
+	t.Run("deployments", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := run(append(base, "deployments"), &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		for _, want := range []string{"Imperva-6", "Imperva-NS", "Edgio-3", "sites"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("deployments output missing %q", want)
+			}
+		}
+	})
+
+	t.Run("load", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := run(append(base, "load"), &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		for _, want := range []string{"per-site load at bucket", "max util", "utilization at bucket"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("load output missing %q", want)
+			}
+		}
+	})
+
+	t.Run("load-bad-bucket", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := run(append(base, "load", "99"), &out, &errOut); code != exitError {
+			t.Fatalf("exit %d, want %d (out-of-range bucket)", code, exitError)
+		}
+	})
+
+	t.Run("scenario", func(t *testing.T) {
+		file := filepath.Join(t.TempDir(), "s.txt")
+		text := "scenario cli-test\nat 1 site-down fra\nat 2 site-up fra\n"
+		if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		if code := run(append(base, "scenario", file), &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "net effect") {
+			t.Errorf("scenario output missing summary: %s", out.String())
+		}
+	})
+
+	t.Run("scenario-missing-file", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		if code := run(append(base, "scenario", "/nonexistent/x.txt"), &out, &errOut); code != exitError {
+			t.Fatalf("exit %d, want %d", code, exitError)
+		}
+	})
+
+	t.Run("bad-dep", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-dep", "nope", "load")
+		if code := run(args, &out, &errOut); code != exitError {
+			t.Fatalf("exit %d, want %d", code, exitError)
+		}
+		if !strings.Contains(errOut.String(), "unknown deployment") {
+			t.Errorf("stderr missing deployment hint: %s", errOut.String())
+		}
+	})
+}

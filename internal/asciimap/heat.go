@@ -1,0 +1,63 @@
+package asciimap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anysim/internal/geo"
+)
+
+// The utilization heat layer renders per-site load on the world canvas:
+// each site's glyph intensity encodes its utilization bucket, so an X3
+// report shows at a glance where a flash crowd pushed sites past capacity
+// and where steering moved the load.
+
+// heatRamp maps utilization buckets to glyphs of increasing visual weight.
+// The last glyph marks overload (utilization above 1).
+var heatRamp = []rune{'.', '-', 'o', 'O', '#'}
+
+// heatThresholds are the bucket upper bounds for all but the overload
+// glyph: <=0.25, <=0.50, <=0.75, <=1.0, then overload.
+var heatThresholds = []float64{0.25, 0.50, 0.75, 1.0}
+
+// HeatGlyph returns the glyph for a utilization value.
+func HeatGlyph(u float64) rune {
+	for i, th := range heatThresholds {
+		if u <= th {
+			return heatRamp[i]
+		}
+	}
+	return heatRamp[len(heatRamp)-1]
+}
+
+// HeatPoint is one site's position and utilization.
+type HeatPoint struct {
+	Coord geo.Coord
+	Value float64
+}
+
+// HeatMarkers converts heat points to plottable markers. Points are
+// plotted coolest first so an overloaded site sharing a cell with an idle
+// one stays visible.
+func HeatMarkers(points []HeatPoint) []Marker {
+	sorted := append([]HeatPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Value < sorted[j].Value })
+	out := make([]Marker, len(sorted))
+	for i, p := range sorted {
+		out[i] = Marker{Coord: p.Coord, Glyph: HeatGlyph(p.Value)}
+	}
+	return out
+}
+
+// HeatLegend renders the utilization ramp legend.
+func HeatLegend() string {
+	var b strings.Builder
+	prev := 0.0
+	for i, th := range heatThresholds {
+		fmt.Fprintf(&b, "  %c util %.0f%%-%.0f%%\n", heatRamp[i], prev*100, th*100)
+		prev = th
+	}
+	fmt.Fprintf(&b, "  %c overloaded (util > 100%%)\n", heatRamp[len(heatRamp)-1])
+	return b.String()
+}

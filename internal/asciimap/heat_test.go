@@ -1,0 +1,50 @@
+package asciimap
+
+import (
+	"strings"
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+func TestHeatGlyphBuckets(t *testing.T) {
+	cases := []struct {
+		u    float64
+		want rune
+	}{
+		{0, '.'}, {0.25, '.'}, {0.3, '-'}, {0.5, '-'},
+		{0.6, 'o'}, {0.75, 'o'}, {0.9, 'O'}, {1.0, 'O'},
+		{1.01, '#'}, {3, '#'},
+	}
+	for _, c := range cases {
+		if got := HeatGlyph(c.u); got != c.want {
+			t.Errorf("HeatGlyph(%.2f) = %c; want %c", c.u, got, c.want)
+		}
+	}
+}
+
+func TestHeatMarkersHotWins(t *testing.T) {
+	// Two sites in the same cell: the overloaded one must be drawn last so
+	// it overwrites the idle one.
+	at := geo.Coord{Lat: 50, Lon: 8}
+	m := New(60, 20)
+	m.Plot(HeatMarkers([]HeatPoint{
+		{Coord: at, Value: 1.4},
+		{Coord: at, Value: 0.1},
+	}))
+	if !strings.ContainsRune(m.String(), '#') {
+		t.Fatalf("overloaded site not visible:\n%s", m)
+	}
+}
+
+func TestHeatLegendCoversRamp(t *testing.T) {
+	leg := HeatLegend()
+	for _, g := range heatRamp {
+		if !strings.ContainsRune(leg, g) {
+			t.Errorf("legend missing glyph %c:\n%s", g, leg)
+		}
+	}
+	if !strings.Contains(leg, "overloaded") {
+		t.Error("legend does not name the overload bucket")
+	}
+}

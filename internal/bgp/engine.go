@@ -188,6 +188,9 @@ func (e *Engine) validateAnn(prefix netip.Prefix, a SiteAnnouncement) error {
 	if a.Site == "" {
 		return fmt.Errorf("bgp: announcement for %s with empty site ID", prefix)
 	}
+	if a.Prepend < 0 || a.Prepend > MaxPrepend {
+		return fmt.Errorf("bgp: site %q announces %s with prepend %d outside [0,%d]", a.Site, prefix, a.Prepend, MaxPrepend)
+	}
 	return nil
 }
 
@@ -254,6 +257,9 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	dirtyOrigins := map[topo.ASN]bool{}
 	for _, a := range anns {
 		if sc.isDirty(a.Origin) {
+			// The origin's own rib carries the plain one-hop self route:
+			// prepending shapes what the site exports, not how the origin
+			// reaches itself.
 			dirtyOrigins[a.Origin] = true
 			getRIB(a.Origin).classes[FromOrigin] = append(getRIB(a.Origin).classes[FromOrigin], Route{
 				Rel:           FromOrigin,
@@ -263,6 +269,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				FinalUpstream: a.Origin,
 			})
 		}
+		seedPath, seedCities := a.seedPath(), a.seedCities()
 		for _, li := range e.topo.LinksOf(a.Origin) {
 			if !e.topo.LinkEnabled(li) {
 				continue
@@ -278,8 +285,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			rel := classify(l, nbr)
 			r := Route{
 				Rel:           rel,
-				Path:          []topo.ASN{a.Origin},
-				Cities:        []string{a.City},
+				Path:          seedPath,
+				Cities:        seedCities,
 				Site:          a.Site,
 				DownKm:        0,
 				FinalIXP:      l.IXP,
@@ -305,15 +312,29 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 
 	// Phase 1: customer routes climb the provider hierarchy level by
 	// level; each AS keeps only its first (shortest) generation. An
-	// offer's arrival round equals its AS-path length, which is what lets
-	// scoped runs inject boundary exports from clean customers at the
-	// round the full computation would deliver them.
+	// offer's arrival round equals its AS-path length: a prepended seed
+	// enters the climb at round 1+Prepend, so a provider hearing both a
+	// prepended and an unprepended site finalizes on the shorter path
+	// alone — which is how prepending sheds a customer cone. The same
+	// invariant lets scoped runs inject boundary exports from clean
+	// customers at the round the full computation would deliver them.
 	pending := map[topo.ASN][]Route{}
-	for _, o := range custSeeds {
-		pending[o.to] = append(pending[o.to], o.r)
-	}
-	sched1 := map[int]map[topo.ASN][]Route{} // arrival round -> dirty AS -> boundary offers
+	sched1 := map[int]map[topo.ASN][]Route{} // arrival round -> AS -> offers
 	maxRound := 0
+	sched := func(round int, to topo.ASN, offers []Route) {
+		m := sched1[round]
+		if m == nil {
+			m = map[topo.ASN][]Route{}
+			sched1[round] = m
+		}
+		m[to] = append(m[to], offers...)
+		if round > maxRound {
+			maxRound = round
+		}
+	}
+	for _, o := range custSeeds {
+		sched(o.r.Len(), o.to, []Route{o.r})
+	}
 	if sc != nil {
 		for asn := range sc.dirty {
 			for _, li := range e.topo.LinksOf(asn) {
@@ -336,16 +357,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				if len(offers) == 0 {
 					continue
 				}
-				round := offers[0].Len()
-				m := sched1[round]
-				if m == nil {
-					m = map[topo.ASN][]Route{}
-					sched1[round] = m
-				}
-				m[asn] = append(m[asn], offers...)
-				if round > maxRound {
-					maxRound = round
-				}
+				sched(offers[0].Len(), asn, offers)
 			}
 		}
 	}

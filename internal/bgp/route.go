@@ -116,6 +116,12 @@ func (r Route) String() string {
 	return fmt.Sprintf("%s via %v@%s to site %s (%.0f km downstream)", r.Rel, r.Path[0], r.Cities[0], r.Site, r.DownKm)
 }
 
+// MaxPrepend caps per-announcement AS-path prepending. Operators rarely
+// prepend more than a handful of hops: path-length comparison only breaks
+// ties within a preference class, so additional copies past the point where
+// every alternative wins buy nothing (see DESIGN.md's prepend calibration).
+const MaxPrepend = 8
+
 // SiteAnnouncement declares that an anycast site announces a prefix. Origin
 // is the content network's AS; City is the site's location; Site is a
 // stable site identifier (unique within the deployment).
@@ -125,11 +131,40 @@ func (r Route) String() string {
 // This models operators that announce different prefixes to different peers
 // at the same site, which is why the paper's §5.3 comparison must compute
 // the *common* set of peering ASes between two networks.
+//
+// Prepend adds that many extra copies of Origin to the AS path the site
+// exports (classic AS-path prepending, the Tangled testbed's traffic-
+// engineering knob). Prepending deters neighbours that compare path length —
+// shortest-path filtering within a preference class — but never overrides
+// relationship preference: a provider still prefers a prepended customer
+// route over any peer or provider route.
 type SiteAnnouncement struct {
 	Origin        topo.ASN
 	Site          string
 	City          string
 	OnlyNeighbors []topo.ASN
+	Prepend       int
+}
+
+// seedPath is the AS path the announcement exports to its neighbours: the
+// origin ASN repeated 1+Prepend times. With Prepend 0 this is exactly the
+// single-element path the engine has always seeded.
+func (a SiteAnnouncement) seedPath() []topo.ASN {
+	path := make([]topo.ASN, a.Prepend+1)
+	for i := range path {
+		path[i] = a.Origin
+	}
+	return path
+}
+
+// seedCities is the city list parallel to seedPath: the announcement city
+// repeated, since every prepended "hop" is the same router at the site.
+func (a SiteAnnouncement) seedCities() []string {
+	cities := make([]string, a.Prepend+1)
+	for i := range cities {
+		cities[i] = a.City
+	}
+	return cities
 }
 
 // announcesTo reports whether the announcement is made to the given

@@ -1,0 +1,71 @@
+package cdn
+
+// Site capacity tiers, a reconstruction from the paper's Table 1 footprints.
+// The paper's operators do not publish per-site capacity, but their
+// documented metro footprints distinguish a small set of heavily built-out
+// interconnection hubs (every studied network has a site there, and they
+// host the big IXPs in the simulated topology) from ordinary metros and
+// thin edge sites. internal/traffic turns these tiers into serving
+// capacity; the classification lives here next to the site lists it is
+// derived from.
+
+// SiteTier classifies a site's build-out class.
+type SiteTier uint8
+
+// Capacity tiers, smallest first.
+const (
+	TierEdgeSite SiteTier = iota
+	TierMetroSite
+	TierHubSite
+)
+
+var siteTierNames = map[SiteTier]string{
+	TierEdgeSite:  "edge",
+	TierMetroSite: "metro",
+	TierHubSite:   "hub",
+}
+
+// String returns a short tier name.
+func (t SiteTier) String() string {
+	if s, ok := siteTierNames[t]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// hubCities are the interconnection hubs every studied network builds out:
+// the intersection of the operators' published footprints restricted to the
+// classic exchange metros.
+var hubCities = []string{
+	"FRA", "AMS", "LON", "PAR", // EMEA exchange belt
+	"NYC", "IAD", "CHI", "SJC", "LAX", // NA
+	"TYO", "SIN", "HKG", // APAC
+	"SAO", // LatAm
+}
+
+// metroCities are ordinary large-metro sites: present in at least two of
+// the published operator footprints but not hubs.
+var metroCities = []string{
+	"MAD", "MIL", "STO", "WAW", "VIE", "ZRH", "DUB", "CPH", "MUC", "IST",
+	"SEL", "OSA", "TPE", "BKK", "KUL", "JKT", "DEL", "BOM", "SYD", "MEL",
+	"MIA", "ATL", "DFW", "DEN", "SEA", "YYZ", "BOS", "PHX",
+	"MEX", "BUE",
+}
+
+var tierByCity = func() map[string]SiteTier {
+	m := map[string]SiteTier{}
+	for _, c := range metroCities {
+		m[c] = TierMetroSite
+	}
+	for _, c := range hubCities {
+		m[c] = TierHubSite
+	}
+	return m
+}()
+
+// TierOfCity classifies a site city (IATA code) into its capacity tier.
+// Cities outside the hub and metro lists are edge sites.
+func TierOfCity(city string) SiteTier { return tierByCity[city] }
+
+// Tier returns the site's capacity tier.
+func (s Site) Tier() SiteTier { return TierOfCity(s.City) }

@@ -21,6 +21,7 @@ import (
 	"anysim/internal/atlas"
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
+	"anysim/internal/geo"
 	"anysim/internal/topo"
 )
 
@@ -44,6 +45,12 @@ const (
 	// Reannounce withdraws and immediately re-announces a site's prefixes
 	// (a maintenance flap); routing returns to the pre-event state.
 	Reannounce
+	// FlashBegin starts a flash crowd: demand in one paper area scales by
+	// Factor. Routing is untouched; internal/traffic reads the runner's
+	// active flash state when evaluating load.
+	FlashBegin
+	// FlashEnd ends the flash crowd in an area.
+	FlashEnd
 )
 
 var kindNames = map[Kind]string{
@@ -54,6 +61,8 @@ var kindNames = map[Kind]string{
 	IXPDown:    "ixp-down",
 	IXPUp:      "ixp-up",
 	Reannounce: "reannounce",
+	FlashBegin: "flash-begin",
+	FlashEnd:   "flash-end",
 }
 
 func (k Kind) String() string {
@@ -65,13 +74,16 @@ func (k Kind) String() string {
 
 // Event is one routing event at a virtual tick. Exactly the fields the
 // Kind needs are set: Site for site events and re-announcements, A/B for
-// link events, IXP for IXP events.
+// link events, IXP for IXP events, Area (and Factor for FlashBegin) for
+// flash-crowd events.
 type Event struct {
-	At   int
-	Kind Kind
-	Site string
-	A, B topo.ASN
-	IXP  string
+	At     int
+	Kind   Kind
+	Site   string
+	A, B   topo.ASN
+	IXP    string
+	Area   geo.Area
+	Factor float64
 }
 
 func (ev Event) String() string {
@@ -80,6 +92,10 @@ func (ev Event) String() string {
 		return fmt.Sprintf("at %d %s %d %d", ev.At, ev.Kind, ev.A, ev.B)
 	case IXPDown, IXPUp:
 		return fmt.Sprintf("at %d %s %s", ev.At, ev.Kind, ev.IXP)
+	case FlashBegin:
+		return fmt.Sprintf("at %d %s %s %g", ev.At, ev.Kind, ev.Area, ev.Factor)
+	case FlashEnd:
+		return fmt.Sprintf("at %d %s %s", ev.At, ev.Kind, ev.Area)
 	default:
 		return fmt.Sprintf("at %d %s %s", ev.At, ev.Kind, ev.Site)
 	}
@@ -118,12 +134,13 @@ type Runner struct {
 
 	prefixes []netip.Prefix                            // sorted deployment prefixes
 	siteAnns map[string]map[netip.Prefix]bgp.SiteAnnouncement // site ID -> prefix -> announcement
+	flash    map[geo.Area]float64                      // active flash-crowd factors
 }
 
 // NewRunner captures the deployment's announcement plan. The deployment is
 // assumed to be announced on the engine already (Deployment.Announce).
 func NewRunner(e *bgp.Engine, dep *cdn.Deployment) *Runner {
-	r := &Runner{Engine: e, Dep: dep, siteAnns: map[string]map[netip.Prefix]bgp.SiteAnnouncement{}}
+	r := &Runner{Engine: e, Dep: dep, siteAnns: map[string]map[netip.Prefix]bgp.SiteAnnouncement{}, flash: map[geo.Area]float64{}}
 	plan := dep.ResolvedAnnouncements(e.Topology())
 	for prefix, anns := range plan {
 		r.prefixes = append(r.prefixes, prefix)
@@ -180,6 +197,18 @@ func (r *Runner) Apply(ev Event) error {
 			return err
 		}
 		return r.Engine.ReconvergeLinks([]int{li})
+	case FlashBegin:
+		if ev.Factor <= 0 {
+			return fmt.Errorf("dynamics: flash-begin %s with non-positive factor %g", ev.Area, ev.Factor)
+		}
+		r.flash[ev.Area] = ev.Factor
+		return nil
+	case FlashEnd:
+		if _, ok := r.flash[ev.Area]; !ok {
+			return fmt.Errorf("dynamics: flash-end %s with no active flash crowd", ev.Area)
+		}
+		delete(r.flash, ev.Area)
+		return nil
 	case IXPDown, IXPUp:
 		lis := tp.LinksOfIXP(ev.IXP)
 		if len(lis) == 0 {
@@ -225,6 +254,16 @@ func (r *Runner) siteUp(site string) error {
 		}
 	}
 	return nil
+}
+
+// ActiveFlash returns the in-effect flash-crowd demand factors per area.
+// The returned map is a copy.
+func (r *Runner) ActiveFlash() map[geo.Area]float64 {
+	out := make(map[geo.Area]float64, len(r.flash))
+	for a, f := range r.flash {
+		out[a] = f
+	}
+	return out
 }
 
 // Snapshot captures the per-AS catchment of every deployment prefix.

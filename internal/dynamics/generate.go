@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"anysim/internal/cdn"
+	"anysim/internal/geo"
 	"anysim/internal/topo"
 )
 
@@ -23,9 +24,10 @@ type GenConfig struct {
 	// RepairAfter is how many ticks a fault lasts (default 5; must be
 	// smaller than Spacing so faults on the same entity cannot overlap).
 	RepairAfter int
-	// PSite, PLink, PIXP, PFlap weight the fault mix; they are
-	// renormalised. All zero selects the default mix.
-	PSite, PLink, PIXP, PFlap float64
+	// PSite, PLink, PIXP, PCrowd, PFlap weight the fault mix; they are
+	// renormalised. All zero selects the default mix (which has no flash
+	// crowds, so existing seeded schedules are unchanged).
+	PSite, PLink, PIXP, PCrowd, PFlap float64
 }
 
 func (cfg GenConfig) withDefaults() GenConfig {
@@ -41,7 +43,7 @@ func (cfg GenConfig) withDefaults() GenConfig {
 	if cfg.RepairAfter == 0 {
 		cfg.RepairAfter = 5
 	}
-	if cfg.PSite == 0 && cfg.PLink == 0 && cfg.PIXP == 0 && cfg.PFlap == 0 {
+	if cfg.PSite == 0 && cfg.PLink == 0 && cfg.PIXP == 0 && cfg.PCrowd == 0 && cfg.PFlap == 0 {
 		cfg.PSite, cfg.PLink, cfg.PIXP, cfg.PFlap = 0.4, 0.35, 0.1, 0.15
 	}
 	return cfg
@@ -81,7 +83,7 @@ func Generate(cfg GenConfig, tp *topo.Topology, dep *cdn.Deployment) (*Scenario,
 	}
 	sort.Strings(ixps)
 
-	total := cfg.PSite + cfg.PLink + cfg.PIXP + cfg.PFlap
+	total := cfg.PSite + cfg.PLink + cfg.PIXP + cfg.PCrowd + cfg.PFlap
 	sc := &Scenario{Name: fmt.Sprintf("gen-%s-%d", dep.Name, cfg.Seed)}
 	links := tp.Links()
 	for i := 0; i < cfg.Faults; i++ {
@@ -104,6 +106,15 @@ func Generate(cfg GenConfig, tp *topo.Topology, dep *cdn.Deployment) (*Scenario,
 			sc.Events = append(sc.Events,
 				Event{At: onset, Kind: IXPDown, IXP: ix},
 				Event{At: repair, Kind: IXPUp, IXP: ix})
+		case roll < cfg.PSite+cfg.PLink+cfg.PIXP+cfg.PCrowd:
+			// A flash crowd in a random area, 1.5x-3.5x, ended at repair
+			// time. With PCrowd 0 this arm is unreachable and draws nothing
+			// from the RNG, so pre-existing seeded schedules are stable.
+			area := geo.Areas[rng.Intn(len(geo.Areas))]
+			factor := 1.5 + 2*rng.Float64()
+			sc.Events = append(sc.Events,
+				Event{At: onset, Kind: FlashBegin, Area: area, Factor: factor},
+				Event{At: repair, Kind: FlashEnd, Area: area})
 		case len(sites) > 0:
 			sc.Events = append(sc.Events,
 				Event{At: onset, Kind: Reannounce, Site: sites[rng.Intn(len(sites))]})

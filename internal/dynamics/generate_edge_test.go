@@ -1,0 +1,173 @@
+package dynamics
+
+import (
+	"strings"
+	"testing"
+
+	"anysim/internal/geo"
+)
+
+// TestZeroEventSchedule: a header-only scenario parses to an empty
+// schedule, and running it is a no-op that leaves routing untouched.
+func TestZeroEventSchedule(t *testing.T) {
+	sc, err := ParseString("scenario empty\n# nothing happens\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Events) != 0 {
+		t.Fatalf("parsed %d events; want 0", len(sc.Events))
+	}
+	w := smallWorld(t)
+	r := NewRunner(w.Engine, w.Imperva.IM6)
+	before := r.Snapshot()
+	steps, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Fatalf("empty scenario produced %d steps", len(steps))
+	}
+	requireSnapshotsEqual(t, "zero-event run", r.Snapshot(), before)
+}
+
+// TestOverlappingSiteOutages: two different sites down at once is legal and
+// repairs restore the initial catchments, while a second outage of an
+// already-down site is rejected rather than silently absorbed.
+func TestOverlappingSiteOutages(t *testing.T) {
+	w := smallWorld(t)
+	r := NewRunner(w.Engine, w.Imperva.IM6)
+	a := w.Imperva.IM6.Sites[0].ID
+	b := w.Imperva.IM6.Sites[1].ID
+	before := r.Snapshot()
+
+	sc, err := ParseString("scenario overlap\n" +
+		"at 1 site-down " + a + "\n" +
+		"at 2 site-down " + b + "\n" +
+		"at 3 site-up " + a + "\n" +
+		"at 4 site-up " + b + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	requireSnapshotsEqual(t, "overlapping outages repaired", r.Snapshot(), before)
+
+	if err := r.Apply(Event{Kind: SiteDown, Site: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(Event{Kind: SiteDown, Site: a}); err == nil {
+		t.Fatal("double outage of the same site was accepted")
+	} else if !strings.Contains(err.Error(), "no site") {
+		t.Fatalf("double outage error %q does not name the missing site", err)
+	}
+	if err := r.Apply(Event{Kind: SiteUp, Site: a}); err != nil {
+		t.Fatal(err)
+	}
+	requireSnapshotsEqual(t, "after double-down recovery", r.Snapshot(), before)
+}
+
+// TestGenerateRepairAfterValidation: a repair delay reaching the onset
+// spacing would let same-entity faults overlap; the generator rejects it.
+func TestGenerateRepairAfterValidation(t *testing.T) {
+	w := smallWorld(t)
+	for _, cfg := range []GenConfig{
+		{Seed: 1, Spacing: 5, RepairAfter: 5},
+		{Seed: 1, Spacing: 5, RepairAfter: 7},
+	} {
+		if _, err := Generate(cfg, w.Topo, w.Imperva.IM6); err == nil {
+			t.Fatalf("RepairAfter %d with Spacing %d accepted", cfg.RepairAfter, cfg.Spacing)
+		}
+	}
+}
+
+// TestGenerateCrowdOnlyMix: an all-PCrowd mix yields exactly paired
+// flash-begin/flash-end events, and the schedule round-trips through the
+// DSL.
+func TestGenerateCrowdOnlyMix(t *testing.T) {
+	w := smallWorld(t)
+	sc, err := Generate(GenConfig{Seed: 3, Faults: 6, PCrowd: 1}, w.Topo, w.Imperva.IM6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case FlashBegin:
+			begins++
+			if ev.Factor < 1.5 || ev.Factor > 3.5 {
+				t.Fatalf("flash factor %g outside [1.5,3.5]", ev.Factor)
+			}
+			if ev.Area == geo.AreaUnknown {
+				t.Fatal("flash event with unknown area")
+			}
+		case FlashEnd:
+			ends++
+		default:
+			t.Fatalf("crowd-only mix produced %v event", ev.Kind)
+		}
+	}
+	if begins != 6 || ends != 6 {
+		t.Fatalf("got %d begins, %d ends; want 6 each", begins, ends)
+	}
+	parsed, err := ParseString(sc.String())
+	if err != nil {
+		t.Fatalf("generated schedule does not re-parse: %v", err)
+	}
+	if parsed.String() != sc.String() {
+		t.Fatalf("flash schedule does not round-trip:\n%s\nvs\n%s", sc, parsed)
+	}
+}
+
+// TestGenerateDefaultMixUnchanged: adding PCrowd must not disturb the RNG
+// sequence of the default mix — seeded schedules from before the flash
+// event type must stay bit-identical, which holds because the crowd arm is
+// unreachable at PCrowd 0.
+func TestGenerateDefaultMixUnchanged(t *testing.T) {
+	w := smallWorld(t)
+	def, err := Generate(GenConfig{Seed: 42, Faults: 12}, w.Topo, w.Imperva.IM6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Generate(GenConfig{Seed: 42, Faults: 12, PSite: 0.4, PLink: 0.35, PIXP: 0.1, PFlap: 0.15}, w.Topo, w.Imperva.IM6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != explicit.String() {
+		t.Fatalf("default mix differs from explicit weights:\n%s\nvs\n%s", def, explicit)
+	}
+	for _, ev := range def.Events {
+		if ev.Kind == FlashBegin || ev.Kind == FlashEnd {
+			t.Fatalf("default mix generated flash event %s", ev)
+		}
+	}
+}
+
+// TestFlashEventLifecycle: flash events update the runner's demand state
+// without touching routing, and mismatched flash-end is rejected.
+func TestFlashEventLifecycle(t *testing.T) {
+	w := smallWorld(t)
+	r := NewRunner(w.Engine, w.Imperva.IM6)
+	before := r.Snapshot()
+
+	if err := r.Apply(Event{Kind: FlashBegin, Area: geo.EMEA, Factor: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveFlash(); got[geo.EMEA] != 2.5 {
+		t.Fatalf("active flash %v; want EMEA 2.5", got)
+	}
+	requireSnapshotsEqual(t, "flash-begin", r.Snapshot(), before)
+
+	if err := r.Apply(Event{Kind: FlashEnd, Area: geo.NA}); err == nil {
+		t.Fatal("flash-end for an area with no active crowd was accepted")
+	}
+	if err := r.Apply(Event{Kind: FlashBegin, Area: geo.NA, Factor: 0}); err == nil {
+		t.Fatal("flash-begin with zero factor was accepted")
+	}
+	if err := r.Apply(Event{Kind: FlashEnd, Area: geo.EMEA}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveFlash(); len(got) != 0 {
+		t.Fatalf("active flash %v after flash-end; want empty", got)
+	}
+}

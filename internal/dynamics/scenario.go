@@ -11,6 +11,8 @@ package dynamics
 //	at <tick> ixp-down <ixpID>
 //	at <tick> ixp-up <ixpID>
 //	at <tick> reannounce <siteID>
+//	at <tick> flash-begin <area> <factor>
+//	at <tick> flash-end <area>
 //
 // Parse and Scenario.String round-trip: serializing a parsed scenario and
 // parsing it again yields the same schedule (events sorted by tick,
@@ -23,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"anysim/internal/geo"
 	"anysim/internal/topo"
 )
 
@@ -109,6 +112,28 @@ func parseEvent(fields []string) (Event, error) {
 			return Event{}, fmt.Errorf("%s wants one IXP ID", kind)
 		}
 		ev.IXP = args[0]
+	case FlashBegin:
+		if len(args) != 2 {
+			return Event{}, fmt.Errorf("%s wants an area and a factor", kind)
+		}
+		area, err := geo.ParseArea(args[0])
+		if err != nil {
+			return Event{}, err
+		}
+		factor, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || factor <= 0 {
+			return Event{}, fmt.Errorf("%s: bad factor %q", kind, args[1])
+		}
+		ev.Area, ev.Factor = area, factor
+	case FlashEnd:
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("%s wants one area", kind)
+		}
+		area, err := geo.ParseArea(args[0])
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Area = area
 	default:
 		if len(args) != 1 {
 			return Event{}, fmt.Errorf("%s wants one site ID", kind)

@@ -217,6 +217,7 @@ func All() []Experiment {
 		{"T6", "Table 6: representative vs other hostnames", Table6},
 		{"X1", "Extension: DailyCatch and AnyOpt-style baselines vs regional anycast", Extensions},
 		{"X2", "Extension: routing dynamics — fault blast radius, regional vs global", Dynamics},
+		{"X3", "Extension: flash-crowd steering — regional knobs vs global prepending", Traffic},
 	}
 }
 

@@ -1,0 +1,269 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/geo"
+)
+
+// CapacityConfig derives per-site serving capacity. A site is provisioned
+// for Headroom times its peak baseline catchment demand (operators build
+// sites out to the worst diurnal hour they observe), with a floor
+// apportioned by the site's Table-1 tier so thin-catchment sites still
+// have the build-out their tier implies — those floors are what
+// cross-announcement taps.
+type CapacityConfig struct {
+	// Headroom scales each site's capacity over its peak-bucket baseline
+	// demand. Default 2.0: every site rides out its own diurnal peak at
+	// half utilization; a regional flash crowd does not fit.
+	Headroom float64
+	// TierWeight apportions the tier floors across sites. Defaults:
+	// hub 4, metro 2, edge 1.
+	TierWeight map[cdn.SiteTier]float64
+	// FloorFrac sizes the tier floors: they sum to FloorFrac times the
+	// model's day-mean aggregate rate. Default 0.3.
+	FloorFrac float64
+	// SoftUtil is the utilization where queueing delay becomes visible.
+	// Default 0.75.
+	SoftUtil float64
+}
+
+func (c CapacityConfig) withDefaults() CapacityConfig {
+	if c.Headroom == 0 {
+		c.Headroom = 2.0
+	}
+	if c.TierWeight == nil {
+		c.TierWeight = map[cdn.SiteTier]float64{
+			cdn.TierHubSite:   4,
+			cdn.TierMetroSite: 2,
+			cdn.TierEdgeSite:  1,
+		}
+	}
+	if c.FloorFrac == 0 {
+		c.FloorFrac = 0.3
+	}
+	if c.SoftUtil == 0 {
+		c.SoftUtil = 0.75
+	}
+	return c
+}
+
+// kneePenaltyMs is the excess latency at exactly full utilization.
+const kneePenaltyMs = 40
+
+// PenaltyMs converts a site's utilization into the excess serving latency
+// its clients see: zero below softUtil, a convex rise to kneePenaltyMs at
+// u=1 (queueing), then a linear blow-up beyond capacity (drops/retries).
+func PenaltyMs(u, softUtil float64) float64 {
+	switch {
+	case u <= softUtil:
+		return 0
+	case u <= 1:
+		x := (u - softUtil) / (1 - softUtil)
+		return kneePenaltyMs * x * x
+	default:
+		return kneePenaltyMs + 200*(u-1)
+	}
+}
+
+// SiteLoad is one site's load state in a bucket.
+type SiteLoad struct {
+	Site     string
+	City     string
+	Tier     cdn.SiteTier
+	Capacity float64
+	Demand   float64
+	Groups   int // probe groups in the site's catchment
+}
+
+// Utilization returns demand over capacity.
+func (s SiteLoad) Utilization() float64 {
+	if s.Capacity == 0 {
+		return math.Inf(1)
+	}
+	return s.Demand / s.Capacity
+}
+
+// Overloaded reports whether demand exceeds capacity.
+func (s SiteLoad) Overloaded() bool { return s.Demand > s.Capacity }
+
+// Assignment records where one probe group's demand lands.
+type Assignment struct {
+	Site   string
+	Prefix netip.Prefix // the regional prefix the group resolved to
+	Rate   float64
+	RTTMs  float64 // propagation RTT to the site, excluding load penalty
+}
+
+// LoadReport is the catchment × demand product for one matrix.
+type LoadReport struct {
+	Bucket int
+	Sites  []SiteLoad // sorted by site ID
+	// Assignments maps group key -> where its demand went.
+	Assignments map[string]Assignment
+	// Unserved is demand from groups with no route to their prefix.
+	Unserved float64
+
+	siteIdx map[string]int
+}
+
+// SiteLoadByID returns one site's load.
+func (r *LoadReport) SiteLoadByID(id string) (SiteLoad, bool) {
+	i, ok := r.siteIdx[id]
+	if !ok {
+		return SiteLoad{}, false
+	}
+	return r.Sites[i], true
+}
+
+// Overloads returns the overloaded sites, worst utilization first.
+func (r *LoadReport) Overloads() []SiteLoad {
+	var out []SiteLoad
+	for _, s := range r.Sites {
+		if s.Overloaded() {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := out[i].Utilization(), out[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// MaxUtilization returns the worst site utilization.
+func (r *LoadReport) MaxUtilization() float64 {
+	max := 0.0
+	for _, s := range r.Sites {
+		if u := s.Utilization(); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// EffectiveRTTMs returns a group's served latency: propagation plus the
+// load penalty of its serving site. Groups with no route get +Inf.
+func (r *LoadReport) EffectiveRTTMs(key string, softUtil float64) float64 {
+	a, ok := r.Assignments[key]
+	if !ok {
+		return math.Inf(1)
+	}
+	s, ok := r.SiteLoadByID(a.Site)
+	if !ok {
+		return a.RTTMs
+	}
+	return a.RTTMs + PenaltyMs(s.Utilization(), softUtil)
+}
+
+// Evaluator computes load reports: it resolves each probe group to its
+// regional prefix, asks the BGP engine for the group's catchment site, and
+// accumulates the demand matrix onto sites.
+type Evaluator struct {
+	Engine *bgp.Engine
+	Dep    *cdn.Deployment
+	Model  *Model
+	cfg    CapacityConfig
+	// Caps is the derived per-site capacity.
+	Caps map[string]float64
+}
+
+// rttInflation mirrors the measurement model's great-circle-to-fiber path
+// stretch (atlas.Model.Inflation's default).
+const rttInflation = 1.25
+
+// NewEvaluator derives site capacities against the engine's current
+// (baseline) routing state and returns an evaluator: each site gets
+// Headroom times its peak-bucket baseline demand, floored by its tier
+// share. Build the evaluator before steering or faults perturb the
+// catchments.
+func NewEvaluator(e *bgp.Engine, dep *cdn.Deployment, m *Model, cfg CapacityConfig) *Evaluator {
+	cfg = cfg.withDefaults()
+	ev := &Evaluator{Engine: e, Dep: dep, Model: m, cfg: cfg, Caps: map[string]float64{}}
+
+	// Peak baseline demand per site over the day, under current routing.
+	peak := map[string]float64{}
+	for b := 0; b < m.Buckets(); b++ {
+		rep := ev.Evaluate(m.Matrix(b))
+		for _, s := range rep.Sites {
+			if s.Demand > peak[s.Site] {
+				peak[s.Site] = s.Demand
+			}
+		}
+	}
+	sumW := 0.0
+	for _, s := range dep.Sites {
+		sumW += cfg.TierWeight[s.Tier()]
+	}
+	floorTotal := cfg.FloorFrac * m.TotalBase()
+	for _, s := range dep.Sites {
+		c := cfg.Headroom * peak[s.ID]
+		if floor := floorTotal * cfg.TierWeight[s.Tier()] / sumW; c < floor {
+			c = floor
+		}
+		ev.Caps[s.ID] = c
+	}
+	return ev
+}
+
+// Config returns the capacity configuration in effect.
+func (ev *Evaluator) Config() CapacityConfig { return ev.cfg }
+
+// Evaluate computes the load report for one demand matrix against the
+// engine's current routing state.
+func (ev *Evaluator) Evaluate(mat Matrix) *LoadReport {
+	rep := &LoadReport{
+		Bucket:      mat.Bucket,
+		Assignments: make(map[string]Assignment, len(ev.Model.Groups)),
+		siteIdx:     map[string]int{},
+	}
+	for _, s := range ev.Dep.Sites {
+		rep.siteIdx[s.ID] = len(rep.Sites)
+		rep.Sites = append(rep.Sites, SiteLoad{
+			Site:     s.ID,
+			City:     s.City,
+			Tier:     s.Tier(),
+			Capacity: ev.Caps[s.ID],
+		})
+	}
+	for _, g := range ev.Model.Groups {
+		rate := mat.Rates[g.Key]
+		if rate == 0 {
+			continue
+		}
+		region, ok := ev.Dep.RegionForCountry(g.Country)
+		if !ok {
+			rep.Unserved += rate
+			continue
+		}
+		fwd, ok := ev.Engine.Lookup(region.Prefix, g.ASN, g.City)
+		if !ok {
+			rep.Unserved += rate
+			continue
+		}
+		i, ok := rep.siteIdx[fwd.Site]
+		if !ok {
+			// A cross-announced site outside the deployment's static site
+			// list cannot happen (sites are deployment-wide), so this is a
+			// consistency bug worth failing loudly on.
+			panic(fmt.Sprintf("traffic: catchment site %q not in deployment %s", fwd.Site, ev.Dep.Name))
+		}
+		rep.Sites[i].Demand += rate
+		rep.Sites[i].Groups++
+		rep.Assignments[g.Key] = Assignment{
+			Site:   fwd.Site,
+			Prefix: region.Prefix,
+			Rate:   rate,
+			RTTMs:  geo.FiberRTTMs(fwd.DistKm * rttInflation),
+		}
+	}
+	return rep
+}

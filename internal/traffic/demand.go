@@ -1,0 +1,297 @@
+// Package traffic adds the paper's missing dimension to the simulator:
+// load. It models client demand per probe group (Zipf-skewed, diurnally
+// modulated — the shape Cicalese et al. measure on a production anycast
+// CDN), serving capacity per anycast site (derived from the Table-1 site
+// tiers), and a steering engine that resolves overload with the BGP-level
+// knobs the Tangled testbed demonstrates: AS-path prepending, selective
+// announcement, and regional cross-announcement. The X3 experiment uses it
+// to quantify the paper's control argument — regional anycast can steer
+// load precisely where global anycast can only nudge it.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"anysim/internal/atlas"
+	"anysim/internal/geo"
+	"anysim/internal/topo"
+)
+
+// DemandConfig seeds and shapes the demand model.
+type DemandConfig struct {
+	Seed int64
+	// Buckets is the number of time buckets per simulated day. Default 8
+	// (three-hour buckets).
+	Buckets int
+	// ZipfS is the Zipf exponent of the group-popularity distribution.
+	// Default 0.9, the heavy skew CDN traffic studies report.
+	ZipfS float64
+	// DiurnalAmp is the amplitude of the diurnal cycle: demand swings
+	// between (1-Amp) and (1+Amp) of a group's base rate over the local
+	// day. Default 0.6.
+	DiurnalAmp float64
+	// PeakHour is the local solar hour of peak demand. Default 20 (the
+	// evening peak).
+	PeakHour float64
+	// TotalRate is the day-mean aggregate request rate over all groups, in
+	// arbitrary requests/s. Default 1e6.
+	TotalRate float64
+	// AreaWeight sets each paper area's share of aggregate demand.
+	// Shares are normalized over the areas that have probe groups, so
+	// demand follows the areas' rough shares of global Internet users
+	// (EMEA 0.35, NA 0.27, APAC 0.28, LatAm 0.10 by default) rather than
+	// the platform's Europe-heavy probe density.
+	AreaWeight map[geo.Area]float64
+	// MaxGroupShare truncates the Zipf head: no single group models more
+	// than this fraction of its area's demand, with the excess
+	// redistributed over the area's other groups proportionally. A lone
+	// vantage AS would otherwise stand in for half a continent's users
+	// and carry more demand than any single site can serve, which no
+	// routing assignment — steered or not — could ever satisfy. Default
+	// 0.2; set negative to disable.
+	MaxGroupShare float64
+}
+
+func (c DemandConfig) withDefaults() DemandConfig {
+	if c.Buckets == 0 {
+		c.Buckets = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.9
+	}
+	if c.DiurnalAmp == 0 {
+		c.DiurnalAmp = 0.6
+	}
+	if c.PeakHour == 0 {
+		c.PeakHour = 20
+	}
+	if c.TotalRate == 0 {
+		c.TotalRate = 1e6
+	}
+	if c.AreaWeight == nil {
+		c.AreaWeight = map[geo.Area]float64{
+			geo.EMEA:  0.35,
+			geo.NA:    0.27,
+			geo.APAC:  0.28,
+			geo.LatAm: 0.10,
+		}
+	}
+	if c.MaxGroupShare == 0 {
+		c.MaxGroupShare = 0.2
+	}
+	return c
+}
+
+// GroupDemand is one probe group's demand parameters.
+type GroupDemand struct {
+	Key     string // the platform's "CITY|ASN" group key
+	City    string
+	ASN     topo.ASN
+	Country string
+	Area    geo.Area
+	Lon     float64 // the group's longitude, which keys its local clock
+	// Base is the group's day-mean request rate.
+	Base float64
+}
+
+// Model is the seeded demand model over a probe platform's groups.
+type Model struct {
+	cfg    DemandConfig
+	Groups []GroupDemand // sorted by Key
+	byKey  map[string]*GroupDemand
+	total  float64
+}
+
+// NewModel builds the demand model for a platform's retained probe groups.
+// Base rates draw ranks from a seeded Zipf permutation, weighted by the
+// paper area's share of users and by group size (more probes in a <city,
+// AS> group proxies a larger client population behind it).
+func NewModel(pl *atlas.Platform, cfg DemandConfig) *Model {
+	cfg = cfg.withDefaults()
+	groups := pl.Groups()
+	keys := pl.GroupKeys()
+
+	// A seeded permutation assigns each group its popularity rank: rank r
+	// contributes 1/(r+1)^s. Shuffling a sorted key list keeps the model
+	// fully determined by (platform, seed).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ranked := append([]string(nil), keys...)
+	rng.Shuffle(len(ranked), func(i, j int) { ranked[i], ranked[j] = ranked[j], ranked[i] })
+	rank := make(map[string]int, len(ranked))
+	for r, k := range ranked {
+		rank[k] = r
+	}
+
+	m := &Model{cfg: cfg, byKey: make(map[string]*GroupDemand, len(keys))}
+	weights := make([]float64, 0, len(keys))
+	areaSum := map[geo.Area]float64{}
+	for _, k := range keys {
+		probes := groups[k]
+		p := probes[0]
+		g := GroupDemand{
+			Key:     k,
+			City:    p.City,
+			ASN:     p.ASN,
+			Country: p.Country,
+			Area:    geo.AreaOf(p.Country),
+			Lon:     geo.MustCity(p.City).Coord.Lon,
+		}
+		w := math.Pow(float64(rank[k]+1), -cfg.ZipfS)
+		w *= float64(len(probes))
+		weights = append(weights, w)
+		areaSum[g.Area] += w
+		m.Groups = append(m.Groups, g)
+	}
+	// Truncate the Zipf head per area: clamp any group above MaxGroupShare
+	// of its area's weight and rescale the rest to absorb the excess,
+	// repeating until no group exceeds the cap (each pass only ever grows
+	// the unclamped groups, so the loop settles in a few rounds). Areas
+	// with too few groups to honour the cap degrade to a uniform split.
+	if cfg.MaxGroupShare > 0 {
+		byArea := map[geo.Area][]int{}
+		for i, g := range m.Groups {
+			byArea[g.Area] = append(byArea[g.Area], i)
+		}
+		for a, idxs := range byArea {
+			if float64(len(idxs))*cfg.MaxGroupShare < 1 {
+				for _, i := range idxs {
+					weights[i] = areaSum[a] / float64(len(idxs))
+				}
+				continue
+			}
+			for {
+				capW := cfg.MaxGroupShare * areaSum[a]
+				excess, open := 0.0, 0.0
+				for _, i := range idxs {
+					if weights[i] >= capW {
+						excess += weights[i] - capW
+					} else {
+						open += weights[i]
+					}
+				}
+				if excess <= 1e-12*areaSum[a] {
+					break
+				}
+				scale := (open + excess) / open
+				for _, i := range idxs {
+					if weights[i] >= capW {
+						weights[i] = capW
+					} else {
+						weights[i] *= scale
+					}
+				}
+			}
+		}
+	}
+	// AreaWeight fixes each area's share of the aggregate: the Zipf x
+	// group-size weights only shape the distribution within an area. Without
+	// this normalization the platform's probe density (Europe-heavy, like
+	// RIPE Atlas) would drive area shares instead of user population.
+	shareSum := 0.0
+	for a, s := range areaSum {
+		if s > 0 {
+			shareSum += cfg.AreaWeight[a]
+		}
+	}
+	for i := range m.Groups {
+		g := &m.Groups[i]
+		share := cfg.AreaWeight[g.Area] / shareSum
+		g.Base = cfg.TotalRate * share * weights[i] / areaSum[g.Area]
+		m.byKey[g.Key] = g
+		m.total += g.Base
+	}
+	return m
+}
+
+// Buckets returns the number of time buckets per day.
+func (m *Model) Buckets() int { return m.cfg.Buckets }
+
+// TotalBase returns the day-mean aggregate rate.
+func (m *Model) TotalBase() float64 { return m.total }
+
+// Group returns a group's demand parameters.
+func (m *Model) Group(key string) (GroupDemand, bool) {
+	g, ok := m.byKey[key]
+	if !ok {
+		return GroupDemand{}, false
+	}
+	return *g, true
+}
+
+// diurnal returns the demand multiplier for a group at a UTC hour: a cosine
+// day-cycle peaking at cfg.PeakHour local solar time, with the local clock
+// derived from the group's longitude (15 degrees per hour).
+func (m *Model) diurnal(lon, utcHour float64) float64 {
+	localHour := math.Mod(utcHour+lon/15+24, 24)
+	return 1 + m.cfg.DiurnalAmp*math.Cos(2*math.Pi*(localHour-m.cfg.PeakHour)/24)
+}
+
+// Matrix is one time bucket's demand: request rate per probe group.
+type Matrix struct {
+	Bucket int
+	Rates  map[string]float64
+	Total  float64
+}
+
+// Matrix computes the demand matrix for one time bucket (0 <= bucket <
+// Buckets()); the bucket's midpoint UTC hour drives each group's diurnal
+// phase.
+func (m *Model) Matrix(bucket int) Matrix {
+	if bucket < 0 || bucket >= m.cfg.Buckets {
+		panic(fmt.Sprintf("traffic: bucket %d outside [0,%d)", bucket, m.cfg.Buckets))
+	}
+	utcHour := (float64(bucket) + 0.5) * 24 / float64(m.cfg.Buckets)
+	out := Matrix{Bucket: bucket, Rates: make(map[string]float64, len(m.Groups))}
+	for _, g := range m.Groups {
+		r := g.Base * m.diurnal(g.Lon, utcHour)
+		out.Rates[g.Key] = r
+		out.Total += r
+	}
+	return out
+}
+
+// Matrices computes the full day of demand matrices.
+func (m *Model) Matrices() []Matrix {
+	out := make([]Matrix, m.cfg.Buckets)
+	for b := range out {
+		out[b] = m.Matrix(b)
+	}
+	return out
+}
+
+// FlashCrowd returns a copy of mat with every group in the given area
+// scaled by factor, modelling a regional flash crowd (factor > 1) or
+// brown-out (factor < 1).
+func (m *Model) FlashCrowd(mat Matrix, area geo.Area, factor float64) Matrix {
+	out := Matrix{Bucket: mat.Bucket, Rates: make(map[string]float64, len(mat.Rates))}
+	for k, r := range mat.Rates {
+		if g, ok := m.byKey[k]; ok && g.Area == area {
+			r *= factor
+		}
+		out.Rates[k] = r
+		out.Total += r
+	}
+	return out
+}
+
+// TopGroups returns the n highest-demand groups of a matrix, for reports.
+func TopGroups(mat Matrix, n int) []string {
+	keys := make([]string, 0, len(mat.Rates))
+	for k := range mat.Rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, rj := mat.Rates[keys[i]], mat.Rates[keys[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return keys[i] < keys[j]
+	})
+	if n > len(keys) {
+		n = len(keys)
+	}
+	return keys[:n]
+}
