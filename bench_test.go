@@ -65,6 +65,7 @@ func benchExperiment(b *testing.B, id string) *experiments.Report {
 	if err != nil {
 		b.Fatalf("%s warm-up: %v", id, err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(ctx); err != nil {
@@ -146,6 +147,7 @@ func BenchmarkAblationECS(b *testing.B) {
 		{"AllPublicECS", 0.0001, 0.9999},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var wrong float64
 			for i := 0; i < b.N; i++ {
 				w, err := worldgen.New(worldgen.Config{
@@ -192,6 +194,7 @@ func BenchmarkAblationGeoDBError(b *testing.B) {
 		{"Sloppy", 0.05, 0.50},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var wrong float64
 			for i := 0; i < b.N; i++ {
 				w, err := worldgen.New(worldgen.Config{Seed: 51, Scale: 0.05, Topo: smallTopo()})
@@ -224,6 +227,7 @@ func BenchmarkAblationGeoDBError(b *testing.B) {
 func BenchmarkAblationReOptK(b *testing.B) {
 	ctx := benchContext(b)
 	sweep := ctx.Sweep()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := reopt.Run(ctx.World.Engine, ctx.World.Measurer, ctx.World.Tangled,
@@ -244,6 +248,7 @@ func BenchmarkAblationReOptK(b *testing.B) {
 func BenchmarkDemandMatrix(b *testing.B) {
 	ctx := benchContext(b)
 	model := traffic.NewModel(ctx.World.Platform, traffic.DemandConfig{Seed: ctx.World.Config.Seed})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mats := model.Matrices()
@@ -259,25 +264,8 @@ func BenchmarkDemandMatrix(b *testing.B) {
 // deterministic search, so this tracks the cost of the trial-and-rollback
 // loop over the incremental routing solver.
 func BenchmarkTrafficSteering(b *testing.B) {
-	ctx := benchContext(b)
-	w := ctx.World
-	model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
-	ev := traffic.NewEvaluator(w.Engine, w.Imperva.IM6, model, traffic.CapacityConfig{})
-	// The crowd of experiment X3: the area's peak bucket, demand x2.8.
-	peak, peakRate := 0, -1.0
-	for bu := 0; bu < model.Buckets(); bu++ {
-		mat := model.Matrix(bu)
-		rate := 0.0
-		for _, g := range model.Groups {
-			if g.Area == geo.LatAm {
-				rate += mat.Rates[g.Key]
-			}
-		}
-		if rate > peakRate {
-			peak, peakRate = bu, rate
-		}
-	}
-	flash := model.FlashCrowd(model.Matrix(peak), geo.LatAm, 2.8)
+	ev, flash := benchFlashSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var resolved bool
 	for i := 0; i < b.N; i++ {
@@ -299,10 +287,61 @@ func BenchmarkTrafficSteering(b *testing.B) {
 	}
 }
 
+// benchFlashSetup builds the X3 flash-crowd workload: evaluator over the
+// default world's regional deployment plus the LatAm peak-bucket matrix
+// scaled x2.8.
+func benchFlashSetup(b *testing.B) (*traffic.Evaluator, traffic.Matrix) {
+	b.Helper()
+	ctx := benchContext(b)
+	w := ctx.World
+	model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
+	ev := traffic.NewEvaluator(w.Engine, w.Imperva.IM6, model, traffic.CapacityConfig{})
+	peak, peakRate := 0, -1.0
+	for bu := 0; bu < model.Buckets(); bu++ {
+		mat := model.Matrix(bu)
+		rate := 0.0
+		for _, g := range model.Groups {
+			if g.Area == geo.LatAm {
+				rate += mat.Rates[g.Key]
+			}
+		}
+		if rate > peakRate {
+			peak, peakRate = bu, rate
+		}
+	}
+	return ev, model.FlashCrowd(model.Matrix(peak), geo.LatAm, 2.8)
+}
+
+// BenchmarkSteeringRound isolates one round of the steering loop — generate
+// candidates, trial them concurrently on engine forks, commit the winner —
+// by resolving with a single-action budget and restoring. This is the unit
+// the Workers pool parallelizes.
+func BenchmarkSteeringRound(b *testing.B) {
+	ev, flash := benchFlashSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := traffic.NewSteerer(ev, traffic.SteeringConfig{
+			MaxActions: 1, AllowSelective: true, AllowCrossAnnounce: true,
+		})
+		res, err := st.Resolve(flash)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Actions) == 0 {
+			b.Fatal("round committed no action")
+		}
+		if err := st.Reset(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWorldBuild times constructing the full-scale paper world from
 // scratch: topology, CDNs, routing convergence for 15 prefixes, address
 // plan, probes, and DNS.
 func BenchmarkWorldBuild(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := worldgen.Default(); err != nil {
 			b.Fatal(err)

@@ -28,6 +28,8 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 
@@ -61,9 +63,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.Usage = func() { usage(stderr) }
 	var (
-		seed  = fs.Int64("seed", worldgen.DefaultSeed, "world seed")
-		small = fs.Bool("small", false, "use the reduced-scale world")
-		dep   = fs.String("dep", "im6", "deployment for the scenario and load subcommands (eg3, eg4, im6, ns, tangled)")
+		seed       = fs.Int64("seed", worldgen.DefaultSeed, "world seed")
+		small      = fs.Bool("small", false, "use the reduced-scale world")
+		dep        = fs.String("dep", "im6", "deployment for the scenario and load subcommands (eg3, eg4, im6, ns, tangled)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the subcommand (excluding world build) to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the subcommand to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -115,6 +119,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
 		return exitError
+	}
+
+	// Profiling brackets the subcommand only: world construction is
+	// benchmarked separately (BenchmarkWorldBuild) and would otherwise
+	// dominate steering/scenario profiles.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: cpuprofile: %v\n", err)
+			return exitError
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "anysim: cpuprofile: %v\n", err)
+			return exitError
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "anysim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "anysim: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	switch fs.Arg(0) {
@@ -397,12 +432,14 @@ func load(out io.Writer, w *worldgen.World, depName string, bucket int) error {
 }
 
 func usage(out io.Writer) {
-	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] <subcommand>
+	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] [-cpuprofile F] [-memprofile F] <subcommand>
   deployments              list deployments, regions, and VIPs
   catchment <host>         per-area catchment histogram for a hostname
   probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
   routes <asn> <vip>       an AS's selected routes toward a VIP
   scenario <file>          replay a fault scenario against -dep (default im6)
   load [bucket]            per-site demand and utilization for -dep
-                           (default: the peak bucket)`)
+                           (default: the peak bucket)
+-cpuprofile/-memprofile write pprof profiles of the subcommand (world
+construction excluded), e.g.: anysim -small -cpuprofile cpu.out load`)
 }

@@ -113,6 +113,25 @@ func TestRunSubcommands(t *testing.T) {
 		}
 	})
 
+	t.Run("profiles", func(t *testing.T) {
+		dir := t.TempDir()
+		cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-cpuprofile", cpu, "-memprofile", mem, "load", "0")
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		for _, f := range []string{cpu, mem} {
+			st, err := os.Stat(f)
+			if err != nil {
+				t.Fatalf("profile not written: %v", err)
+			}
+			if st.Size() == 0 {
+				t.Errorf("profile %s is empty", f)
+			}
+		}
+	})
+
 	t.Run("bad-dep", func(t *testing.T) {
 		var out, errOut bytes.Buffer
 		args := append(append([]string(nil), base...), "-dep", "nope", "load")

@@ -47,6 +47,7 @@ func benchWorld(b *testing.B) (*topo.Topology, *Engine, []SiteAnnouncement, neti
 // prefix over an ~870-AS topology.
 func BenchmarkAnnounce(b *testing.B) {
 	_, e, anns, prefix := benchWorld(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Announce(prefix, anns); err != nil {
@@ -65,6 +66,7 @@ func BenchmarkIncrementalReconvergence(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := e.WithdrawSite(prefix, "fra"); err != nil {
 				b.Fatal(err)
@@ -80,6 +82,7 @@ func BenchmarkIncrementalReconvergence(b *testing.B) {
 		}
 	})
 	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
 		minus := append([]SiteAnnouncement(nil), anns[:1]...)
 		minus = append(minus, anns[2:]...)
 		for i := 0; i < b.N; i++ {
@@ -87,6 +90,36 @@ func BenchmarkIncrementalReconvergence(b *testing.B) {
 				b.Fatal(err)
 			}
 			if err := e.Announce(prefix, anns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineFork measures the copy-on-write snapshot itself and one
+// full steering trial unit on top of it: fork the engine, apply a prepend
+// change via incremental reconvergence on the fork, drop it. This is the
+// per-candidate cost of the parallel trial loop in internal/traffic.
+func BenchmarkEngineFork(b *testing.B) {
+	_, e, anns, prefix := benchWorld(b)
+	if err := e.Announce(prefix, anns); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fork", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if f := e.Fork(); f == nil {
+				b.Fatal("nil fork")
+			}
+		}
+	})
+	b.Run("fork-trial", func(b *testing.B) {
+		b.ReportAllocs()
+		trial := anns[1]
+		trial.Prepend = 2
+		for i := 0; i < b.N; i++ {
+			f := e.Fork()
+			if err := f.AnnounceSite(prefix, trial); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -105,6 +138,7 @@ func BenchmarkLookup(b *testing.B) {
 			stubs = append(stubs, asn)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		asn := stubs[i%len(stubs)]

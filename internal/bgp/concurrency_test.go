@@ -85,3 +85,81 @@ func TestConcurrentAnnounceAndLookup(t *testing.T) {
 		t.Errorf("announced prefixes = %d, want 9", got)
 	}
 }
+
+// TestConcurrentForkEvaluation stress-tests the steering trial pattern under
+// -race: many goroutines fork the shared engine, mutate their private forks
+// (withdraw/restore/prepend), and run lookups on them, while writer and
+// reader goroutines keep mutating and querying the parent. No fork mutation
+// may leak into the parent.
+func TestConcurrentForkEvaluation(t *testing.T) {
+	_, e, anns := generatedCDNWorld(t, 5)
+	tp := e.Topology()
+
+	stubs := []topo.ASN{}
+	for _, asn := range tp.ASNs() {
+		if tp.MustAS(asn).Tier == topo.TierStub {
+			stubs = append(stubs, asn)
+		}
+	}
+	before := snapshotRibs(e, pfxGlobal)
+
+	var wg sync.WaitGroup
+	// Forkers: per-candidate trial evaluation on private snapshots.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := e.Fork()
+			var err error
+			switch i % 3 {
+			case 0:
+				err = f.WithdrawSite(pfxGlobal, anns[i%len(anns)].Site)
+			case 1:
+				a := anns[i%len(anns)]
+				a.Prepend = 1 + i%MaxPrepend
+				err = f.AnnounceSite(pfxGlobal, a)
+			default:
+				err = f.WithdrawSite(pfxGlobal, anns[i%len(anns)].Site)
+				if err == nil {
+					err = f.AnnounceSite(pfxGlobal, anns[i%len(anns)])
+				}
+			}
+			if err != nil {
+				t.Errorf("fork %d: %v", i, err)
+				return
+			}
+			for k := 0; k < 50; k++ {
+				asn := stubs[(i*50+k)%len(stubs)]
+				f.Lookup(pfxGlobal, asn, tp.MustAS(asn).Cities[0])
+			}
+		}(i)
+	}
+	// Parent writers: announce fresh prefixes while forks evaluate.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 18, byte(150 + i), 0}), 24)
+			a := anns[i%len(anns)]
+			if err := e.Announce(p, []SiteAnnouncement{a}); err != nil {
+				t.Errorf("parent announce %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Parent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				asn := stubs[k%len(stubs)]
+				e.Lookup(pfxGlobal, asn, tp.MustAS(asn).Cities[0])
+			}
+		}()
+	}
+	wg.Wait()
+
+	if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
+		t.Fatalf("fork mutations leaked into parent rib for %s", asn)
+	}
+}

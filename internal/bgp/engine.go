@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"slices"
-	"sort"
+	"strings"
 	"sync"
 
 	"anysim/internal/geo"
@@ -28,22 +28,39 @@ const (
 
 // Engine computes and stores anycast routing state for a frozen topology.
 // Announce may be called for multiple prefixes; Lookup answers catchment
-// queries. Announce and Lookup are safe for concurrent use.
+// queries. Announce and Lookup are safe for concurrent use. Fork snapshots
+// the engine cheaply for concurrent what-if evaluation (see fork.go).
 type Engine struct {
 	topo *topo.Topology
 
 	cityIdx map[string]int
 	cityKm  [][]float64 // pairwise great-circle distances
 
+	// Dense AS indexing, cached from topo.Topology.ASIndex at construction
+	// for lock-free access: per-AS routing state lives in slices indexed by
+	// the dense index instead of maps keyed by ASN. linkA/linkB hold each
+	// link's endpoint indices so hot loops never hash an ASN.
+	n            int
+	asIdx        map[topo.ASN]int
+	byIdx        []topo.ASN
+	linkA, linkB []int32
+
 	mu        sync.RWMutex
-	ribs      map[netip.Prefix]map[topo.ASN]*rib
+	ribs      map[netip.Prefix]ribTable
 	anns      map[netip.Prefix][]SiteAnnouncement
 	lastStats ReconvergeStats
 	// hints is the failover memory of incremental reconvergence: per
 	// (prefix, site), the ASes the last withdraw/restore of that site
 	// touched, used to pre-seed the next operation on the same site.
-	hints map[netip.Prefix]map[string]map[topo.ASN]bool
+	hints map[netip.Prefix]map[string]*asBits
 }
+
+// ribTable is one prefix's converged routing state: the per-AS RIB, indexed
+// by dense AS index. An AS with no route has a nil entry. Tables and the
+// ribs they point to are immutable once installed — converge builds a fresh
+// table and fresh ribs for every recomputed AS, carrying clean ASes' ribs
+// over by pointer — which is what makes Fork a shallow-copy operation.
+type ribTable []*rib
 
 // rib holds one AS's routes for one prefix, bucketed by preference class.
 type rib struct {
@@ -68,6 +85,9 @@ func (r *rib) selLen() (int, bool) {
 	return 0, false
 }
 
+// hasOrigin reports whether a (possibly nil) rib carries origin self routes.
+func hasOrigin(r *rib) bool { return r != nil && len(r.classes[FromOrigin]) > 0 }
+
 // NewEngine builds an engine over a topology. The topology should be frozen;
 // mutating it after constructing an engine invalidates computed state.
 func NewEngine(t *topo.Topology) *Engine {
@@ -83,18 +103,36 @@ func NewEngine(t *topo.Topology) *Engine {
 			km[i][j] = geo.DistanceKm(cities[i].Coord, cities[j].Coord)
 		}
 	}
+	asIdx := t.ASIndexMap()
+	links := t.Links()
+	la := make([]int32, len(links))
+	lb := make([]int32, len(links))
+	for i, l := range links {
+		la[i] = int32(asIdx[l.A])
+		lb[i] = int32(asIdx[l.B])
+	}
 	return &Engine{
 		topo:    t,
 		cityIdx: idx,
 		cityKm:  km,
-		ribs:    make(map[netip.Prefix]map[topo.ASN]*rib),
+		n:       t.NumASes(),
+		asIdx:   asIdx,
+		byIdx:   t.ASList(),
+		linkA:   la,
+		linkB:   lb,
+		ribs:    make(map[netip.Prefix]ribTable),
 		anns:    make(map[netip.Prefix][]SiteAnnouncement),
-		hints:   make(map[netip.Prefix]map[string]map[topo.ASN]bool),
+		hints:   make(map[netip.Prefix]map[string]*asBits),
 	}
 }
 
 // Topology returns the engine's topology.
 func (e *Engine) Topology() *topo.Topology { return e.topo }
+
+// linkEnds returns the dense endpoint indices of link li.
+func (e *Engine) linkEnds(li int) (ai, bi int) {
+	return int(e.linkA[li]), int(e.linkB[li])
+}
 
 // km returns the inter-city distance, panicking on unknown cities (which
 // indicates a bug, since all cities are validated at topology build time).
@@ -122,7 +160,7 @@ func (e *Engine) Prefixes() []netip.Prefix {
 	for p := range e.anns {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	slices.SortFunc(out, func(a, b netip.Prefix) int { return strings.Compare(a.String(), b.String()) })
 	return out
 }
 
@@ -172,8 +210,19 @@ func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
 	if err != nil {
 		return err
 	}
-	e.install(prefix, anns, ribs, ReconvergeStats{Dirty: len(ribs), Passes: 1, Full: true})
+	e.install(prefix, anns, ribs, ReconvergeStats{Dirty: ribs.populated(), Passes: 1, Full: true})
 	return nil
+}
+
+// populated counts the ASes holding state in a table.
+func (t ribTable) populated() int {
+	n := 0
+	for _, r := range t {
+		if r != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // validateAnn checks a single site announcement against the topology.
@@ -195,7 +244,7 @@ func (e *Engine) validateAnn(prefix netip.Prefix, a SiteAnnouncement) error {
 }
 
 // install publishes a converged routing table for a prefix.
-func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs map[topo.ASN]*rib, st ReconvergeStats) {
+func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs ribTable, st ReconvergeStats) {
 	e.mu.Lock()
 	e.ribs[prefix] = ribs
 	e.anns[prefix] = append([]SiteAnnouncement(nil), anns...)
@@ -205,40 +254,38 @@ func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs map[
 
 // convergeScope restricts convergence to a dirty region for incremental
 // reconvergence. dirty lists the ASes whose RIBs must be recomputed; old
-// holds the previous RIBs, carried over untouched for clean ASes and used as
-// the source of boundary exports into the dirty region. A nil scope
+// holds the previous table, carried over untouched for clean ASes and used
+// as the source of boundary exports into the dirty region. A nil scope
 // recomputes every AS.
 type convergeScope struct {
-	dirty map[topo.ASN]bool
-	old   map[topo.ASN]*rib
+	dirty *asBits
+	old   ribTable
 }
 
-// isDirty reports whether asn must be recomputed; with no scope every AS is.
-func (sc *convergeScope) isDirty(asn topo.ASN) bool {
-	return sc == nil || sc.dirty[asn]
+// isDirty reports whether AS index i must be recomputed; with no scope every
+// AS is.
+func (sc *convergeScope) isDirty(i int) bool {
+	return sc == nil || sc.dirty.has(i)
 }
 
 // converge runs the three Gao-Rexford propagation phases and returns the
-// per-AS RIBs. With a scope it recomputes only the dirty ASes, injecting the
-// offers clean neighbours would export at the round the full computation
-// delivers them: in phases 1 and 3 an offer's arrival round equals its
-// AS-path length, so boundary exports can be scheduled exactly. Links
-// disabled via Topology.SetLinkEnabled carry no offers in any phase.
-func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *convergeScope) (map[topo.ASN]*rib, error) {
+// per-AS RIB table. With a scope it recomputes only the dirty ASes,
+// injecting the offers clean neighbours would export at the round the full
+// computation delivers them: in phases 1 and 3 an offer's arrival round
+// equals its AS-path length, so boundary exports can be scheduled exactly.
+// Links disabled via Topology.SetLinkEnabled carry no offers in any phase.
+func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *convergeScope) (ribTable, error) {
 	links := e.topo.Links()
-	ribs := make(map[topo.ASN]*rib, e.topo.NumASes())
+	ribs := make(ribTable, e.n)
 	if sc != nil {
-		for asn, r := range sc.old {
-			if !sc.dirty[asn] {
-				ribs[asn] = r
-			}
-		}
+		copy(ribs, sc.old)
+		sc.dirty.forEach(func(i int) { ribs[i] = nil })
 	}
-	getRIB := func(asn topo.ASN) *rib {
-		r := ribs[asn]
+	getRIB := func(i int) *rib {
+		r := ribs[i]
 		if r == nil {
 			r = &rib{}
-			ribs[asn] = r
+			ribs[i] = r
 		}
 		return r
 	}
@@ -250,18 +297,19 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	// origin's carried-over rib must never be appended to) and only dirty
 	// neighbours receive seeds.
 	type offer struct {
-		to topo.ASN
+		to int // dense AS index
 		r  Route
 	}
 	var custSeeds, peerSeeds, provSeeds []offer
-	dirtyOrigins := map[topo.ASN]bool{}
+	dirtyOrigins := map[int]bool{}
 	for _, a := range anns {
-		if sc.isDirty(a.Origin) {
+		oi := e.asIdx[a.Origin]
+		if sc.isDirty(oi) {
 			// The origin's own rib carries the plain one-hop self route:
 			// prepending shapes what the site exports, not how the origin
 			// reaches itself.
-			dirtyOrigins[a.Origin] = true
-			getRIB(a.Origin).classes[FromOrigin] = append(getRIB(a.Origin).classes[FromOrigin], Route{
+			dirtyOrigins[oi] = true
+			getRIB(oi).classes[FromOrigin] = append(getRIB(oi).classes[FromOrigin], Route{
 				Rel:           FromOrigin,
 				Path:          []topo.ASN{a.Origin},
 				Cities:        []string{a.City},
@@ -278,8 +326,11 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			if !containsCity(l.Cities, a.City) {
 				continue
 			}
-			nbr, _ := l.Other(a.Origin)
-			if !a.announcesTo(nbr) || !sc.isDirty(nbr) {
+			nbr, ni := l.B, int(e.linkB[li])
+			if l.B == a.Origin {
+				nbr, ni = l.A, int(e.linkA[li])
+			}
+			if !a.announcesTo(nbr) || !sc.isDirty(ni) {
 				continue
 			}
 			rel := classify(l, nbr)
@@ -294,20 +345,19 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			}
 			switch rel {
 			case FromCustomer:
-				custSeeds = append(custSeeds, offer{nbr, r})
+				custSeeds = append(custSeeds, offer{ni, r})
 			case FromPublicPeer, FromRSPeer:
-				peerSeeds = append(peerSeeds, offer{nbr, r})
+				peerSeeds = append(peerSeeds, offer{ni, r})
 			case FromProvider:
-				provSeeds = append(provSeeds, offer{nbr, r})
+				provSeeds = append(provSeeds, offer{ni, r})
 			}
 		}
 	}
 	// Canonicalise self-route order so routing state is a function of the
 	// announcement *set*, not its slice order (withdraw + re-announce moves
 	// a site to the end of the announcement list).
-	for asn := range dirtyOrigins {
-		cls := getRIB(asn).classes[FromOrigin]
-		sort.Slice(cls, func(i, j int) bool { return routeLess(cls[i], cls[j]) })
+	for i := range dirtyOrigins {
+		slices.SortFunc(ribs[i].classes[FromOrigin], routeCmp)
 	}
 
 	// Phase 1: customer routes climb the provider hierarchy level by
@@ -318,13 +368,13 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	// alone — which is how prepending sheds a customer cone. The same
 	// invariant lets scoped runs inject boundary exports from clean
 	// customers at the round the full computation would deliver them.
-	pending := map[topo.ASN][]Route{}
-	sched1 := map[int]map[topo.ASN][]Route{} // arrival round -> AS -> offers
+	pending := map[int][]Route{}
+	sched1 := map[int]map[int][]Route{} // arrival round -> AS index -> offers
 	maxRound := 0
-	sched := func(round int, to topo.ASN, offers []Route) {
+	sched := func(round, to int, offers []Route) {
 		m := sched1[round]
 		if m == nil {
-			m = map[topo.ASN][]Route{}
+			m = map[int][]Route{}
 			sched1[round] = m
 		}
 		m[to] = append(m[to], offers...)
@@ -336,7 +386,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		sched(o.r.Len(), o.to, []Route{o.r})
 	}
 	if sc != nil {
-		for asn := range sc.dirty {
+		sc.dirty.forEach(func(i int) {
+			asn := e.byIdx[i]
 			for _, li := range e.topo.LinksOf(asn) {
 				if !e.topo.LinkEnabled(li) {
 					continue
@@ -345,46 +396,46 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				if l.Type != topo.CustomerToProvider || l.B != asn {
 					continue
 				}
-				cust := l.A
-				if sc.dirty[cust] {
+				ci := int(e.linkA[li])
+				if sc.dirty.has(ci) {
 					continue
 				}
-				crib := sc.old[cust]
-				if crib == nil || len(crib.classes[FromOrigin]) > 0 {
+				crib := sc.old[ci]
+				if crib == nil || hasOrigin(crib) {
 					continue // origin exports arrive as per-site seeds
 				}
-				offers := e.export(cust, crib.classes[FromCustomer], l, asn)
+				offers := e.export(l.A, crib.classes[FromCustomer], l, asn)
 				if len(offers) == 0 {
 					continue
 				}
-				sched(offers[0].Len(), asn, offers)
+				sched(offers[0].Len(), i, offers)
 			}
-		}
+		})
 	}
-	finalizedCust := map[topo.ASN]bool{}
+	finalizedCust := make([]bool, e.n)
 	for round := 1; len(pending) > 0 || round <= maxRound; round++ {
-		if round > e.topo.NumASes()+1 {
+		if round > e.n+1 {
 			return nil, &NonTerminationError{Prefix: prefix, Phase: 1, Iterations: round}
 		}
-		for asn, offers := range sched1[round] {
-			pending[asn] = append(pending[asn], offers...)
+		for i, offers := range sched1[round] {
+			pending[i] = append(pending[i], offers...)
 		}
 		delete(sched1, round)
-		frontier := make([]topo.ASN, 0, len(pending))
-		for asn, routes := range pending {
-			rb := getRIB(asn)
-			if len(rb.classes[FromOrigin]) > 0 || finalizedCust[asn] {
+		frontier := make([]int, 0, len(pending))
+		for i, routes := range pending {
+			if hasOrigin(ribs[i]) || finalizedCust[i] {
 				continue
 			}
-			cap, arb := e.capFor(asn)
-			rb.classes[FromCustomer] = capClass(routes, cap, arb)
-			finalizedCust[asn] = true
-			frontier = append(frontier, asn)
+			cap, arb := e.capFor(e.byIdx[i])
+			getRIB(i).classes[FromCustomer] = capClass(routes, cap, arb)
+			finalizedCust[i] = true
+			frontier = append(frontier, i)
 		}
-		pending = map[topo.ASN][]Route{}
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		for _, asn := range frontier {
-			set := getRIB(asn).classes[FromCustomer]
+		pending = map[int][]Route{}
+		slices.Sort(frontier)
+		for _, i := range frontier {
+			set := ribs[i].classes[FromCustomer]
+			asn := e.byIdx[i]
 			for _, li := range e.topo.LinksOf(asn) {
 				if !e.topo.LinkEnabled(li) {
 					continue
@@ -393,12 +444,12 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				if l.Type != topo.CustomerToProvider || l.A != asn {
 					continue // only climb customer->provider edges
 				}
-				prov := l.B
-				if !sc.isDirty(prov) || finalizedCust[prov] || len(getRIB(prov).classes[FromOrigin]) > 0 {
+				pi := int(e.linkB[li])
+				if !sc.isDirty(pi) || finalizedCust[pi] || hasOrigin(ribs[pi]) {
 					continue
 				}
-				for _, nr := range e.export(asn, set, l, prov) {
-					pending[prov] = append(pending[prov], nr)
+				for _, nr := range e.export(asn, set, l, l.B) {
+					pending[pi] = append(pending[pi], nr)
 				}
 			}
 		}
@@ -407,11 +458,12 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	// Phase 2: one hop over peering links; only own/customer routes are
 	// exported to peers (Gao-Rexford). Collected per receiving AS so a
 	// scoped run visits only the dirty region's peering sessions.
-	peerOffers := map[topo.ASN][]Route{}
+	peerOffers := map[int][]Route{}
 	for _, o := range peerSeeds {
 		peerOffers[o.to] = append(peerOffers[o.to], o.r)
 	}
-	collectPeer := func(to topo.ASN) {
+	collectPeer := func(ti int) {
+		to := e.byIdx[ti]
 		for _, li := range e.topo.LinksOf(to) {
 			if !e.topo.LinkEnabled(li) {
 				continue
@@ -420,34 +472,34 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			if l.Type != topo.PublicPeer && l.Type != topo.RouteServerPeer {
 				continue
 			}
-			from, _ := l.Other(to)
-			fromRIB := ribs[from]
+			from, fi := l.A, int(e.linkA[li])
+			if l.A == to {
+				from, fi = l.B, int(e.linkB[li])
+			}
+			fromRIB := ribs[fi]
 			if fromRIB == nil {
 				continue
 			}
 			// Origin exports were already seeded per site; skip here.
-			if len(fromRIB.classes[FromOrigin]) > 0 {
+			if hasOrigin(fromRIB) {
 				continue
 			}
 			set := fromRIB.classes[FromCustomer]
 			if len(set) == 0 {
 				continue
 			}
-			peerOffers[to] = append(peerOffers[to], e.export(from, set, l, to)...)
+			peerOffers[ti] = append(peerOffers[ti], e.export(from, set, l, to)...)
 		}
 	}
 	if sc == nil {
-		for _, asn := range e.topo.ASNs() {
-			collectPeer(asn)
+		for i := 0; i < e.n; i++ {
+			collectPeer(i)
 		}
 	} else {
-		for asn := range sc.dirty {
-			collectPeer(asn)
-		}
+		sc.dirty.forEach(collectPeer)
 	}
-	for asn, offers := range peerOffers {
-		rb := getRIB(asn)
-		if len(rb.classes[FromOrigin]) > 0 {
+	for i, offers := range peerOffers {
+		if hasOrigin(ribs[i]) {
 			continue
 		}
 		var pub, rs []Route
@@ -459,7 +511,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				rs = append(rs, r)
 			}
 		}
-		cap, arb := e.capFor(asn)
+		cap, arb := e.capFor(e.byIdx[i])
+		rb := getRIB(i)
 		rb.classes[FromPublicPeer] = capClass(pub, cap, arb)
 		rb.classes[FromRSPeer] = capClass(rs, cap, arb)
 	}
@@ -469,24 +522,28 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	// final selection to its customers. A clean provider's selection is
 	// unchanged by definition, so a scoped run injects its export at the
 	// level its selected-path length dictates.
-	exportersByLen := map[int][]topo.ASN{}
-	finalized := map[topo.ASN]bool{}
+	exportersByLen := map[int][]int{}
+	finalized := make([]bool, e.n)
 	maxLen := 0
-	for asn, rb := range ribs {
-		if sc != nil && !sc.dirty[asn] {
+	for i, rb := range ribs {
+		if rb == nil {
+			continue
+		}
+		if sc != nil && !sc.dirty.has(i) {
 			continue // clean ASes export via sched3 below
 		}
-		if n, ok := rb.selLen(); ok {
-			exportersByLen[n] = append(exportersByLen[n], asn)
-			finalized[asn] = true
-			if n > maxLen {
-				maxLen = n
+		if ln, ok := rb.selLen(); ok {
+			exportersByLen[ln] = append(exportersByLen[ln], i)
+			finalized[i] = true
+			if ln > maxLen {
+				maxLen = ln
 			}
 		}
 	}
 	sched3 := map[int][]int{} // selected-path length -> clean provider->dirty customer links
 	if sc != nil {
-		for asn := range sc.dirty {
+		sc.dirty.forEach(func(i int) {
+			asn := e.byIdx[i]
 			for _, li := range e.topo.LinksOf(asn) {
 				if !e.topo.LinkEnabled(li) {
 					continue
@@ -495,11 +552,11 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				if l.Type != topo.CustomerToProvider || l.A != asn {
 					continue
 				}
-				prov := l.B
-				if sc.dirty[prov] {
+				pi := int(e.linkB[li])
+				if sc.dirty.has(pi) {
 					continue
 				}
-				prib := sc.old[prov]
+				prib := sc.old[pi]
 				if prib == nil {
 					continue
 				}
@@ -513,21 +570,21 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 					maxLen = ln
 				}
 			}
-		}
+		})
 	}
-	provPending := map[topo.ASN][]Route{}
+	provPending := map[int][]Route{}
 	for _, o := range provSeeds {
 		if !finalized[o.to] {
 			provPending[o.to] = append(provPending[o.to], o.r)
 		}
 	}
 	for ln := 0; ln <= maxLen || len(provPending) > 0; ln++ {
-		if ln > e.topo.NumASes() {
+		if ln > e.n {
 			return nil, &NonTerminationError{Prefix: prefix, Phase: 3, Iterations: ln}
 		}
 		// Finalize ASes whose cheapest provider offers have length ln.
-		var newly []topo.ASN
-		for asn, offers := range provPending {
+		var newly []int
+		for i, offers := range provPending {
 			minLen := offers[0].Len()
 			for _, r := range offers {
 				if r.Len() < minLen {
@@ -543,25 +600,24 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 					keep = append(keep, r)
 				}
 			}
-			cap, arb := e.capFor(asn)
-			getRIB(asn).classes[FromProvider] = capClass(keep, cap, arb)
-			finalized[asn] = true
-			newly = append(newly, asn)
+			cap, arb := e.capFor(e.byIdx[i])
+			getRIB(i).classes[FromProvider] = capClass(keep, cap, arb)
+			finalized[i] = true
+			newly = append(newly, i)
 		}
-		for _, asn := range newly {
-			delete(provPending, asn)
+		for _, i := range newly {
+			delete(provPending, i)
 		}
-		sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
-		exportersByLen[ln] = append(exportersByLen[ln], newly...)
-
-		exps := exportersByLen[ln]
-		sort.Slice(exps, func(i, j int) bool { return exps[i] < exps[j] })
-		for _, asn := range exps {
-			rb := ribs[asn]
+		slices.Sort(newly)
+		exps := append(exportersByLen[ln], newly...)
+		slices.Sort(exps)
+		for _, i := range exps {
+			rb := ribs[i]
 			cls, set, ok := rb.best()
 			if !ok || cls == FromOrigin {
 				continue // origin exports were seeded per site
 			}
+			asn := e.byIdx[i]
 			for _, li := range e.topo.LinksOf(asn) {
 				if !e.topo.LinkEnabled(li) {
 					continue
@@ -570,22 +626,22 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				if l.Type != topo.CustomerToProvider || l.B != asn {
 					continue // only descend provider->customer edges
 				}
-				cust := l.A
-				if !sc.isDirty(cust) || finalized[cust] {
+				ci := int(e.linkA[li])
+				if !sc.isDirty(ci) || finalized[ci] {
 					continue
 				}
-				provPending[cust] = append(provPending[cust], e.export(asn, set, l, cust)...)
+				provPending[ci] = append(provPending[ci], e.export(asn, set, l, l.A)...)
 			}
 		}
 		// Inject boundary exports whose selected-path length is ln.
 		for _, li := range sched3[ln] {
 			l := links[li]
-			cust, prov := l.A, l.B
-			if finalized[cust] {
+			ci, pi := e.linkEnds(li)
+			if finalized[ci] {
 				continue
 			}
-			_, set, _ := sc.old[prov].best()
-			provPending[cust] = append(provPending[cust], e.export(prov, set, l, cust)...)
+			_, set, _ := sc.old[pi].best()
+			provPending[ci] = append(provPending[ci], e.export(l.B, set, l, l.A)...)
 		}
 		delete(sched3, ln)
 	}
@@ -681,26 +737,32 @@ func less(d1 float64, r1 Route, d2 float64, r2 Route) bool {
 	return routeLess(r1, r2)
 }
 
-// routeLess is a total order on routes: downstream carriage, handoff city,
+// routeCmp is a total order on routes: downstream carriage, handoff city,
 // site, then path and city identity. The trailing identity keys make every
-// route-set computation independent of offer arrival and map-iteration
-// order, which incremental reconvergence relies on to reproduce a full
-// recompute bit-for-bit.
-func routeLess(a, b Route) bool {
+// route-set computation independent of offer arrival and iteration order,
+// which incremental reconvergence relies on to reproduce a full recompute
+// bit-for-bit.
+func routeCmp(a, b Route) int {
 	if a.DownKm != b.DownKm {
-		return a.DownKm < b.DownKm
+		if a.DownKm < b.DownKm {
+			return -1
+		}
+		return 1
 	}
-	if a.Handoff() != b.Handoff() {
-		return a.Handoff() < b.Handoff()
+	if c := strings.Compare(a.Handoff(), b.Handoff()); c != 0 {
+		return c
 	}
-	if a.Site != b.Site {
-		return a.Site < b.Site
+	if c := strings.Compare(a.Site, b.Site); c != 0 {
+		return c
 	}
 	if c := slices.Compare(a.Path, b.Path); c != 0 {
-		return c < 0
+		return c
 	}
-	return slices.Compare(a.Cities, b.Cities) < 0
+	return slices.Compare(a.Cities, b.Cities)
 }
+
+// routeLess reports routeCmp(a, b) < 0.
+func routeLess(a, b Route) bool { return routeCmp(a, b) < 0 }
 
 // capClass normalises a class's candidate set. It keeps only shortest AS
 // paths, then selects up to `cap` *neighbours* (distinct next-hop ASes) and
@@ -716,6 +778,10 @@ func routeLess(a, b Route) bool {
 //     a band — the catchment-inefficiency engine of the paper (§2.1): a
 //     carrier picks its customer's or an arbitrary neighbour's route and
 //     funnels its whole cone to whichever site sits behind it.
+//
+// The grouping is slice-based with linear scans: candidate sets are small
+// (bounded by neighbour count x interconnection cities), so avoiding the
+// per-call maps is both faster and allocation-lean on the Announce hot path.
 func capClass(routes []Route, cap int, arbitrary bool) []Route {
 	if len(routes) == 0 {
 		return nil
@@ -729,33 +795,45 @@ func capClass(routes []Route, cap int, arbitrary bool) []Route {
 			minLen = r.Len()
 		}
 	}
-	// Group shortest routes by neighbour, deduplicating handoff cities.
+	// Group shortest routes by neighbour, deduplicating handoff cities
+	// (keeping the routeCmp-least route per city).
 	type nbrGroup struct {
 		nbr    topo.ASN
-		byCity map[string]Route
+		byCity []Route
 		bestKm float64
 	}
-	groups := map[topo.ASN]*nbrGroup{}
+	var groups []nbrGroup
 	for _, r := range routes {
 		if r.Len() != minLen {
 			continue
 		}
-		g := groups[r.Path[0]]
-		if g == nil {
-			g = &nbrGroup{nbr: r.Path[0], byCity: map[string]Route{}, bestKm: r.DownKm}
-			groups[r.Path[0]] = g
+		gi := -1
+		for i := range groups {
+			if groups[i].nbr == r.Path[0] {
+				gi = i
+				break
+			}
 		}
-		cur, ok := g.byCity[r.Handoff()]
-		if !ok || routeLess(r, cur) {
-			g.byCity[r.Handoff()] = r
+		if gi < 0 {
+			groups = append(groups, nbrGroup{nbr: r.Path[0], bestKm: r.DownKm})
+			gi = len(groups) - 1
+		}
+		g := &groups[gi]
+		ci := -1
+		for i := range g.byCity {
+			if g.byCity[i].Handoff() == r.Handoff() {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			g.byCity = append(g.byCity, r)
+		} else if routeLess(r, g.byCity[ci]) {
+			g.byCity[ci] = r
 		}
 		if r.DownKm < g.bestKm {
 			g.bestKm = r.DownKm
 		}
-	}
-	ordered := make([]*nbrGroup, 0, len(groups))
-	for _, g := range groups {
-		ordered = append(ordered, g)
 	}
 	// Arbitrary operators distinguish downstream carriage only in coarse
 	// ~4,000 km bands (roughly: "this exit works" vs "this exit hauls the
@@ -764,30 +842,34 @@ func capClass(routes []Route, cap int, arbitrary bool) []Route {
 	// applied before this function and are never overridden by distance —
 	// that is the paper's catchment-inefficiency engine.
 	const bucketKm = 4000.0
-	sort.Slice(ordered, func(i, j int) bool {
-		a, b := ordered[i], ordered[j]
+	slices.SortFunc(groups, func(a, b nbrGroup) int {
 		if arbitrary {
 			ba, bb := int(a.bestKm/bucketKm), int(b.bestKm/bucketKm)
 			if ba != bb {
-				return ba < bb
+				return ba - bb
 			}
-			return a.nbr < b.nbr
+		} else if a.bestKm != b.bestKm {
+			if a.bestKm < b.bestKm {
+				return -1
+			}
+			return 1
 		}
-		if a.bestKm != b.bestKm {
-			return a.bestKm < b.bestKm
+		if a.nbr < b.nbr {
+			return -1
 		}
-		return a.nbr < b.nbr
+		if a.nbr > b.nbr {
+			return 1
+		}
+		return 0
 	})
-	if len(ordered) > cap {
-		ordered = ordered[:cap]
+	if len(groups) > cap {
+		groups = groups[:cap]
 	}
 	var out []Route
-	for _, g := range ordered {
-		for _, r := range g.byCity {
-			out = append(out, r)
-		}
+	for _, g := range groups {
+		out = append(out, g.byCity...)
 	}
-	sort.Slice(out, func(i, j int) bool { return routeLess(out[i], out[j]) })
+	slices.SortFunc(out, routeCmp)
 	if len(out) > MaxRoutesPerClass {
 		out = out[:MaxRoutesPerClass]
 	}
@@ -819,13 +901,17 @@ func containsCity(cities []string, c string) bool {
 // the given city toward the prefix. ok is false when the prefix is unknown
 // or the AS has no route to it.
 func (e *Engine) Lookup(prefix netip.Prefix, asn topo.ASN, city string) (Forward, bool) {
+	i, known := e.asIdx[asn]
+	if !known {
+		return Forward{}, false
+	}
 	e.mu.RLock()
 	ribs := e.ribs[prefix]
 	e.mu.RUnlock()
 	if ribs == nil {
 		return Forward{}, false
 	}
-	rb := ribs[asn]
+	rb := ribs[i]
 	if rb == nil {
 		return Forward{}, false
 	}
@@ -857,31 +943,31 @@ func (e *Engine) Lookup(prefix netip.Prefix, asn topo.ASN, city string) (Forward
 // preferred class only. It is used by the cause-classification analysis
 // (§5.4) to examine alternatives an AS held.
 func (e *Engine) Routes(prefix netip.Prefix, asn topo.ASN) (RelClass, []Route, bool) {
+	i, known := e.asIdx[asn]
+	if !known {
+		return 0, nil, false
+	}
 	e.mu.RLock()
 	ribs := e.ribs[prefix]
 	e.mu.RUnlock()
-	if ribs == nil {
+	if ribs == nil || ribs[i] == nil {
 		return 0, nil, false
 	}
-	rb := ribs[asn]
-	if rb == nil {
-		return 0, nil, false
-	}
-	return rb.best()
+	return ribs[i].best()
 }
 
 // RoutesByClass returns all routes an AS holds for a prefix in a given
 // class, including classes it did not select.
 func (e *Engine) RoutesByClass(prefix netip.Prefix, asn topo.ASN, cls RelClass) []Route {
+	i, known := e.asIdx[asn]
+	if !known {
+		return nil
+	}
 	e.mu.RLock()
 	ribs := e.ribs[prefix]
 	e.mu.RUnlock()
-	if ribs == nil {
+	if ribs == nil || ribs[i] == nil {
 		return nil
 	}
-	rb := ribs[asn]
-	if rb == nil {
-		return nil
-	}
-	return rb.classes[cls]
+	return ribs[i].classes[cls]
 }

@@ -1,0 +1,143 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"anysim/internal/topo"
+)
+
+// enginesStateEqual asserts two engines hold bit-identical routing state for
+// a prefix: announcements, per-AS ribs, and catchments.
+func enginesStateEqual(t *testing.T, label string, a, b *Engine, p netip.Prefix) {
+	t.Helper()
+	aAnns, bAnns := a.Announcements(p), b.Announcements(p)
+	if len(aAnns) != len(bAnns) {
+		t.Fatalf("%s: announcement count %d != %d", label, len(aAnns), len(bAnns))
+	}
+	for i := range aAnns {
+		if fmt.Sprintf("%+v", aAnns[i]) != fmt.Sprintf("%+v", bAnns[i]) {
+			t.Fatalf("%s: announcement %d differs: %+v vs %+v", label, i, aAnns[i], bAnns[i])
+		}
+	}
+	if asn, ok := ribsEqual(a, snapshotRibs(a, p), snapshotRibs(b, p)); !ok {
+		t.Fatalf("%s: rib for %s differs between engines", label, asn)
+	}
+}
+
+// randomAction mutates one site announcement at random: a prepend change, an
+// export-scope (selective announcement) change, or a withdraw/restore pair
+// expressed as the withdrawn state. It mirrors the action vocabulary of the
+// traffic steering loop.
+func randomAction(rng *rand.Rand, anns []SiteAnnouncement) (site string, ann SiteAnnouncement, withdraw bool) {
+	a := anns[rng.Intn(len(anns))]
+	switch rng.Intn(3) {
+	case 0: // prepend knob
+		a.Prepend = rng.Intn(MaxPrepend + 1)
+		return a.Site, a, false
+	case 1: // toggle prepend off
+		a.Prepend = 0
+		return a.Site, a, false
+	default:
+		return a.Site, a, true
+	}
+}
+
+// TestForkApplyBitIdentical is the fork equivalence property test: for a
+// sequence of random steering actions, applying each action on a fresh Fork
+// must produce bit-identical routing state to applying it on the parent
+// serially and rolling it back afterwards (the pre-fork steering trial
+// discipline), and the parent must come back bit-identical after every
+// rollback.
+func TestForkApplyBitIdentical(t *testing.T) {
+	_, e, anns := generatedCDNWorld(t, 17)
+	rng := rand.New(rand.NewSource(99))
+	initial := snapshotRibs(e, pfxGlobal)
+
+	cur := make(map[string]SiteAnnouncement, len(anns))
+	for _, a := range anns {
+		cur[a.Site] = a
+	}
+
+	const trials = 24
+	for i := 0; i < trials; i++ {
+		site, ann, withdraw := randomAction(rng, anns)
+
+		// Fork walk: apply on a snapshot, parent untouched.
+		f := e.Fork()
+		var ferr error
+		if withdraw {
+			ferr = f.WithdrawSite(pfxGlobal, site)
+		} else {
+			ferr = f.AnnounceSite(pfxGlobal, ann)
+		}
+		if ferr != nil {
+			t.Fatalf("trial %d: fork apply: %v", i, ferr)
+		}
+		forkStats := f.LastReconvergeStats()
+
+		// Serial walk: apply on the parent, compare, roll back.
+		saved := cur[site]
+		var serr error
+		if withdraw {
+			serr = e.WithdrawSite(pfxGlobal, site)
+		} else {
+			serr = e.AnnounceSite(pfxGlobal, ann)
+		}
+		if serr != nil {
+			t.Fatalf("trial %d: serial apply: %v", i, serr)
+		}
+		if st := e.LastReconvergeStats(); st != forkStats {
+			t.Fatalf("trial %d: fork stats %+v != serial stats %+v", i, forkStats, st)
+		}
+		enginesStateEqual(t, "trial apply", f, e, pfxGlobal)
+
+		if err := e.AnnounceSite(pfxGlobal, saved); err != nil {
+			t.Fatalf("trial %d: rollback: %v", i, err)
+		}
+	}
+	if asn, ok := ribsEqual(e, initial, snapshotRibs(e, pfxGlobal)); !ok {
+		t.Fatalf("parent rib for %s not restored after trial sequence", asn)
+	}
+}
+
+// TestForkIsolation pins down the copy-on-write contract from both sides: a
+// mutation on the fork never leaks into the parent, and a mutation on the
+// parent after forking never leaks into the fork.
+func TestForkIsolation(t *testing.T) {
+	_, e, anns := generatedCDNWorld(t, 11)
+	before := snapshotRibs(e, pfxGlobal)
+
+	f := e.Fork()
+	if err := f.WithdrawSite(pfxGlobal, "sin"); err != nil {
+		t.Fatal(err)
+	}
+	if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
+		t.Fatalf("fork withdraw leaked into parent rib for %s", asn)
+	}
+	if got := len(f.Announcements(pfxGlobal)); got != len(anns)-1 {
+		t.Fatalf("fork announcements = %d, want %d", got, len(anns)-1)
+	}
+
+	// Parent-side mutation after forking: the fork's view must not move.
+	forkView := snapshotRibs(f, pfxGlobal)
+	hot := anns[0]
+	hot.Prepend = 3
+	if err := e.AnnounceSite(pfxGlobal, hot); err != nil {
+		t.Fatal(err)
+	}
+	if asn, ok := ribsEqual(f, forkView, snapshotRibs(f, pfxGlobal)); !ok {
+		t.Fatalf("parent mutation leaked into fork rib for %s", asn)
+	}
+
+	// A second prefix announced on the parent is invisible to the fork.
+	p2 := netip.MustParsePrefix("198.18.200.0/24")
+	if err := e.Announce(p2, []SiteAnnouncement{{Origin: topo.CDNBase, Site: "iad2", City: "IAD"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Lookup(p2, topo.CDNBase, "IAD"); ok {
+		t.Fatal("prefix announced on parent after Fork is visible in fork")
+	}
+}

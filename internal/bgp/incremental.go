@@ -23,6 +23,11 @@ package bgp
 // function of the offers it receives, that link-consistent state is exactly
 // the one a full recompute produces, bit for bit.
 //
+// Dirty sets and touched sets are asBits bitsets over the dense AS index
+// (see denseset.go): membership and union are word operations and iteration
+// is in ascending index order, so the worklist rounds are deterministic by
+// construction.
+//
 // Site withdraw/restore pairs are the dominant fault-injection workload, so
 // the engine keeps a per-(prefix, site) "failover memory": the set of ASes
 // the last withdrawal or restore of that site touched. A later operation on
@@ -84,11 +89,11 @@ func (e *Engine) WithdrawSite(prefix netip.Prefix, siteID string) error {
 	if len(newAnns) == 0 {
 		// The prefix goes dark: keep the (empty) announcement entry so a
 		// later AnnounceSite can restore it, but drop all routing state.
-		e.install(prefix, newAnns, map[topo.ASN]*rib{}, ReconvergeStats{Dirty: len(old), Passes: 1})
+		e.install(prefix, newAnns, make(ribTable, e.n), ReconvergeStats{Dirty: old.populated(), Passes: 1})
 		return nil
 	}
 	dirty := e.siteRefs(old, siteID)
-	dirty[removed.Origin] = true
+	dirty.add(e.asIdx[removed.Origin])
 	e.seedTargets(removed, dirty)
 	e.mergeHint(prefix, siteID, dirty)
 	touched, err := e.reconverge(prefix, newAnns, old, dirty)
@@ -114,7 +119,8 @@ func (e *Engine) AnnounceSite(prefix netip.Prefix, ann SiteAnnouncement) error {
 		return err
 	}
 	newAnns := slices.Clone(anns)
-	dirty := map[topo.ASN]bool{ann.Origin: true}
+	dirty := newASBits(e.n)
+	dirty.add(e.asIdx[ann.Origin])
 	replaced := -1
 	for i, a := range newAnns {
 		if a.Site == ann.Site {
@@ -127,9 +133,7 @@ func (e *Engine) AnnounceSite(prefix netip.Prefix, ann SiteAnnouncement) error {
 		// frontier: ASes that held the old routes and neighbours seeded by
 		// either announcement city.
 		e.seedTargets(newAnns[replaced], dirty)
-		for asn := range e.siteRefs(old, ann.Site) {
-			dirty[asn] = true
-		}
+		dirty.or(e.siteRefs(old, ann.Site))
 		newAnns[replaced] = ann
 	} else {
 		newAnns = append(newAnns, ann)
@@ -147,24 +151,25 @@ func (e *Engine) AnnounceSite(prefix netip.Prefix, ann SiteAnnouncement) error {
 // mergeHint widens a seed set with the failover memory of a site: the ASes
 // the last withdraw/restore of this site touched. Restoring a site whose
 // withdrawal footprint is remembered then typically settles in one round.
-func (e *Engine) mergeHint(prefix netip.Prefix, siteID string, dirty map[topo.ASN]bool) {
+func (e *Engine) mergeHint(prefix netip.Prefix, siteID string, dirty *asBits) {
 	e.mu.RLock()
 	hint := e.hints[prefix][siteID]
 	e.mu.RUnlock()
-	for asn := range hint {
-		dirty[asn] = true
+	if hint != nil {
+		dirty.or(hint)
 	}
 }
 
 // storeHint records the touched set of a site operation as failover memory.
-// A nil set (full-recompute fallback) keeps whatever memory existed.
-func (e *Engine) storeHint(prefix netip.Prefix, siteID string, touched map[topo.ASN]bool) {
+// A nil set (full-recompute fallback) keeps whatever memory existed. Stored
+// sets are never mutated afterwards, so forks can share them by reference.
+func (e *Engine) storeHint(prefix netip.Prefix, siteID string, touched *asBits) {
 	if touched == nil {
 		return
 	}
 	e.mu.Lock()
 	if e.hints[prefix] == nil {
-		e.hints[prefix] = map[string]map[topo.ASN]bool{}
+		e.hints[prefix] = map[string]*asBits{}
 	}
 	e.hints[prefix][siteID] = touched
 	e.mu.Unlock()
@@ -181,13 +186,14 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 		return nil
 	}
 	links := e.topo.Links()
-	seed := map[topo.ASN]bool{}
+	seed := newASBits(e.n)
 	for _, li := range changed {
 		if li < 0 || li >= len(links) {
 			return fmt.Errorf("bgp: link index %d out of range [0,%d)", li, len(links))
 		}
-		seed[links[li].A] = true
-		seed[links[li].B] = true
+		ai, bi := e.linkEnds(li)
+		seed.add(ai)
+		seed.add(bi)
 	}
 	var agg ReconvergeStats
 	for _, p := range e.Prefixes() {
@@ -198,11 +204,7 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 		if len(anns) == 0 {
 			continue // dark prefix: nothing to reconverge
 		}
-		dirty := make(map[topo.ASN]bool, len(seed))
-		for asn := range seed {
-			dirty[asn] = true
-		}
-		if _, err := e.reconverge(p, anns, old, dirty); err != nil {
+		if _, err := e.reconverge(p, anns, old, seed.clone()); err != nil {
 			return err
 		}
 		st := e.LastReconvergeStats()
@@ -223,23 +225,20 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 // change. If the touched set outgrows three quarters of the topology the
 // incremental regime has lost its advantage and a full recompute takes
 // over. It returns the touched set (nil after a full fallback).
-func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old map[topo.ASN]*rib, seed map[topo.ASN]bool) (map[topo.ASN]bool, error) {
-	limit := e.topo.NumASes() * 3 / 4
+func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ribTable, seed *asBits) (*asBits, error) {
+	limit := e.n * 3 / 4
 	cur := old
 	delta := seed
-	touched := make(map[topo.ASN]bool, len(seed))
-	for asn := range seed {
-		touched[asn] = true
-	}
+	touched := seed.clone()
 	passes := 0
-	for len(delta) > 0 {
+	for delta.len() > 0 {
 		passes++
-		if len(touched) > limit || passes > e.topo.NumASes() {
+		if touched.len() > limit || passes > e.n {
 			ribs, err := e.converge(prefix, anns, nil)
 			if err != nil {
 				return nil, err
 			}
-			e.install(prefix, anns, ribs, ReconvergeStats{Dirty: e.topo.NumASes(), Passes: passes, Full: true})
+			e.install(prefix, anns, ribs, ReconvergeStats{Dirty: e.n, Passes: passes, Full: true})
 			return nil, nil
 		}
 		ribs, err := e.converge(prefix, anns, &convergeScope{dirty: delta, old: cur})
@@ -248,11 +247,9 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ma
 		}
 		delta = e.spill(ribs, cur, delta)
 		cur = ribs
-		for asn := range delta {
-			touched[asn] = true
-		}
+		touched.or(delta)
 	}
-	e.install(prefix, anns, cur, ReconvergeStats{Dirty: len(touched), Passes: passes})
+	e.install(prefix, anns, cur, ReconvergeStats{Dirty: touched.len(), Passes: passes})
 	return touched, nil
 }
 
@@ -262,28 +259,32 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ma
 // final. The comparison is per link and per phase — a tier-1 whose 64-route
 // class changed marginally only drags in the neighbours whose actual offers
 // differ, which is what keeps the frontier small.
-func (e *Engine) spill(ribs, old map[topo.ASN]*rib, delta map[topo.ASN]bool) map[topo.ASN]bool {
+func (e *Engine) spill(ribs, old ribTable, delta *asBits) *asBits {
 	links := e.topo.Links()
-	next := map[topo.ASN]bool{}
-	for asn := range delta {
-		oldR, newR := old[asn], ribs[asn]
+	next := newASBits(e.n)
+	delta.forEach(func(i int) {
+		oldR, newR := old[i], ribs[i]
 		if ribEqual(oldR, newR) {
-			continue
+			return
 		}
+		asn := e.byIdx[i]
 		for _, li := range e.topo.LinksOf(asn) {
 			if !e.topo.LinkEnabled(li) {
 				continue
 			}
 			l := links[li]
-			nbr, _ := l.Other(asn)
-			if delta[nbr] || next[nbr] {
+			nbr, ni := l.B, int(e.linkB[li])
+			if ni == i {
+				nbr, ni = l.A, int(e.linkA[li])
+			}
+			if delta.has(ni) || next.has(ni) {
 				continue
 			}
 			if e.offersChanged(asn, oldR, newR, l, nbr) {
-				next[nbr] = true
+				next.add(ni)
 			}
 		}
-	}
+	})
 	return next
 }
 
@@ -349,12 +350,15 @@ func (e *Engine) sameExport(from topo.ASN, oldSet, newSet []Route, l topo.Link, 
 
 // siteRefs collects every AS whose routing state references the given site
 // in any preference class.
-func (e *Engine) siteRefs(ribs map[topo.ASN]*rib, siteID string) map[topo.ASN]bool {
-	out := map[topo.ASN]bool{}
-	for asn, r := range ribs {
+func (e *Engine) siteRefs(ribs ribTable, siteID string) *asBits {
+	out := newASBits(e.n)
+	for i, r := range ribs {
+		if r == nil {
+			continue
+		}
 		for c := FromOrigin; c <= FromProvider; c++ {
 			if slices.ContainsFunc(r.classes[c], func(rt Route) bool { return rt.Site == siteID }) {
-				out[asn] = true
+				out.add(i)
 				break
 			}
 		}
@@ -364,15 +368,19 @@ func (e *Engine) siteRefs(ribs map[topo.ASN]*rib, siteID string) map[topo.ASN]bo
 
 // seedTargets marks the neighbours that receive (or received) the
 // announcement's per-site seed routes as dirty.
-func (e *Engine) seedTargets(a SiteAnnouncement, dirty map[topo.ASN]bool) {
+func (e *Engine) seedTargets(a SiteAnnouncement, dirty *asBits) {
 	links := e.topo.Links()
 	for _, li := range e.topo.LinksOf(a.Origin) {
 		l := links[li]
 		if !containsCity(l.Cities, a.City) {
 			continue
 		}
-		if nbr, _ := l.Other(a.Origin); a.announcesTo(nbr) {
-			dirty[nbr] = true
+		nbr, ni := l.B, int(e.linkB[li])
+		if l.B == a.Origin {
+			nbr, ni = l.A, int(e.linkA[li])
+		}
+		if a.announcesTo(nbr) {
+			dirty.add(ni)
 		}
 	}
 }
@@ -397,7 +405,7 @@ func routesEqual(a, b []Route) bool {
 }
 
 // ribEqual compares two ribs class by class; a nil rib equals an empty one
-// (converge creates empty rib entries for pass-through ASes).
+// (an AS can hold an allocated-but-empty rib after a class emptied out).
 func ribEqual(a, b *rib) bool {
 	for c := FromOrigin; c <= FromProvider; c++ {
 		if !routesEqual(classRoutes(a, c), classRoutes(b, c)) {
@@ -422,11 +430,15 @@ func (e *Engine) Catchments(prefix netip.Prefix) map[topo.ASN]string {
 	ribs := e.ribs[prefix]
 	e.mu.RUnlock()
 	out := make(map[topo.ASN]string, len(ribs))
-	for asn, rb := range ribs {
+	for i, rb := range ribs {
+		if rb == nil {
+			continue
+		}
 		_, set, ok := rb.best()
 		if !ok {
 			continue
 		}
+		asn := e.byIdx[i]
 		as, ok := e.topo.AS(asn)
 		if !ok || len(as.Cities) == 0 {
 			continue

@@ -54,26 +54,28 @@ func generatedCDNWorld(t *testing.T, seed int64) (*topo.Topology, *Engine, []Sit
 	return tp, e, anns
 }
 
-// snapshotRibs returns the current rib map for a prefix. Rib values are
-// never mutated after install, so holding the map is a stable snapshot.
-func snapshotRibs(e *Engine, p netip.Prefix) map[topo.ASN]*rib {
+// snapshotRibs returns the current rib table for a prefix. Tables and rib
+// values are never mutated after install, so holding the table is a stable
+// snapshot.
+func snapshotRibs(e *Engine, p netip.Prefix) ribTable {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.ribs[p]
 }
 
-// ribsEqual compares two per-AS rib maps, treating an absent rib as empty.
-func ribsEqual(a, b map[topo.ASN]*rib) (topo.ASN, bool) {
-	seen := map[topo.ASN]bool{}
-	for asn := range a {
-		seen[asn] = true
-	}
-	for asn := range b {
-		seen[asn] = true
-	}
-	for asn := range seen {
-		if !ribEqual(a[asn], b[asn]) {
-			return asn, false
+// ribsEqual compares two per-AS rib tables over e's dense index, treating an
+// absent rib as empty.
+func ribsEqual(e *Engine, a, b ribTable) (topo.ASN, bool) {
+	for i := 0; i < e.n; i++ {
+		var ra, rb *rib
+		if i < len(a) {
+			ra = a[i]
+		}
+		if i < len(b) {
+			rb = b[i]
+		}
+		if !ribEqual(ra, rb) {
+			return e.byIdx[i], false
 		}
 	}
 	return 0, true
@@ -87,7 +89,7 @@ func requireFullMatch(t *testing.T, e *Engine, p netip.Prefix, event string) {
 	if err != nil {
 		t.Fatalf("%s: full reference converge: %v", event, err)
 	}
-	if asn, ok := ribsEqual(want, snapshotRibs(e, p)); !ok {
+	if asn, ok := ribsEqual(e, want, snapshotRibs(e, p)); !ok {
 		t.Fatalf("%s: incremental rib for %s differs from full recompute", event, asn)
 	}
 }
@@ -116,7 +118,7 @@ func TestWithdrawReAnnounceBitIdentical(t *testing.T) {
 		if err := e.Announce(pfxGlobal, anns); err != nil {
 			t.Fatal(err)
 		}
-		if asn, ok := ribsEqual(before, snapshotRibs(e, pfxGlobal)); !ok {
+		if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
 			t.Fatalf("rib for %s not restored after withdraw + re-announce", asn)
 		}
 	})
@@ -137,7 +139,7 @@ func TestWithdrawReAnnounceBitIdentical(t *testing.T) {
 		if err := e.AnnounceSite(pfxGlobal, anns[1]); err != nil {
 			t.Fatal(err)
 		}
-		if asn, ok := ribsEqual(before, snapshotRibs(e, pfxGlobal)); !ok {
+		if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
 			t.Fatalf("rib for %s not restored after per-site withdraw + re-announce", asn)
 		}
 		if fwd, ok := e.Lookup(pfxGlobal, probeAS, "WAS"); !ok || fwd.Site != "sin" {
@@ -154,7 +156,7 @@ func TestWithdrawReAnnounceBitIdentical(t *testing.T) {
 		if err := e.AnnounceSite(pfxGlobal, ganns[1]); err != nil {
 			t.Fatal(err)
 		}
-		if asn, ok := ribsEqual(before, snapshotRibs(e, pfxGlobal)); !ok {
+		if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
 			t.Fatalf("rib for %s not restored after withdraw + re-announce of fra", asn)
 		}
 	})
@@ -269,7 +271,7 @@ func TestWithdrawLastSite(t *testing.T) {
 	if err := e.AnnounceSite(pfxUS, ann); err != nil {
 		t.Fatal(err)
 	}
-	if asn, ok := ribsEqual(before, snapshotRibs(e, pfxUS)); !ok {
+	if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxUS)); !ok {
 		t.Fatalf("rib for %s not restored after dark-prefix relight", asn)
 	}
 }

@@ -23,7 +23,7 @@ func TestPrependZeroBitIdentical(t *testing.T) {
 		if err := e2.Announce(pfxGlobal, zero); err != nil {
 			t.Fatal(err)
 		}
-		if asn, ok := ribsEqual(snapshotRibs(e, pfxGlobal), snapshotRibs(e2, pfxGlobal)); !ok {
+		if asn, ok := ribsEqual(e, snapshotRibs(e, pfxGlobal), snapshotRibs(e2, pfxGlobal)); !ok {
 			t.Fatalf("seed %d: rib for %s differs between implicit and explicit prepend=0", seed, asn)
 		}
 	}
@@ -51,7 +51,7 @@ func TestPrependIncrementalMatchesFull(t *testing.T) {
 		if !sawIncremental {
 			t.Errorf("seed %d: every prepend update fell back to full recompute", seed)
 		}
-		if asn, ok := ribsEqual(before, snapshotRibs(e, pfxGlobal)); !ok {
+		if asn, ok := ribsEqual(e, before, snapshotRibs(e, pfxGlobal)); !ok {
 			t.Fatalf("seed %d: rib for %s not restored after prepend unwound to 0", seed, asn)
 		}
 	}

@@ -128,6 +128,11 @@ type Topology struct {
 	// disabled marks failed links; nil until the first fault is injected.
 	disabled []bool
 	frozen   bool
+	// Dense AS index: byIdx is the ASN list in ascending order, idxOf its
+	// inverse. Built at Freeze (or lazily on first use) so routing engines
+	// can replace per-AS maps with slices indexed by a stable small int.
+	byIdx []ASN
+	idxOf map[ASN]int
 }
 
 // New returns an empty topology for manual construction.
@@ -260,7 +265,55 @@ func (t *Topology) AddIXPMember(ixID string, asn ASN) error {
 
 // Freeze finalises the topology. After Freeze, mutation methods fail, and
 // read methods may be used concurrently.
-func (t *Topology) Freeze() { t.frozen = true }
+func (t *Topology) Freeze() {
+	t.frozen = true
+	t.ensureIndex()
+}
+
+// ensureIndex (re)builds the dense AS index. The index is stale exactly when
+// its length disagrees with the AS count: AddAS is the only mutation that
+// changes the AS set, and ASNs are never removed.
+func (t *Topology) ensureIndex() {
+	if len(t.byIdx) == len(t.ases) {
+		return
+	}
+	t.byIdx = t.ASNs()
+	t.idxOf = make(map[ASN]int, len(t.byIdx))
+	for i, asn := range t.byIdx {
+		t.idxOf[asn] = i
+	}
+}
+
+// ASIndex returns the stable dense index of an AS: its rank in ascending
+// ASN order, in [0, NumASes()). The index is the key routing engines use
+// for slice-based per-AS state instead of maps. It is stable for a frozen
+// topology; adding an AS before Freeze may renumber.
+func (t *Topology) ASIndex(asn ASN) (int, bool) {
+	t.ensureIndex()
+	i, ok := t.idxOf[asn]
+	return i, ok
+}
+
+// ASAt returns the ASN with the given dense index (the inverse of ASIndex).
+// It panics on an out-of-range index.
+func (t *Topology) ASAt(i int) ASN {
+	t.ensureIndex()
+	return t.byIdx[i]
+}
+
+// ASIndexMap returns the dense index map (ASN -> index). The returned map
+// must not be modified; engines may retain it for lock-free lookups.
+func (t *Topology) ASIndexMap() map[ASN]int {
+	t.ensureIndex()
+	return t.idxOf
+}
+
+// ASList returns the ASNs in dense-index order (ascending). The returned
+// slice must not be modified.
+func (t *Topology) ASList() []ASN {
+	t.ensureIndex()
+	return t.byIdx
+}
 
 // AS returns the AS with the given number.
 func (t *Topology) AS(asn ASN) (*AS, bool) {

@@ -389,3 +389,52 @@ func TestLinksOfIXP(t *testing.T) {
 		t.Errorf("LinksOfIXP(unknown) = %v", got)
 	}
 }
+
+func TestASIndex(t *testing.T) {
+	tp, err := Generate(GenConfig{Seed: 11, NumTier1: 3, NumTier2: 10, NumStub: 60, NumIXP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asns := tp.ASNs()
+	for rank, asn := range asns {
+		i, ok := tp.ASIndex(asn)
+		if !ok {
+			t.Fatalf("ASIndex(%s) not found", asn)
+		}
+		if i != rank {
+			t.Errorf("ASIndex(%s) = %d; want ascending rank %d", asn, i, rank)
+		}
+		if got := tp.ASAt(i); got != asn {
+			t.Errorf("ASAt(%d) = %s; want %s", i, got, asn)
+		}
+	}
+	if _, ok := tp.ASIndex(ASN(999999999)); ok {
+		t.Error("ASIndex of unknown ASN reported ok")
+	}
+	if got := len(tp.ASList()); got != tp.NumASes() {
+		t.Errorf("ASList has %d entries; want %d", got, tp.NumASes())
+	}
+}
+
+func TestASIndexRebuiltAfterAddAS(t *testing.T) {
+	tp := New()
+	mustAdd := func(a *AS) {
+		t.Helper()
+		if err := tp.AddAS(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&AS{ASN: 30, Name: "c", Tier: Tier1, Home: "US", Cities: []string{"IAD"}})
+	mustAdd(&AS{ASN: 10, Name: "a", Tier: Tier1, Home: "US", Cities: []string{"IAD"}})
+	if i, _ := tp.ASIndex(30); i != 1 {
+		t.Fatalf("ASIndex(30) = %d; want 1", i)
+	}
+	// Adding an AS with a smaller number before Freeze renumbers the index.
+	mustAdd(&AS{ASN: 20, Name: "b", Tier: Tier1, Home: "US", Cities: []string{"IAD"}})
+	tp.Freeze()
+	for want, asn := range []ASN{10, 20, 30} {
+		if i, ok := tp.ASIndex(asn); !ok || i != want {
+			t.Errorf("ASIndex(%d) = %d, %v; want %d", asn, i, ok, want)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
@@ -174,6 +176,9 @@ type Evaluator struct {
 	cfg    CapacityConfig
 	// Caps is the derived per-site capacity.
 	Caps map[string]float64
+	// Workers bounds the probe-group evaluation pool; 0 means GOMAXPROCS.
+	// Reports are bit-identical at any worker count (see EvaluateOn).
+	Workers int
 }
 
 // rttInflation mirrors the measurement model's great-circle-to-fiber path
@@ -220,6 +225,31 @@ func (ev *Evaluator) Config() CapacityConfig { return ev.cfg }
 // Evaluate computes the load report for one demand matrix against the
 // engine's current routing state.
 func (ev *Evaluator) Evaluate(mat Matrix) *LoadReport {
+	return ev.EvaluateOn(ev.Engine, mat)
+}
+
+// evalChunks is the fixed number of probe-group partitions Evaluate reduces
+// over. The chunk count — not the worker count — defines the summation
+// tree: each chunk accumulates left to right and chunks merge in index
+// order, so floating-point results are bit-identical whether one worker
+// processes all chunks or eight process four each.
+const evalChunks = 32
+
+// evalPartial is one chunk's contribution to a load report.
+type evalPartial struct {
+	demand   []float64
+	groups   []int
+	unserved float64
+	keys     []string
+	asgs     []Assignment
+}
+
+// EvaluateOn computes the load report for one demand matrix against an
+// arbitrary engine's routing state — the real engine, or a steering-trial
+// fork. Probe groups are evaluated in parallel over a worker pool bounded
+// by ev.Workers (GOMAXPROCS when 0); see evalChunks for why the result does
+// not depend on the worker count.
+func (ev *Evaluator) EvaluateOn(eng *bgp.Engine, mat Matrix) *LoadReport {
 	rep := &LoadReport{
 		Bucket:      mat.Bucket,
 		Assignments: make(map[string]Assignment, len(ev.Model.Groups)),
@@ -234,36 +264,99 @@ func (ev *Evaluator) Evaluate(mat Matrix) *LoadReport {
 			Capacity: ev.Caps[s.ID],
 		})
 	}
-	for _, g := range ev.Model.Groups {
+	groups := ev.Model.Groups
+	if len(groups) == 0 {
+		return rep
+	}
+	nc := evalChunks
+	if nc > len(groups) {
+		nc = len(groups)
+	}
+	parts := make([]*evalPartial, nc)
+	chunk := func(ci int) {
+		lo, hi := ci*len(groups)/nc, (ci+1)*len(groups)/nc
+		parts[ci] = ev.evalChunk(eng, mat, groups[lo:hi], len(rep.Sites), rep.siteIdx)
+	}
+	workers := ev.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nc; ci++ {
+			chunk(ci)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					chunk(ci)
+				}
+			}()
+		}
+		for ci := 0; ci < nc; ci++ {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+	}
+	// Merge partials in chunk order — the deterministic reduction.
+	for _, p := range parts {
+		for i := range rep.Sites {
+			rep.Sites[i].Demand += p.demand[i]
+			rep.Sites[i].Groups += p.groups[i]
+		}
+		rep.Unserved += p.unserved
+		for i, key := range p.keys {
+			rep.Assignments[key] = p.asgs[i]
+		}
+	}
+	return rep
+}
+
+// evalChunk accumulates one contiguous slice of probe groups, left to right.
+func (ev *Evaluator) evalChunk(eng *bgp.Engine, mat Matrix, groups []GroupDemand, nSites int, siteIdx map[string]int) *evalPartial {
+	p := &evalPartial{
+		demand: make([]float64, nSites),
+		groups: make([]int, nSites),
+	}
+	for _, g := range groups {
 		rate := mat.Rates[g.Key]
 		if rate == 0 {
 			continue
 		}
 		region, ok := ev.Dep.RegionForCountry(g.Country)
 		if !ok {
-			rep.Unserved += rate
+			p.unserved += rate
 			continue
 		}
-		fwd, ok := ev.Engine.Lookup(region.Prefix, g.ASN, g.City)
+		fwd, ok := eng.Lookup(region.Prefix, g.ASN, g.City)
 		if !ok {
-			rep.Unserved += rate
+			p.unserved += rate
 			continue
 		}
-		i, ok := rep.siteIdx[fwd.Site]
+		i, ok := siteIdx[fwd.Site]
 		if !ok {
 			// A cross-announced site outside the deployment's static site
 			// list cannot happen (sites are deployment-wide), so this is a
 			// consistency bug worth failing loudly on.
 			panic(fmt.Sprintf("traffic: catchment site %q not in deployment %s", fwd.Site, ev.Dep.Name))
 		}
-		rep.Sites[i].Demand += rate
-		rep.Sites[i].Groups++
-		rep.Assignments[g.Key] = Assignment{
+		p.demand[i] += rate
+		p.groups[i]++
+		p.keys = append(p.keys, g.Key)
+		p.asgs = append(p.asgs, Assignment{
 			Site:   fwd.Site,
 			Prefix: region.Prefix,
 			Rate:   rate,
 			RTTMs:  geo.FiberRTTMs(fwd.DistKm * rttInflation),
-		}
+		})
 	}
-	return rep
+	return p
 }

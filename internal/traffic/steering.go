@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 
 	"anysim/internal/bgp"
 	"anysim/internal/topo"
@@ -97,8 +100,17 @@ type SteeringConfig struct {
 	// meaningful for regional deployments: with a single global prefix
 	// every site already announces it.
 	AllowCrossAnnounce bool
+	// Workers bounds the candidate-trial worker pool: each round's
+	// candidates are applied and evaluated concurrently on per-candidate
+	// engine forks. 0 means GOMAXPROCS. Results are bit-identical at any
+	// worker count — the winner is selected deterministically (lowest
+	// excess, ties broken by candidate order) and only the winner touches
+	// the real engine.
+	Workers int
 	// Trace, when set, receives a line per trialled candidate with its
-	// resulting objective — the steering loop's debugging channel.
+	// resulting objective — the steering loop's debugging channel. Lines
+	// are emitted in candidate order after each round completes, so traces
+	// are deterministic regardless of Workers.
 	Trace io.Writer
 }
 
@@ -184,13 +196,14 @@ const (
 
 // Resolve runs the steering loop against one demand matrix: while any
 // site is overloaded and budget remains, trial one candidate knob for each
-// of the worst trialsPerRound overloaded sites (apply, reconverge
-// incrementally, measure, roll back), then commit the trial that minimizes
-// total excess demand (demand above capacity, summed over sites). A
-// worst-site-only greedy oscillates here — prepending the worst site
-// refills a previously drained sibling, and uniform prepend waves recreate
-// the original catchment. The engine is left in the steered state; call
-// Reset to unwind.
+// of the worst trialsPerRound overloaded sites — every candidate is applied
+// and evaluated concurrently on its own engine fork (see trialRound) — then
+// commit the trial that minimizes total excess demand (demand above
+// capacity, summed over sites) to the real engine via incremental
+// reconvergence. A worst-site-only greedy oscillates here — prepending the
+// worst site refills a previously drained sibling, and uniform prepend
+// waves recreate the original catchment. The engine is left in the steered
+// state; call Reset to unwind.
 func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 	rep := s.Eval.Evaluate(mat)
 	res := &SteeringResult{Initial: rep}
@@ -206,53 +219,51 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 		if len(overloads) == 0 {
 			break
 		}
-		type trial struct {
-			act   *Action
-			after *LoadReport
-			exc   float64
-		}
-		var best *trial
-		for _, act := range s.roundCands(rep, overloads, accepted) {
-			saved := append([]bgp.SiteAnnouncement(nil), s.cur[act.Prefix]...)
-			if err := s.apply(act); err != nil {
-				return nil, err
-			}
-			after := s.Eval.Evaluate(mat)
-			exc := totalExcess(after)
-			if s.cfg.Trace != nil {
-				fmt.Fprintf(s.cfg.Trace, "  trial %-40s exc %.3g\n", act.String(), exc)
-			}
-			if best == nil || exc < best.exc {
-				best = &trial{act, after, exc}
-			}
-			if err := s.rollback(act, saved); err != nil {
-				return nil, err
-			}
-		}
-		if best == nil {
-			break
-		}
-		// Re-apply the winner; reconvergence is deterministic, so the
-		// engine lands in the trialled state.
-		if err := s.apply(best.act); err != nil {
+		cands := s.roundCands(rep, overloads, accepted)
+		trials, err := s.trialRound(mat, cands)
+		if err != nil {
 			return nil, err
 		}
-		act := best.act
+		// Winner selection matches the serial walk exactly: the first
+		// strict minimum in candidate order. Trace lines are emitted here,
+		// after the round, in candidate order — not goroutine completion
+		// order.
+		best := -1
+		for i := range trials {
+			if s.cfg.Trace != nil {
+				fmt.Fprintf(s.cfg.Trace, "  trial %-40s exc %.3g\n", cands[i].String(), trials[i].exc)
+			}
+			if best < 0 || trials[i].exc < trials[best].exc {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Apply the winner to the real engine; reconvergence is
+		// deterministic, so it lands in the trialled state. The losing
+		// forks are simply dropped — no rollback churn.
+		act := cands[best]
+		if err := s.apply(act); err != nil {
+			return nil, err
+		}
+		after := trials[best].after
 		if sl, ok := rep.SiteLoadByID(act.Target); ok {
 			act.UtilBefore = sl.Utilization()
 		}
-		if sl, ok := best.after.SiteLoadByID(act.Target); ok {
+		if sl, ok := after.SiteLoadByID(act.Target); ok {
 			act.UtilAfter = sl.Utilization()
 			if before, ok2 := rep.SiteLoadByID(act.Target); ok2 {
 				act.ShedRate = before.Demand - sl.Demand
 			}
 		}
-		act.MovedRate, act.RTTCostMs = shedCost(rep, best.after)
+		act.MovedRate, act.RTTCostMs = shedCost(rep, after)
 		accepted[actionKey(act)] = true
 		res.Actions = append(res.Actions, *act)
-		rep = best.after
-		if best.exc < bestExcess-1e-9 {
-			bestExcess, bestLen, stall = best.exc, len(res.Actions), 0
+		exc := trials[best].exc
+		rep = after
+		if exc < bestExcess-1e-9 {
+			bestExcess, bestLen, stall = exc, len(res.Actions), 0
 		} else {
 			stall++
 			if stall%stallRestart == 0 && len(res.Actions) > bestLen {
@@ -292,28 +303,73 @@ func (s *Steerer) rewindTo(res *SteeringResult, n int) error {
 	return nil
 }
 
-// rollback undoes one trialled action. Prepend and transit-only replace a
-// single site's announcement, so restoring the saved announcement is an
-// incremental step; removing a cross-announced site needs the prefix's
-// full announcement set replaced.
-func (s *Steerer) rollback(act *Action, saved []bgp.SiteAnnouncement) error {
-	switch act.Kind {
-	case ActionPrepend, ActionSelective:
-		for _, ann := range saved {
-			if ann.Site == act.Site {
-				if err := s.Eval.Engine.AnnounceSite(act.Prefix, ann); err != nil {
-					return fmt.Errorf("traffic: rollback %s: %w", act.Prefix, err)
-				}
-				break
-			}
+// trialOutcome is one candidate's measured effect.
+type trialOutcome struct {
+	after *LoadReport
+	exc   float64
+	err   error
+}
+
+// trialRound applies and evaluates every candidate concurrently, each on a
+// private copy-on-write fork of the real engine, over a worker pool bounded
+// by cfg.Workers (GOMAXPROCS when 0). An action only ever touches its own
+// prefix, so each trial clones just that prefix's announcement list; the
+// shared steerer state, the demand model, and the parent engine are
+// read-only for the duration of the round. Results come back indexed by
+// candidate, so downstream winner selection and tracing are independent of
+// scheduling. This replaces the serial apply/measure/rollback walk: each
+// trial costs one incremental reconvergence on a throwaway fork instead of
+// two on the live engine.
+func (s *Steerer) trialRound(mat Matrix, cands []*Action) ([]trialOutcome, error) {
+	out := make([]trialOutcome, len(cands))
+	run := func(i int) {
+		act := cands[i]
+		f := s.Eval.Engine.Fork()
+		cur := map[netip.Prefix][]bgp.SiteAnnouncement{
+			act.Prefix: slices.Clone(s.cur[act.Prefix]),
 		}
-	case ActionCrossAnnounce, ActionPrependWave:
-		if err := s.Eval.Engine.Announce(act.Prefix, saved); err != nil {
-			return fmt.Errorf("traffic: rollback %s: %w", act.Prefix, err)
+		if err := s.applyOn(f, cur, act); err != nil {
+			out[i] = trialOutcome{err: err}
+			return
+		}
+		after := s.Eval.EvaluateOn(f, mat)
+		out[i] = trialOutcome{after: after, exc: totalExcess(after)}
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i := range cands {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range cands {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := range out {
+		if out[i].err != nil {
+			return nil, out[i].err
 		}
 	}
-	s.cur[act.Prefix] = saved
-	return nil
+	return out, nil
 }
 
 // totalExcess sums squared demand above capacity over all sites: the
@@ -572,9 +628,14 @@ func (s *Steerer) hottestPrefix(rep *LoadReport, site string) (netip.Prefix, boo
 
 // annFor finds a site's current announcement of a prefix.
 func (s *Steerer) annFor(p netip.Prefix, site string) (*bgp.SiteAnnouncement, int) {
-	for i := range s.cur[p] {
-		if s.cur[p][i].Site == site {
-			return &s.cur[p][i], i
+	return annIn(s.cur, p, site)
+}
+
+// annIn finds a site's announcement of a prefix in a working set.
+func annIn(cur map[netip.Prefix][]bgp.SiteAnnouncement, p netip.Prefix, site string) (*bgp.SiteAnnouncement, int) {
+	for i := range cur[p] {
+		if cur[p][i].Site == site {
+			return &cur[p][i], i
 		}
 	}
 	return nil, -1
@@ -652,32 +713,41 @@ func (s *Steerer) helpersBySpare(rep *LoadReport, p netip.Prefix) []string {
 	return out
 }
 
-// apply pushes one action into the engine via incremental per-site
+// apply pushes one action into the real engine via incremental per-site
 // reconvergence and records it in the working announcement set.
 func (s *Steerer) apply(act *Action) error {
+	return s.applyOn(s.Eval.Engine, s.cur, act)
+}
+
+// applyOn pushes one action into an engine (the real one, or a trial fork)
+// and records it in the given working announcement set. Everything else it
+// reads — the deployment, the topology, the steerer configuration — is
+// immutable, so concurrent trials only need disjoint engines and working
+// sets.
+func (s *Steerer) applyOn(eng *bgp.Engine, cur map[netip.Prefix][]bgp.SiteAnnouncement, act *Action) error {
 	switch act.Kind {
 	case ActionPrepend:
-		ann, i := s.annFor(act.Prefix, act.Site)
+		ann, i := annIn(cur, act.Prefix, act.Site)
 		if ann == nil {
 			return fmt.Errorf("traffic: %s does not announce %s", act.Site, act.Prefix)
 		}
 		next := *ann
 		next.Prepend = act.Prepend
-		if err := s.Eval.Engine.AnnounceSite(act.Prefix, next); err != nil {
+		if err := eng.AnnounceSite(act.Prefix, next); err != nil {
 			return err
 		}
-		s.cur[act.Prefix][i] = next
+		cur[act.Prefix][i] = next
 	case ActionSelective:
-		ann, i := s.annFor(act.Prefix, act.Site)
+		ann, i := annIn(cur, act.Prefix, act.Site)
 		if ann == nil {
 			return fmt.Errorf("traffic: %s does not announce %s", act.Site, act.Prefix)
 		}
 		next := *ann
-		next.OnlyNeighbors = providersAt(s.Eval.Engine.Topology(), s.Eval.Dep.ASN, ann.City)
-		if err := s.Eval.Engine.AnnounceSite(act.Prefix, next); err != nil {
+		next.OnlyNeighbors = providersAt(eng.Topology(), s.Eval.Dep.ASN, ann.City)
+		if err := eng.AnnounceSite(act.Prefix, next); err != nil {
 			return err
 		}
-		s.cur[act.Prefix][i] = next
+		cur[act.Prefix][i] = next
 	case ActionCrossAnnounce:
 		site, ok := s.Eval.Dep.SiteByID(act.Site)
 		if !ok {
@@ -688,25 +758,25 @@ func (s *Steerer) apply(act *Action) error {
 			Site:   site.ID,
 			City:   site.City,
 		}
-		if err := s.Eval.Engine.AnnounceSite(act.Prefix, next); err != nil {
+		if err := eng.AnnounceSite(act.Prefix, next); err != nil {
 			return err
 		}
-		s.cur[act.Prefix] = append(s.cur[act.Prefix], next)
+		cur[act.Prefix] = append(cur[act.Prefix], next)
 	case ActionPrependWave:
 		_, inRegion := s.regionSites(act.Prefix)
 		if inRegion == nil {
 			return fmt.Errorf("traffic: %s has no owning region", act.Prefix)
 		}
-		for i, ann := range s.cur[act.Prefix] {
+		for i, ann := range cur[act.Prefix] {
 			if !inRegion[ann.Site] || ann.Prepend >= s.cfg.MaxPrepend {
 				continue
 			}
 			next := ann
 			next.Prepend++
-			if err := s.Eval.Engine.AnnounceSite(act.Prefix, next); err != nil {
+			if err := eng.AnnounceSite(act.Prefix, next); err != nil {
 				return err
 			}
-			s.cur[act.Prefix][i] = next
+			cur[act.Prefix][i] = next
 		}
 	default:
 		return fmt.Errorf("traffic: unknown action kind %d", act.Kind)

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench.sh — run the tier-1 benchmark set and record BENCH_<n>.json.
+#
+# Usage: scripts/bench.sh <n>
+#
+# Emits BENCH_<n>.json at the repo root: a JSON array of
+# {name, ns_per_op, allocs_per_op}, one entry per benchmark (including
+# sub-benchmarks). ReportMetric columns (e.g. dirty-ases, actions) are
+# ignored; fields are located by their "ns/op" / "allocs/op" unit tokens,
+# not by position.
+#
+# The routing-core benchmarks run at the default benchtime; the whole-run
+# steering benchmarks are seconds-per-op, so they run at -benchtime=1x to
+# keep the script's wall clock bounded.
+set -eu
+
+n="${1:?usage: scripts/bench.sh <n>}"
+cd "$(dirname "$0")/.."
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -benchmem \
+    -bench 'BenchmarkAnnounce$|BenchmarkIncrementalReconvergence|BenchmarkLookup$|BenchmarkEngineFork' \
+    ./internal/bgp/ | tee -a "$raw"
+
+go test -run '^$' -benchmem -benchtime 1x \
+    -bench 'BenchmarkTrafficSteering$|BenchmarkSteeringRound$|BenchmarkDemandMatrix$' \
+    . | tee -a "$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (allocs == "") allocs = "null"
+    if (count++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
