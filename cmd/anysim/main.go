@@ -22,16 +22,23 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"net/netip"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"anysim/internal/asciimap"
 	"anysim/internal/atlas"
@@ -39,6 +46,7 @@ import (
 	"anysim/internal/cdn"
 	"anysim/internal/dynamics"
 	"anysim/internal/geo"
+	"anysim/internal/obs"
 	"anysim/internal/topo"
 	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
@@ -63,11 +71,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fs.Usage = func() { usage(stderr) }
 	var (
-		seed       = fs.Int64("seed", worldgen.DefaultSeed, "world seed")
-		small      = fs.Bool("small", false, "use the reduced-scale world")
-		dep        = fs.String("dep", "im6", "deployment for the scenario and load subcommands (eg3, eg4, im6, ns, tangled)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the subcommand (excluding world build) to this file")
-		memprofile = fs.String("memprofile", "", "write a heap profile taken after the subcommand to this file")
+		seed        = fs.Int64("seed", worldgen.DefaultSeed, "world seed")
+		small       = fs.Bool("small", false, "use the reduced-scale world")
+		dep         = fs.String("dep", "im6", "deployment for the scenario and load subcommands (eg3, eg4, im6, ns, tangled)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the subcommand (excluding world build) to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile taken after the subcommand to this file")
+		metricsOut  = fs.String("metrics", "", "write a deterministic metrics snapshot (JSON) to this file after the run; \"-\" for stdout")
+		traceFile   = fs.String("tracefile", "", "write a JSONL trace of simulation events (world build, routing ops, scenario steps) to this file")
+		wallMetrics = fs.Bool("wallmetrics", false, "also collect wall-clock timings (the snapshot's \"wall\" section; nondeterministic)")
+		debugAddr   = fs.String("debug-addr", "", "serve expvar, net/http/pprof, and /metrics on this address while the run executes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -107,15 +119,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Observability sinks are opened before the (expensive) world build so
+	// an unwritable path is a fast usage error.
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		reg.EnableWall(*wallMetrics)
+	}
+	var metricsW io.Writer
+	if *metricsOut == "-" {
+		metricsW = stdout
+	} else if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: metrics: %v\n", err)
+			return exitUsage
+		}
+		defer f.Close()
+		metricsW = f
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: tracefile: %v\n", err)
+			return exitUsage
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: debug-addr: %v\n", err)
+			return exitUsage
+		}
+		defer ln.Close()
+		go http.Serve(ln, debugMux(reg)) //nolint:errcheck // best-effort debug endpoint
+		fmt.Fprintf(stderr, "anysim: debug server on http://%s/ (expvar, pprof, /metrics)\n", ln.Addr())
+	}
+
 	var (
 		w   *worldgen.World
 		err error
 	)
+	wcfg := worldgen.Config{Seed: *seed}
 	if *small {
-		w, err = worldgen.Small(*seed)
-	} else {
-		w, err = worldgen.New(worldgen.Config{Seed: *seed})
+		wcfg = worldgen.SmallConfig(*seed)
 	}
+	wcfg.Metrics = reg
+	wcfg.Tracer = tracer
+	w, err = worldgen.New(wcfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
 		return exitError
@@ -162,15 +216,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "routes":
 		err = routes(stdout, w, fs.Arg(1), fs.Arg(2))
 	case "scenario":
-		err = scenario(stdout, w, *dep, fs.Arg(1))
+		err = scenario(stdout, w, *dep, fs.Arg(1), reg, tracer)
 	case "load":
-		err = load(stdout, w, *dep, bucket)
+		err = load(stdout, w, *dep, bucket, reg)
+	}
+
+	// The snapshot is written even when the subcommand failed: the metrics
+	// up to the failure are exactly what a debugging run wants.
+	if metricsW != nil {
+		if _, werr := metricsW.Write(reg.AppendSnapshot(nil)); werr != nil {
+			fmt.Fprintf(stderr, "anysim: metrics: %v\n", werr)
+			if err == nil {
+				return exitError
+			}
+		}
+	}
+	if terr := tracer.Err(); terr != nil {
+		fmt.Fprintf(stderr, "anysim: tracefile: %v\n", terr)
+		if err == nil {
+			return exitError
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: %v\n", err)
 		return exitCode(err)
 	}
 	return exitOK
+}
+
+// debugRegistry is the registry the expvar hook reads. expvar publication
+// is process-global and permanent, so the hook indirects through this
+// pointer instead of capturing one run's registry.
+var debugRegistry atomic.Pointer[obs.Registry]
+
+var expvarOnce sync.Once
+
+// debugMux serves the debug endpoints: expvar under /debug/vars (including
+// the metrics snapshot as the "anysim" var), the net/http/pprof profiles
+// under /debug/pprof/, and the raw snapshot JSON under /metrics.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	debugRegistry.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("anysim", expvar.Func(func() any {
+			var v any
+			if r := debugRegistry.Load(); r != nil {
+				_ = json.Unmarshal(r.AppendSnapshot(nil), &v)
+			}
+			return v
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r := debugRegistry.Load(); r != nil {
+			_ = r.WriteSnapshot(w)
+		} else {
+			_, _ = w.Write([]byte("{}\n"))
+		}
+	})
+	return mux
 }
 
 // exitCode maps a subcommand error to the process exit code. Routing
@@ -319,7 +429,7 @@ func deploymentByName(w *worldgen.World, name string) (*cdn.Deployment, error) {
 	return d, nil
 }
 
-func scenario(out io.Writer, w *worldgen.World, depName, file string) error {
+func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.Registry, tracer *obs.Tracer) error {
 	d, err := deploymentByName(w, depName)
 	if err != nil {
 		return err
@@ -337,6 +447,7 @@ func scenario(out io.Writer, w *worldgen.World, depName, file string) error {
 	r := dynamics.NewRunner(w.Engine, d)
 	r.Measurer = w.Measurer
 	r.Probes = w.Platform.Retained()
+	r.Instrument(reg, tracer)
 
 	fmt.Fprintf(out, "scenario %s on %s (AS%d, %d prefixes)\n", sc.Name, d.Name, d.ASN, len(r.Prefixes()))
 	pre := r.ProbeViews()
@@ -367,7 +478,7 @@ func scenario(out io.Writer, w *worldgen.World, depName, file string) error {
 // load prints a deployment's per-site demand and utilization under the
 // seeded traffic model. With no bucket argument it summarizes the whole
 // day and details the peak bucket; with one it details that bucket.
-func load(out io.Writer, w *worldgen.World, depName string, bucket int) error {
+func load(out io.Writer, w *worldgen.World, depName string, bucket int, reg *obs.Registry) error {
 	d, err := deploymentByName(w, depName)
 	if err != nil {
 		return err
@@ -377,6 +488,7 @@ func load(out io.Writer, w *worldgen.World, depName string, bucket int) error {
 		return fmt.Errorf("bucket %d outside [0,%d)", bucket, model.Buckets())
 	}
 	ev := traffic.NewEvaluator(w.Engine, d, model, traffic.CapacityConfig{})
+	ev.Instrument(reg)
 
 	fmt.Fprintf(out, "%s under the seeded demand model: %d probe groups, %.0f req/s day-mean\n\n",
 		d.Name, len(model.Groups), model.TotalBase())
@@ -432,7 +544,8 @@ func load(out io.Writer, w *worldgen.World, depName string, bucket int) error {
 }
 
 func usage(out io.Writer) {
-	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] [-cpuprofile F] [-memprofile F] <subcommand>
+	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] [-cpuprofile F] [-memprofile F]
+              [-metrics F|-] [-tracefile F] [-wallmetrics] [-debug-addr A] <subcommand>
   deployments              list deployments, regions, and VIPs
   catchment <host>         per-area catchment histogram for a hostname
   probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
@@ -441,5 +554,10 @@ func usage(out io.Writer) {
   load [bucket]            per-site demand and utilization for -dep
                            (default: the peak bucket)
 -cpuprofile/-memprofile write pprof profiles of the subcommand (world
-construction excluded), e.g.: anysim -small -cpuprofile cpu.out load`)
+construction excluded), e.g.: anysim -small -cpuprofile cpu.out load
+-metrics writes a deterministic JSON metrics snapshot after the run ("-"
+for stdout); -wallmetrics adds nondeterministic wall-clock timings to it.
+-tracefile writes a JSONL stream of simulation events keyed to simulation
+clocks. -debug-addr serves expvar, pprof, and /metrics over HTTP while
+the run executes, e.g.: anysim -small -debug-addr localhost:6060 load`)
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -142,4 +144,109 @@ func TestRunSubcommands(t *testing.T) {
 			t.Errorf("stderr missing deployment hint: %s", errOut.String())
 		}
 	})
+
+	t.Run("metrics-and-trace", func(t *testing.T) {
+		dir := t.TempDir()
+		metrics, trace := filepath.Join(dir, "m.json"), filepath.Join(dir, "t.jsonl")
+		file := filepath.Join(dir, "s.txt")
+		text := "scenario obs-test\nat 1 site-down fra\nat 2 site-up fra\n"
+		if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-metrics", metrics, "-tracefile", trace, "scenario", file)
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		snap, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatalf("metrics snapshot not written: %v", err)
+		}
+		var decoded struct {
+			Sim struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"sim"`
+		}
+		if err := json.Unmarshal(snap, &decoded); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v\n%s", err, snap)
+		}
+		if decoded.Sim.Counters["dynamics.steps"] != 2 {
+			t.Errorf("dynamics.steps = %d, want 2\n%s", decoded.Sim.Counters["dynamics.steps"], snap)
+		}
+		if decoded.Sim.Counters["bgp.op.site"] == 0 {
+			t.Errorf("bgp.op.site missing from snapshot:\n%s", snap)
+		}
+		tr, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatalf("trace not written: %v", err)
+		}
+		lines := strings.Split(strings.TrimRight(string(tr), "\n"), "\n")
+		if len(lines) < 3 {
+			t.Fatalf("trace has %d lines, want at least worldgen spans + 2 steps:\n%s", len(lines), tr)
+		}
+		sawStep := false
+		for _, ln := range lines {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+				t.Fatalf("trace line is not valid JSON: %v\n%s", err, ln)
+			}
+			if ev["scope"] == "dynamics" && ev["event"] == "step" {
+				sawStep = true
+			}
+		}
+		if !sawStep {
+			t.Errorf("trace has no dynamics step event:\n%s", tr)
+		}
+	})
+
+	t.Run("metrics-stdout", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-metrics", "-", "deployments")
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), `"bgp.announce.full"`) {
+			t.Errorf("stdout snapshot missing announce counter: %s", out.String())
+		}
+	})
+
+	t.Run("debug-addr", func(t *testing.T) {
+		// A fixed-but-free port: bind :0 to discover one, release it, and
+		// hand it to the CLI. Races with other listeners are unlikely enough
+		// for a test that only checks the server comes up.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-debug-addr", addr, "deployments")
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "debug server on") {
+			t.Errorf("stderr missing debug server banner: %s", errOut.String())
+		}
+	})
+}
+
+// TestRunObsUsageErrors checks that unwritable observability sinks are
+// usage errors reported before the world is built (instant returns).
+func TestRunObsUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-tracefile", "/nonexistent-dir/t.jsonl", "deployments"},
+		{"-metrics", "/nonexistent-dir/m.json", "deployments"},
+		{"-debug-addr", "256.0.0.1:bad", "deployments"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != exitUsage {
+			t.Errorf("run(%q) = %d, want usage exit %d (stderr: %s)",
+				args, code, exitUsage, errOut.String())
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("run(%q) printed nothing to stderr", args)
+		}
+	}
 }

@@ -45,6 +45,10 @@ type Engine struct {
 	byIdx        []topo.ASN
 	linkA, linkB []int32
 
+	// eobs holds the cached observability handles (see obs.go). The zero
+	// value is the disabled state; Fork copies it with the tracer stripped.
+	eobs engineObs
+
 	mu        sync.RWMutex
 	ribs      map[netip.Prefix]ribTable
 	anns      map[netip.Prefix][]SiteAnnouncement
@@ -167,10 +171,12 @@ func (e *Engine) Prefixes() []netip.Prefix {
 // Withdraw removes all routing state for a prefix.
 func (e *Engine) Withdraw(p netip.Prefix) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.ribs, p)
 	delete(e.anns, p)
 	delete(e.hints, p)
+	e.mu.Unlock()
+	e.eobs.withdraws.Inc()
+	e.traceOp("withdraw", p, ReconvergeStats{})
 }
 
 // NonTerminationError reports that route propagation failed to reach a fixed
@@ -210,7 +216,11 @@ func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
 	if err != nil {
 		return err
 	}
-	e.install(prefix, anns, ribs, ReconvergeStats{Dirty: ribs.populated(), Passes: 1, Full: true})
+	st := ReconvergeStats{Dirty: ribs.populated(), Passes: 1, Full: true}
+	e.install(prefix, anns, ribs, st)
+	e.eobs.announces.Inc()
+	e.eobs.dirty.Observe(int64(st.Dirty))
+	e.traceOp("announce", prefix, st)
 	return nil
 }
 
@@ -413,7 +423,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		})
 	}
 	finalizedCust := make([]bool, e.n)
-	for round := 1; len(pending) > 0 || round <= maxRound; round++ {
+	round := 1
+	for ; len(pending) > 0 || round <= maxRound; round++ {
 		if round > e.n+1 {
 			return nil, &NonTerminationError{Prefix: prefix, Phase: 1, Iterations: round}
 		}
@@ -454,6 +465,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			}
 		}
 	}
+	e.eobs.p1rounds.Observe(int64(round - 1))
 
 	// Phase 2: one hop over peering links; only own/customer routes are
 	// exported to peers (Gao-Rexford). Collected per receiving AS so a
@@ -578,7 +590,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			provPending[o.to] = append(provPending[o.to], o.r)
 		}
 	}
-	for ln := 0; ln <= maxLen || len(provPending) > 0; ln++ {
+	ln := 0
+	for ; ln <= maxLen || len(provPending) > 0; ln++ {
 		if ln > e.n {
 			return nil, &NonTerminationError{Prefix: prefix, Phase: 3, Iterations: ln}
 		}
@@ -645,6 +658,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		}
 		delete(sched3, ln)
 	}
+	e.eobs.p3levels.Observe(int64(ln))
 	return ribs, nil
 }
 

@@ -39,6 +39,11 @@ import (
 func (e *Engine) Fork() *Engine {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// Forks inherit the parent's metric handles — counters and histograms
+	// commute, so fork work aggregates deterministically — but never the
+	// tracer: trace order is meaning, and concurrent forks would interleave.
+	feobs := e.eobs
+	feobs.tracer = nil
 	f := &Engine{
 		topo:      e.topo,
 		cityIdx:   e.cityIdx,
@@ -52,9 +57,14 @@ func (e *Engine) Fork() *Engine {
 		anns:      maps.Clone(e.anns),
 		lastStats: e.lastStats,
 		hints:     make(map[netip.Prefix]map[string]*asBits, len(e.hints)),
+		eobs:      feobs,
 	}
+	cow := len(e.ribs) + len(e.anns)
 	for p, m := range e.hints {
 		f.hints[p] = maps.Clone(m)
+		cow += len(m)
 	}
+	e.eobs.forks.Inc()
+	e.eobs.forkCOW.Add(int64(cow))
 	return f
 }

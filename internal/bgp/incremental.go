@@ -40,6 +40,7 @@ import (
 	"net/netip"
 	"slices"
 
+	"anysim/internal/obs"
 	"anysim/internal/topo"
 )
 
@@ -84,12 +85,16 @@ func (e *Engine) WithdrawSite(prefix netip.Prefix, siteID string) error {
 	if idx < 0 {
 		return fmt.Errorf("bgp: prefix %s has no site %q", prefix, siteID)
 	}
+	e.eobs.siteOps.Inc()
 	removed := anns[idx]
 	newAnns := slices.Delete(slices.Clone(anns), idx, idx+1)
 	if len(newAnns) == 0 {
 		// The prefix goes dark: keep the (empty) announcement entry so a
 		// later AnnounceSite can restore it, but drop all routing state.
-		e.install(prefix, newAnns, make(ribTable, e.n), ReconvergeStats{Dirty: old.populated(), Passes: 1})
+		st := ReconvergeStats{Dirty: old.populated(), Passes: 1}
+		e.install(prefix, newAnns, make(ribTable, e.n), st)
+		e.eobs.dirty.Observe(int64(st.Dirty))
+		e.traceOp("withdraw-site", prefix, st)
 		return nil
 	}
 	dirty := e.siteRefs(old, siteID)
@@ -101,6 +106,7 @@ func (e *Engine) WithdrawSite(prefix netip.Prefix, siteID string) error {
 		return err
 	}
 	e.storeHint(prefix, siteID, touched)
+	e.traceOp("withdraw-site", prefix, e.LastReconvergeStats())
 	return nil
 }
 
@@ -118,6 +124,7 @@ func (e *Engine) AnnounceSite(prefix netip.Prefix, ann SiteAnnouncement) error {
 	if err := e.validateAnn(prefix, ann); err != nil {
 		return err
 	}
+	e.eobs.siteOps.Inc()
 	newAnns := slices.Clone(anns)
 	dirty := newASBits(e.n)
 	dirty.add(e.asIdx[ann.Origin])
@@ -145,6 +152,7 @@ func (e *Engine) AnnounceSite(prefix netip.Prefix, ann SiteAnnouncement) error {
 		return err
 	}
 	e.storeHint(prefix, ann.Site, touched)
+	e.traceOp("announce-site", prefix, e.LastReconvergeStats())
 	return nil
 }
 
@@ -195,6 +203,7 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 		seed.add(ai)
 		seed.add(bi)
 	}
+	e.eobs.linkOps.Inc()
 	var agg ReconvergeStats
 	for _, p := range e.Prefixes() {
 		e.mu.RLock()
@@ -215,6 +224,19 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 	e.mu.Lock()
 	e.lastStats = agg
 	e.mu.Unlock()
+	if e.eobs.tracer.Enabled() {
+		e.eobs.tracer.Emit(obs.Event{
+			Scope: "bgp",
+			Name:  "reconverge-links",
+			Clock: []obs.Coord{{Key: "op", V: e.eobs.seq.Add(1)}},
+			Attrs: []obs.Attr{
+				obs.Int("links", int64(len(changed))),
+				obs.Int("dirty", int64(agg.Dirty)),
+				obs.Int("passes", int64(agg.Passes)),
+				obs.Bool("full", agg.Full),
+			},
+		})
+	}
 	return nil
 }
 
@@ -238,9 +260,14 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ri
 			if err != nil {
 				return nil, err
 			}
-			e.install(prefix, anns, ribs, ReconvergeStats{Dirty: e.n, Passes: passes, Full: true})
+			st := ReconvergeStats{Dirty: e.n, Passes: passes, Full: true}
+			e.install(prefix, anns, ribs, st)
+			e.eobs.fulls.Inc()
+			e.eobs.dirty.Observe(int64(st.Dirty))
+			e.eobs.passes.Observe(int64(st.Passes))
 			return nil, nil
 		}
+		e.eobs.frontier.Observe(int64(delta.len()))
 		ribs, err := e.converge(prefix, anns, &convergeScope{dirty: delta, old: cur})
 		if err != nil {
 			return nil, err
@@ -249,7 +276,10 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ri
 		cur = ribs
 		touched.or(delta)
 	}
-	e.install(prefix, anns, cur, ReconvergeStats{Dirty: touched.len(), Passes: passes})
+	st := ReconvergeStats{Dirty: touched.len(), Passes: passes}
+	e.install(prefix, anns, cur, st)
+	e.eobs.dirty.Observe(int64(st.Dirty))
+	e.eobs.passes.Observe(int64(st.Passes))
 	return touched, nil
 }
 

@@ -262,10 +262,18 @@ func (d *Deployment) ResolvedAnnouncements(tp *topo.Topology) map[netip.Prefix][
 
 // Announce computes routing for every regional prefix of the deployment.
 // Site-level SkipNeighbors are resolved against the engine's topology into
-// allowlists.
+// allowlists. Prefixes are announced in sorted order: per-prefix routing is
+// independent, but the engine's traced operation sequence must not inherit
+// map iteration order.
 func (d *Deployment) Announce(e *bgp.Engine) error {
-	for prefix, anns := range d.ResolvedAnnouncements(e.Topology()) {
-		if err := e.Announce(prefix, anns); err != nil {
+	plan := d.ResolvedAnnouncements(e.Topology())
+	prefixes := make([]netip.Prefix, 0, len(plan))
+	for p := range plan {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+	for _, prefix := range prefixes {
+		if err := e.Announce(prefix, plan[prefix]); err != nil {
 			return fmt.Errorf("cdn: announcing %s for %s: %w", prefix, d.Name, err)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/geo"
+	"anysim/internal/obs"
 	"anysim/internal/topo"
 )
 
@@ -135,6 +136,36 @@ type Runner struct {
 	prefixes []netip.Prefix                            // sorted deployment prefixes
 	siteAnns map[string]map[netip.Prefix]bgp.SiteAnnouncement // site ID -> prefix -> announcement
 	flash    map[geo.Area]float64                      // active flash-crowd factors
+
+	dobs runnerObs
+}
+
+// runnerObs bundles the runner's observability handles; the zero value is
+// the disabled state. Run is serial, so every handle (and the tracer) sees
+// deterministic values in deterministic order.
+type runnerObs struct {
+	steps  *obs.Counter   // dynamics.steps
+	dirty  *obs.Histogram // dynamics.step.dirty (reconverged ASes per step)
+	passes *obs.Histogram // dynamics.step.passes
+	moved  *obs.Histogram // dynamics.step.moved (catchment pairs that changed site)
+	lost   *obs.Histogram // dynamics.step.lost
+
+	tracer *obs.Tracer
+	seq    int64 // steps applied across all Run calls (the scenario clock)
+}
+
+// Instrument attaches a metrics registry and tracer to the runner. Either
+// may be nil. Call before Run; not synchronized with a concurrent Run.
+func (r *Runner) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	r.dobs = runnerObs{
+		steps:  reg.Counter("dynamics.steps"),
+		dirty:  reg.Histogram("dynamics.step.dirty", obs.Pow2Bounds(20)),
+		passes: reg.Histogram("dynamics.step.passes", obs.Pow2Bounds(6)),
+		moved:  reg.Histogram("dynamics.step.moved", obs.Pow2Bounds(20)),
+		lost:   reg.Histogram("dynamics.step.lost", obs.Pow2Bounds(20)),
+		tracer: tr,
+		seq:    r.dobs.seq,
+	}
 }
 
 // NewRunner captures the deployment's announcement plan. The deployment is
@@ -295,12 +326,43 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 			return steps, fmt.Errorf("dynamics: %s (scenario %s): %w", ev, sc.Name, err)
 		}
 		post := r.Snapshot()
-		steps = append(steps, Step{
+		step := Step{
 			Event: ev,
 			Churn: Diff(pre, post),
 			Stats: r.Engine.LastReconvergeStats(),
-		})
+		}
+		steps = append(steps, step)
+		r.observeStep(sc, step)
 		pre = post
 	}
 	return steps, nil
+}
+
+// observeStep records one applied event's reconvergence cost and catchment
+// churn, and emits the step on the trace clocked by (step, tick).
+func (r *Runner) observeStep(sc *Scenario, st Step) {
+	r.dobs.steps.Inc()
+	r.dobs.dirty.Observe(int64(st.Stats.Dirty))
+	r.dobs.passes.Observe(int64(st.Stats.Passes))
+	r.dobs.moved.Observe(int64(st.Churn.Moved))
+	r.dobs.lost.Observe(int64(st.Churn.Lost))
+	if !r.dobs.tracer.Enabled() {
+		return
+	}
+	r.dobs.seq++
+	r.dobs.tracer.Emit(obs.Event{
+		Scope: "dynamics",
+		Name:  "step",
+		Clock: []obs.Coord{{Key: "step", V: r.dobs.seq}, {Key: "tick", V: int64(st.Event.At)}},
+		Attrs: []obs.Attr{
+			obs.Str("scenario", sc.Name),
+			obs.Str("event", st.Event.String()),
+			obs.Int("dirty", int64(st.Stats.Dirty)),
+			obs.Int("passes", int64(st.Stats.Passes)),
+			obs.Bool("full", st.Stats.Full),
+			obs.Int("moved", int64(st.Churn.Moved)),
+			obs.Int("lost", int64(st.Churn.Lost)),
+			obs.Int("gained", int64(st.Churn.Gained)),
+		},
+	})
 }

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety pins the disabled-path contract: a nil registry hands out
+// nil handles and every operation on them (and on a nil tracer) is a no-op
+// rather than a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", Pow2Bounds(4))
+	var tr *Tracer
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	g.SetInt(2)
+	h.Observe(7)
+	tr.Emit(Event{Scope: "x", Name: "y"})
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.Err() != nil {
+		t.Error("nil tracer reports an error")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles accumulated state")
+	}
+	done := Span(tr, g, "x", "phase", Coord{"i", 1})
+	done(Int("n", 2))
+	if got := string(r.AppendSnapshot(nil)); got != "{}\n" {
+		t.Errorf("nil snapshot = %q", got)
+	}
+	r.EnableWall(true) // must not panic
+}
+
+// TestRegistryHandlesAreStable checks that re-registering a name returns
+// the same handle, so call sites can cache freely.
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("counter handle not stable")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge handle not stable")
+	}
+	if r.Histogram("h", Pow2Bounds(3)) != r.Histogram("h", Pow2Bounds(3)) {
+		t.Error("histogram handle not stable")
+	}
+}
+
+// TestHistogramBuckets checks bound assignment: counts[i] tallies v <=
+// bounds[i], with a final overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // {0,1}, {2,4}, {5,16}, {17,1000}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 1045 {
+		t.Errorf("sum = %d, want 1045", h.Sum())
+	}
+}
+
+// TestWallGating checks that wall-class metrics drop observations until
+// EnableWall and that the sim section of a snapshot never mentions them.
+func TestWallGating(t *testing.T) {
+	r := NewRegistry()
+	g := r.WallGauge("w.g")
+	h := r.WallHistogram("w.h", Pow2Bounds(3))
+	g.Set(9)
+	h.Observe(2)
+	if g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("wall metrics recorded while disabled")
+	}
+	r.EnableWall(true)
+	g.Set(9)
+	h.Observe(2)
+	if g.Value() != 9 || h.Count() != 1 {
+		t.Fatal("wall metrics dropped while enabled")
+	}
+
+	var snap struct {
+		Sim  map[string]map[string]any `json:"sim"`
+		Wall map[string]map[string]any `json:"wall"`
+	}
+	if err := json.Unmarshal(r.AppendSnapshot(nil), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if _, ok := snap.Sim["gauges"]["w.g"]; ok {
+		t.Error("wall gauge leaked into sim section")
+	}
+	if _, ok := snap.Wall["gauges"]["w.g"]; !ok {
+		t.Error("wall gauge missing from wall section")
+	}
+	if _, ok := snap.Wall["histograms"]["w.h"]; !ok {
+		t.Error("wall histogram missing from wall section")
+	}
+}
+
+// TestSnapshotDeterministic builds the same metric state twice — once with
+// concurrent writers — and checks the encodings are byte-identical: sorted
+// names, fixed layout, integer accumulation.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(parallel bool) []byte {
+		r := NewRegistry()
+		c := r.Counter("z.count")
+		h := r.Histogram("a.hist", []int64{10, 100})
+		r.Gauge("m.gauge").Set(3.25)
+		work := func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				c.Add(2)
+				h.Observe(int64(v % 150))
+			}
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					work(w*250, (w+1)*250)
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			work(0, 1000)
+		}
+		return r.AppendSnapshot(nil)
+	}
+	serial := build(false)
+	if !json.Valid(serial) {
+		t.Fatalf("snapshot is not valid JSON:\n%s", serial)
+	}
+	for i := 0; i < 3; i++ {
+		if par := build(true); !bytes.Equal(serial, par) {
+			t.Fatalf("snapshot differs under concurrency:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+		}
+	}
+}
+
+// TestSpecialFloatEncoding checks that NaN and infinities encode as quoted
+// strings (JSON has no literals for them) and stay valid JSON.
+func TestSpecialFloatEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("nan").Set(math.NaN())
+	r.Gauge("inf").Set(math.Inf(1))
+	r.Gauge("ninf").Set(math.Inf(-1))
+	snap := r.AppendSnapshot(nil)
+	if !json.Valid(snap) {
+		t.Fatalf("snapshot with special floats is not valid JSON:\n%s", snap)
+	}
+	for _, want := range []string{`"nan": "NaN"`, `"inf": "+Inf"`, `"ninf": "-Inf"`} {
+		if !strings.Contains(string(snap), want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// TestTracerJSONL checks the line encoding: one valid JSON object per
+// event, keys in declaration order, strings escaped.
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if !tr.Enabled() {
+		t.Fatal("tracer reports disabled")
+	}
+	tr.Emit(Event{
+		Scope: "steer",
+		Name:  "trial",
+		Clock: []Coord{{"round", 2}, {"cand", 0}},
+		Attrs: []Attr{Str("action", `prepend "x"`), Float("exc", 1.5), Int("n", 7), Bool("ok", true)},
+	})
+	tr.Emit(Event{Scope: "bgp", Name: "reconverge", Clock: []Coord{{"op", 1}}})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got struct {
+		Scope string         `json:"scope"`
+		Event string         `json:"event"`
+		Clock map[string]int `json:"clock"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if got.Scope != "steer" || got.Event != "trial" || got.Clock["round"] != 2 {
+		t.Errorf("decoded line mismatch: %+v", got)
+	}
+	if got.Attrs["action"] != `prepend "x"` || got.Attrs["exc"] != 1.5 || got.Attrs["ok"] != true {
+		t.Errorf("decoded attrs mismatch: %+v", got.Attrs)
+	}
+	if tr.Err() != nil {
+		t.Fatalf("tracer error: %v", tr.Err())
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errClosed
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errClosed = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+// TestTracerErr checks that the first write error is latched and later
+// emissions are dropped.
+func TestTracerErr(t *testing.T) {
+	tr := NewTracer(&failWriter{n: 1})
+	tr.Emit(Event{Scope: "a", Name: "b"})
+	tr.Emit(Event{Scope: "a", Name: "c"})
+	if tr.Err() == nil {
+		t.Fatal("tracer swallowed write error")
+	}
+}
+
+// TestEventAttrLookup checks Event.Attr.
+func TestEventAttrLookup(t *testing.T) {
+	ev := Event{Attrs: []Attr{Int("a", 1), Str("b", "x")}}
+	if a, ok := ev.Attr("b"); !ok || a.S != "x" {
+		t.Errorf("Attr(b) = %+v, %v", a, ok)
+	}
+	if _, ok := ev.Attr("missing"); ok {
+		t.Error("Attr(missing) found")
+	}
+}
+
+// TestSpan checks begin/end emission and wall-duration recording.
+func TestSpan(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.EnableWall(true)
+	tr := NewTracer(&buf)
+	d := r.WallGauge("phase.ns")
+	done := Span(tr, d, "worldgen", "topology", Coord{"phase", 1})
+	done(Int("ases", 42))
+	out := buf.String()
+	if !strings.Contains(out, `"span":"begin"`) || !strings.Contains(out, `"span":"end"`) {
+		t.Fatalf("span events missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"ases":42`) {
+		t.Errorf("end attrs missing:\n%s", out)
+	}
+	if d.Value() < 0 {
+		t.Errorf("negative span duration %v", d.Value())
+	}
+}
+
+// TestPow2Bounds pins the helper's shape.
+func TestPow2Bounds(t *testing.T) {
+	got := Pow2Bounds(3)
+	want := []int64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pow2Bounds(3) = %v, want %v", got, want)
+		}
+	}
+}

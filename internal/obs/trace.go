@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Coord is one simulation-clock coordinate of an event: engine operation
+// sequence, steering round, scenario step, time bucket — never wall time.
+// Events carry an ordered list of coordinates so a trace line's position in
+// simulated time is self-describing.
+type Coord struct {
+	Key string
+	V   int64
+}
+
+// AttrKind discriminates attribute values.
+type AttrKind uint8
+
+// Attribute value kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindStr
+	KindBool
+)
+
+// Attr is one key/value annotation on an event. Values are typed so the
+// encoder can render them deterministically (floats via strconv 'g', which
+// is a pure function of the bits).
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Int returns an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, I: v} }
+
+// Float returns a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, F: v} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Kind: KindStr, S: v} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Kind: KindBool, B: v} }
+
+// Event is one trace record: a named event in a scope (subsystem), located
+// by simulation-clock coordinates and annotated with attributes. An Event
+// holds no wall time by construction, which is what makes trace streams
+// byte-identical across reruns.
+type Event struct {
+	Scope string
+	Name  string
+	Clock []Coord
+	Attrs []Attr
+}
+
+// Attr returns the named attribute.
+func (ev *Event) Attr(key string) (Attr, bool) {
+	for _, a := range ev.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Tracer serializes events as JSONL, one object per line, in emission
+// order. Callers on concurrent paths must either not trace (the engine
+// strips the tracer from forks) or buffer and emit in a deterministic
+// order after the concurrent section (the steering loop emits trial events
+// in candidate order after each round) — the tracer itself only guarantees
+// that concurrent Emits do not interleave bytes. A nil *Tracer is a valid
+// disabled tracer: Emit returns immediately. Hot call sites should guard
+// event construction behind Enabled so the disabled path allocates nothing.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Enabled reports whether the tracer records events; use it to skip event
+// construction entirely on disabled paths.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Err returns the first write error the tracer encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Emit writes one event as a JSON line:
+//
+//	{"scope":"bgp","event":"reconverge","clock":{"op":3},"attrs":{"dirty":41,...}}
+//
+// Key order follows the event's slices, so identical events encode to
+// identical bytes.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"scope":`...)
+	b = appendJSONString(b, ev.Scope)
+	b = append(b, `,"event":`...)
+	b = appendJSONString(b, ev.Name)
+	b = append(b, `,"clock":{`...)
+	for i, c := range ev.Clock {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, c.Key)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, c.V, 10)
+	}
+	b = append(b, `},"attrs":{`...)
+	for i, a := range ev.Attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, a.Key)
+		b = append(b, ':')
+		switch a.Kind {
+		case KindInt:
+			b = strconv.AppendInt(b, a.I, 10)
+		case KindFloat:
+			b = appendFloat(b, a.F)
+		case KindStr:
+			b = appendJSONString(b, a.S)
+		case KindBool:
+			b = strconv.AppendBool(b, a.B)
+		}
+	}
+	b = append(b, "}}\n"...)
+	t.buf = b
+	_, t.err = t.w.Write(b)
+}
+
+// Span emits a begin event now and returns a closer that emits the
+// matching end event with any extra attributes, recording the span's
+// wall-clock duration (nanoseconds) into d. The trace events themselves
+// carry only simulation-clock coordinates — the nondeterministic duration
+// goes to the wall-class metric, keeping the trace stream deterministic.
+// Both t and d may be nil.
+func Span(t *Tracer, d *Gauge, scope, name string, clock ...Coord) func(attrs ...Attr) {
+	start := time.Now()
+	if t.Enabled() {
+		t.Emit(Event{Scope: scope, Name: name, Clock: clock, Attrs: []Attr{Str("span", "begin")}})
+	}
+	return func(attrs ...Attr) {
+		d.SetInt(int64(time.Since(start)))
+		if t.Enabled() {
+			t.Emit(Event{Scope: scope, Name: name, Clock: clock,
+				Attrs: append([]Attr{Str("span", "end")}, attrs...)})
+		}
+	}
+}
+
+// floatBits canonicalises a float for storage: all NaNs collapse to one bit
+// pattern so snapshots stay deterministic even if a NaN sneaks in.
+func floatBits(v float64) uint64 {
+	if v != v {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(v)
+}
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// appendFloat renders a float deterministically. JSON has no Inf/NaN
+// literals, so those encode as strings.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(b, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends a JSON string literal for s, escaping quotes,
+// backslashes, and control characters.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for _, r := range s {
+		switch {
+		case r == '"' || r == '\\':
+			b = append(b, '\\', byte(r))
+		case r == '\n':
+			b = append(b, `\n`...)
+		case r == '\t':
+			b = append(b, `\t`...)
+		case r == '\r':
+			b = append(b, `\r`...)
+		case r < 0x20:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[byte(r)>>4], hex[byte(r)&0xf])
+		default:
+			b = utf8.AppendRune(b, r)
+		}
+	}
+	return append(b, '"')
+}

@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/geo"
+	"anysim/internal/obs"
 )
 
 // CapacityConfig derives per-site serving capacity. A site is provisioned
@@ -179,6 +181,29 @@ type Evaluator struct {
 	// Workers bounds the probe-group evaluation pool; 0 means GOMAXPROCS.
 	// Reports are bit-identical at any worker count (see EvaluateOn).
 	Workers int
+
+	tobs evalObs
+}
+
+// evalObs bundles the evaluator's observability handles; the zero value is
+// the disabled state. The report counter is deterministic ("sim" class);
+// the chunk and report timings are wall-clock measurements and therefore
+// wall-class — they stay out of the default snapshot so metric output is
+// byte-identical across runs (see obs.Registry.EnableWall).
+type evalObs struct {
+	reports *obs.Counter   // traffic.eval.reports
+	chunkNs *obs.Histogram // traffic.eval.chunk_ns (wall)
+	totalNs *obs.Histogram // traffic.eval.report_ns (wall)
+}
+
+// Instrument attaches a metrics registry to the evaluator. A nil registry
+// disables collection. Not synchronized with concurrent Evaluate calls.
+func (ev *Evaluator) Instrument(reg *obs.Registry) {
+	ev.tobs = evalObs{
+		reports: reg.Counter("traffic.eval.reports"),
+		chunkNs: reg.WallHistogram("traffic.eval.chunk_ns", obs.Pow2Bounds(30)),
+		totalNs: reg.WallHistogram("traffic.eval.report_ns", obs.Pow2Bounds(34)),
+	}
 }
 
 // rttInflation mirrors the measurement model's great-circle-to-fiber path
@@ -250,6 +275,11 @@ type evalPartial struct {
 // by ev.Workers (GOMAXPROCS when 0); see evalChunks for why the result does
 // not depend on the worker count.
 func (ev *Evaluator) EvaluateOn(eng *bgp.Engine, mat Matrix) *LoadReport {
+	ev.tobs.reports.Inc()
+	var t0 time.Time
+	if ev.tobs.totalNs != nil {
+		t0 = time.Now()
+	}
 	rep := &LoadReport{
 		Bucket:      mat.Bucket,
 		Assignments: make(map[string]Assignment, len(ev.Model.Groups)),
@@ -274,8 +304,15 @@ func (ev *Evaluator) EvaluateOn(eng *bgp.Engine, mat Matrix) *LoadReport {
 	}
 	parts := make([]*evalPartial, nc)
 	chunk := func(ci int) {
+		var c0 time.Time
+		if ev.tobs.chunkNs != nil {
+			c0 = time.Now()
+		}
 		lo, hi := ci*len(groups)/nc, (ci+1)*len(groups)/nc
 		parts[ci] = ev.evalChunk(eng, mat, groups[lo:hi], len(rep.Sites), rep.siteIdx)
+		if ev.tobs.chunkNs != nil {
+			ev.tobs.chunkNs.Observe(time.Since(c0).Nanoseconds())
+		}
 	}
 	workers := ev.Workers
 	if workers <= 0 {
@@ -316,6 +353,9 @@ func (ev *Evaluator) EvaluateOn(eng *bgp.Engine, mat Matrix) *LoadReport {
 		for i, key := range p.keys {
 			rep.Assignments[key] = p.asgs[i]
 		}
+	}
+	if ev.tobs.totalNs != nil {
+		ev.tobs.totalNs.Observe(time.Since(t0).Nanoseconds())
 	}
 	return rep
 }

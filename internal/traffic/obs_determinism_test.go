@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"anysim/internal/geo"
+	"anysim/internal/obs"
+	"anysim/internal/worldgen"
+)
+
+// runInstrumentedPipeline builds a fresh instrumented world and drives the
+// full steering pipeline — world construction, capacity derivation, a
+// flash-crowd Resolve, and a Reset — returning the metrics snapshot and the
+// JSONL trace it produced.
+func runInstrumentedPipeline(t *testing.T, workers int) (snapshot, trace []byte) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+
+	cfg := worldgen.SmallConfig(7)
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	w, err := worldgen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(w.Platform, DemandConfig{Seed: 1})
+	ev := NewEvaluator(w.Engine, w.Imperva.IM6, m, CapacityConfig{})
+	ev.Workers = workers
+	ev.Instrument(reg)
+	// Factor 4 overloads several EMEA sites in the seed-7 small world, so
+	// the steering loop actually runs rounds and emits trial events.
+	mat := m.FlashCrowd(m.Matrix(0), geo.EMEA, 4)
+	st := NewSteerer(ev, SteeringConfig{
+		MaxActions:         8, // enough rounds to exercise trials and commits
+		AllowSelective:     true,
+		AllowCrossAnnounce: true,
+		Workers:            workers,
+		Metrics:            reg,
+		Tracer:             tr,
+	})
+	if _, err := st.Resolve(mat); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := st.Reset(); err != nil {
+		t.Fatalf("workers=%d: reset: %v", workers, err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("workers=%d: tracer: %v", workers, err)
+	}
+	return reg.AppendSnapshot(nil), buf.Bytes()
+}
+
+// TestObsDeterminismAcrossWorkers is the observability acceptance check:
+// the metrics snapshot and the JSONL trace of a full steering pipeline are
+// byte-identical across Workers settings and across repeated runs at the
+// same seed. Metrics survive concurrency because they are integer
+// accumulations (addition commutes); traces survive it because forks never
+// trace and steering events are emitted post-round in candidate order.
+func TestObsDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several worlds")
+	}
+	serialSnap, serialTrace := runInstrumentedPipeline(t, 1)
+	if !json.Valid(serialSnap) {
+		t.Fatalf("snapshot is not valid JSON:\n%s", serialSnap)
+	}
+	if len(serialTrace) == 0 {
+		t.Fatal("pipeline produced an empty trace")
+	}
+	// Repeated run at the same worker count: rerun stability.
+	rerunSnap, rerunTrace := runInstrumentedPipeline(t, 1)
+	if !bytes.Equal(serialSnap, rerunSnap) {
+		t.Fatalf("snapshot differs across reruns:\n--- first ---\n%s--- rerun ---\n%s", serialSnap, rerunSnap)
+	}
+	if !bytes.Equal(serialTrace, rerunTrace) {
+		t.Fatalf("trace differs across reruns (first %d bytes vs %d bytes)", len(serialTrace), len(rerunTrace))
+	}
+	// Parallel runs: 0 means GOMAXPROCS.
+	for _, workers := range []int{2, 0} {
+		snap, trace := runInstrumentedPipeline(t, workers)
+		if !bytes.Equal(serialSnap, snap) {
+			t.Fatalf("workers=%d: snapshot differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialSnap, snap)
+		}
+		if !bytes.Equal(serialTrace, trace) {
+			t.Fatalf("workers=%d: trace differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialTrace, trace)
+		}
+	}
+}
+
+// TestSteeringTextTraceMatchesEvents checks the renderer contract: the
+// text Trace writer and the structured tracer describe the same trials —
+// every trial event in the JSONL stream has a text line with the same
+// action, in the same order.
+func TestSteeringTextTraceMatchesEvents(t *testing.T) {
+	w := smallWorld(t)
+	m := NewModel(w.Platform, DemandConfig{Seed: 1})
+	ev := NewEvaluator(w.Engine, w.Imperva.IM6, m, CapacityConfig{})
+	mat := m.FlashCrowd(m.Matrix(0), geo.EMEA, 4)
+
+	var text, jsonl bytes.Buffer
+	tr := obs.NewTracer(&jsonl)
+	st := NewSteerer(ev, SteeringConfig{
+		MaxActions:         8,
+		AllowSelective:     true,
+		AllowCrossAnnounce: true,
+		Trace:              &text,
+		Tracer:             tr,
+	})
+	if _, err := st.Resolve(mat); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if jsonl.Len() == 0 {
+		t.Skip("flash factor did not overload the small world; nothing trialled")
+	}
+	var eventActions []string
+	for _, ln := range bytes.Split(bytes.TrimRight(jsonl.Bytes(), "\n"), []byte("\n")) {
+		var ev struct {
+			Scope string `json:"scope"`
+			Event string `json:"event"`
+			Attrs struct {
+				Action string `json:"action"`
+			} `json:"attrs"`
+		}
+		if err := json.Unmarshal(ln, &ev); err != nil {
+			t.Fatalf("bad trace line: %v\n%s", err, ln)
+		}
+		if ev.Scope == "steer" && ev.Event == "trial" {
+			eventActions = append(eventActions, ev.Attrs.Action)
+		}
+	}
+	var textActions []string
+	for _, ln := range bytes.Split(bytes.TrimRight(text.Bytes(), "\n"), []byte("\n")) {
+		s := string(ln)
+		if len(s) < len("  trial ") {
+			t.Fatalf("short trace line %q", s)
+		}
+		// "  trial %-40s exc %.3g" — the action is the padded middle field.
+		body := s[len("  trial "):]
+		if i := bytes.LastIndex([]byte(body), []byte(" exc ")); i >= 0 {
+			body = body[:i]
+		}
+		textActions = append(textActions, string(bytes.TrimRight([]byte(body), " ")))
+	}
+	if len(eventActions) == 0 {
+		t.Skip("flash factor did not overload the small world; nothing trialled")
+	}
+	if len(eventActions) != len(textActions) {
+		t.Fatalf("%d trial events vs %d text lines", len(eventActions), len(textActions))
+	}
+	for i := range eventActions {
+		if eventActions[i] != textActions[i] {
+			t.Errorf("trial %d: event action %q, text action %q", i, eventActions[i], textActions[i])
+		}
+	}
+}

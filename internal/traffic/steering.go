@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"anysim/internal/bgp"
+	"anysim/internal/obs"
 	"anysim/internal/topo"
 )
 
@@ -110,8 +112,18 @@ type SteeringConfig struct {
 	// Trace, when set, receives a line per trialled candidate with its
 	// resulting objective — the steering loop's debugging channel. Lines
 	// are emitted in candidate order after each round completes, so traces
-	// are deterministic regardless of Workers.
+	// are deterministic regardless of Workers. The text stream is a
+	// rendering of the structured trial events also available via Tracer.
 	Trace io.Writer
+	// Metrics, when set, receives the steering loop's counters and
+	// histograms (rounds, trials, commits, tabu hits, rewinds).
+	Metrics *obs.Registry
+	// Tracer, when set, receives structured steering events (trial, commit,
+	// rewind) clocked by (resolve, round, trial) — the same events the
+	// Trace writer renders as text. Events are emitted from the serial
+	// Resolve loop in candidate order, so streams are deterministic at any
+	// Workers setting.
+	Tracer *obs.Tracer
 }
 
 func (c SteeringConfig) withDefaults() SteeringConfig {
@@ -142,6 +154,23 @@ type Steerer struct {
 
 	orig map[netip.Prefix][]bgp.SiteAnnouncement
 	cur  map[netip.Prefix][]bgp.SiteAnnouncement
+
+	sobs steerObs
+}
+
+// steerObs bundles the steering loop's cached observability handles; the
+// zero value is the disabled state. All fields are touched only from the
+// serial Resolve path, so even the gauge is deterministic.
+type steerObs struct {
+	rounds   *obs.Counter   // steer.rounds
+	trials   *obs.Counter   // steer.trials
+	actions  *obs.Counter   // steer.actions (committed steps)
+	tabuHits *obs.Counter   // steer.tabu_hits (candidates suppressed by tabu)
+	rewinds  *obs.Counter   // steer.rewinds
+	excess   *obs.Gauge     // steer.excess (objective after last commit)
+	perRound *obs.Histogram // steer.round.trials
+
+	resolveSeq int64 // Resolve invocations on this steerer (serial)
 }
 
 // NewSteerer captures the deployment's resolved announcements as the
@@ -150,6 +179,17 @@ func NewSteerer(ev *Evaluator, cfg SteeringConfig) *Steerer {
 	s := &Steerer{Eval: ev, cfg: cfg.withDefaults()}
 	s.orig = ev.Dep.ResolvedAnnouncements(ev.Engine.Topology())
 	s.cur = copyAnns(s.orig)
+	if reg := s.cfg.Metrics; reg != nil {
+		s.sobs = steerObs{
+			rounds:   reg.Counter("steer.rounds"),
+			trials:   reg.Counter("steer.trials"),
+			actions:  reg.Counter("steer.actions"),
+			tabuHits: reg.Counter("steer.tabu_hits"),
+			rewinds:  reg.Counter("steer.rewinds"),
+			excess:   reg.Gauge("steer.excess"),
+			perRound: reg.Histogram("steer.round.trials", obs.Pow2Bounds(3)),
+		}
+	}
 	return s
 }
 
@@ -162,10 +202,17 @@ func copyAnns(in map[netip.Prefix][]bgp.SiteAnnouncement) map[netip.Prefix][]bgp
 }
 
 // Reset re-announces the original configuration for every deployment
-// prefix, restoring routing state bit-identically.
+// prefix, restoring routing state bit-identically. Prefixes are restored
+// in sorted order so the engine's traced operation sequence is the same on
+// every run (map iteration order would leak into the trace otherwise).
 func (s *Steerer) Reset() error {
-	for p, anns := range s.orig {
-		if err := s.Eval.Engine.Announce(p, anns); err != nil {
+	prefixes := make([]netip.Prefix, 0, len(s.orig))
+	for p := range s.orig {
+		prefixes = append(prefixes, p)
+	}
+	slices.SortFunc(prefixes, func(a, b netip.Prefix) int { return strings.Compare(a.String(), b.String()) })
+	for _, p := range prefixes {
+		if err := s.Eval.Engine.Announce(p, s.orig[p]); err != nil {
 			return fmt.Errorf("traffic: reset %s: %w", p, err)
 		}
 	}
@@ -210,6 +257,8 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 	bestExcess := totalExcess(rep)
 	bestLen := 0
 	stall := 0
+	s.sobs.resolveSeq++
+	round := int64(0)
 	// Tabu memory: each exact transition is committed at most once per
 	// Resolve. Plateau acceptance would otherwise happily cycle a site
 	// between two prepend levels until the budget runs out.
@@ -224,15 +273,17 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		round++
+		s.sobs.rounds.Inc()
+		s.sobs.trials.Add(int64(len(cands)))
+		s.sobs.perRound.Observe(int64(len(cands)))
 		// Winner selection matches the serial walk exactly: the first
-		// strict minimum in candidate order. Trace lines are emitted here,
-		// after the round, in candidate order — not goroutine completion
-		// order.
+		// strict minimum in candidate order. Trial events (and the text
+		// lines rendered from them) are emitted here, after the round, in
+		// candidate order — not goroutine completion order.
 		best := -1
 		for i := range trials {
-			if s.cfg.Trace != nil {
-				fmt.Fprintf(s.cfg.Trace, "  trial %-40s exc %.3g\n", cands[i].String(), trials[i].exc)
-			}
+			s.traceTrial(round, int64(i), cands[i], trials[i].exc)
 			if best < 0 || trials[i].exc < trials[best].exc {
 				best = i
 			}
@@ -261,6 +312,9 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 		accepted[actionKey(act)] = true
 		res.Actions = append(res.Actions, *act)
 		exc := trials[best].exc
+		s.sobs.actions.Inc()
+		s.sobs.excess.Set(exc)
+		s.traceCommit(round, int64(best), act, exc)
 		rep = after
 		if exc < bestExcess-1e-9 {
 			bestExcess, bestLen, stall = exc, len(res.Actions), 0
@@ -291,6 +345,15 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 // committed actions: apply is deterministic, so the replay reconverges to
 // that intermediate state exactly.
 func (s *Steerer) rewindTo(res *SteeringResult, n int) error {
+	s.sobs.rewinds.Inc()
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Event{
+			Scope: "steer",
+			Name:  "rewind",
+			Clock: []obs.Coord{{Key: "resolve", V: s.sobs.resolveSeq}},
+			Attrs: []obs.Attr{obs.Int("keep", int64(n)), obs.Int("drop", int64(len(res.Actions) - n))},
+		})
+	}
 	if err := s.Reset(); err != nil {
 		return err
 	}
@@ -301,6 +364,44 @@ func (s *Steerer) rewindTo(res *SteeringResult, n int) error {
 		}
 	}
 	return nil
+}
+
+// traceTrial emits one candidate's trial outcome as a structured event and
+// renders the same event to the text Trace writer — the two streams carry
+// identical information, emitted from the serial Resolve loop in candidate
+// order.
+func (s *Steerer) traceTrial(round, idx int64, act *Action, exc float64) {
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Emit(obs.Event{
+			Scope: "steer",
+			Name:  "trial",
+			Clock: []obs.Coord{{Key: "resolve", V: s.sobs.resolveSeq}, {Key: "round", V: round}, {Key: "trial", V: idx}},
+			Attrs: []obs.Attr{obs.Str("action", act.String()), obs.Float("exc", exc)},
+		})
+	}
+	if s.cfg.Trace != nil {
+		fmt.Fprintf(s.cfg.Trace, "  trial %-40s exc %.3g\n", act.String(), exc)
+	}
+}
+
+// traceCommit marks the round's winning candidate after it was applied to
+// the real engine.
+func (s *Steerer) traceCommit(round, idx int64, act *Action, exc float64) {
+	if !s.cfg.Tracer.Enabled() {
+		return
+	}
+	s.cfg.Tracer.Emit(obs.Event{
+		Scope: "steer",
+		Name:  "commit",
+		Clock: []obs.Coord{{Key: "resolve", V: s.sobs.resolveSeq}, {Key: "round", V: round}, {Key: "trial", V: idx}},
+		Attrs: []obs.Attr{
+			obs.Str("action", act.String()),
+			obs.Float("exc", exc),
+			obs.Float("util_before", act.UtilBefore),
+			obs.Float("util_after", act.UtilAfter),
+			obs.Float("shed", act.ShedRate),
+		},
+	})
 }
 
 // trialOutcome is one candidate's measured effect.
@@ -431,12 +532,18 @@ func (s *Steerer) roundCands(rep *LoadReport, overloads []SiteLoad, tabu map[str
 				continue
 			}
 			any = true
-			if k := actionKey(l[depth]); !seen[k] && !tabu[k] {
-				seen[k] = true
-				out = append(out, l[depth])
-				if len(out) >= trialsPerRound {
-					break
-				}
+			k := actionKey(l[depth])
+			if seen[k] {
+				continue
+			}
+			if tabu[k] {
+				s.sobs.tabuHits.Inc()
+				continue
+			}
+			seen[k] = true
+			out = append(out, l[depth])
+			if len(out) >= trialsPerRound {
+				break
 			}
 		}
 		if !any {

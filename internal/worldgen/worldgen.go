@@ -17,6 +17,7 @@ import (
 	"anysim/internal/dnssim"
 	"anysim/internal/geodb"
 	"anysim/internal/netplan"
+	"anysim/internal/obs"
 	"anysim/internal/topo"
 )
 
@@ -39,6 +40,13 @@ type Config struct {
 	Topo topo.GenConfig
 	// Population overrides probe generation; zero fields take defaults.
 	Population atlas.PopulationConfig
+	// Metrics, when set, receives build-phase wall timings and is attached
+	// to the routing engine so announcement work during construction is
+	// already counted. Nil disables collection.
+	Metrics *obs.Registry
+	// Tracer, when set, receives build-phase spans and the engine's routing
+	// operation events. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // HostnameSets are the customer hostname populations of §4.2: per CDN, the
@@ -111,7 +119,15 @@ func New(cfg Config) (*World, error) {
 	}
 	w := &World{Config: cfg}
 
+	// Build phases are spanned for the trace and timed into wall gauges.
+	// Span indices are the phase numbers of the comments below.
+	span := func(i int64, name string) func(attrs ...obs.Attr) {
+		return obs.Span(cfg.Tracer, cfg.Metrics.WallGauge("worldgen.phase."+name+".ns"),
+			"worldgen", name, obs.Coord{Key: "phase", V: i})
+	}
+
 	// 1. Base topology.
+	done := span(1, "topology")
 	tcfg := cfg.Topo
 	tcfg.Seed = cfg.Seed
 	tp, err := topo.Generate(tcfg)
@@ -119,8 +135,10 @@ func New(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("worldgen: topology: %w", err)
 	}
 	w.Topo = tp
+	done(obs.Int("ases", int64(tp.NumASes())))
 
 	// 2. Content networks.
+	done = span(2, "cdns")
 	anycastAlloc := netplan.NewAllocator(netplan.AnycastBase)
 	asAlloc := netplan.NewAllocator(cdnASBase)
 	if w.Edgio, err = cdn.NewEdgio(tp, anycastAlloc, asAlloc, cfg.Seed); err != nil {
@@ -136,16 +154,22 @@ func New(cfg Config) (*World, error) {
 	if err := tp.Validate(); err != nil {
 		return nil, fmt.Errorf("worldgen: topology invalid: %w", err)
 	}
+	done()
 
-	// 3. Routing.
+	// 3. Routing. The engine is instrumented before the deployments
+	// announce, so construction-time convergence is already observed.
+	done = span(3, "routing")
 	w.Engine = bgp.NewEngine(tp)
+	w.Engine.Instrument(cfg.Metrics, cfg.Tracer)
 	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
 		if err := d.Announce(w.Engine); err != nil {
 			return nil, fmt.Errorf("worldgen: %w", err)
 		}
 	}
+	done()
 
 	// 4. Address plan and probes.
+	done = span(4, "probes")
 	if w.Addr, err = atlas.NewAddressing(tp, cfg.Seed); err != nil {
 		return nil, fmt.Errorf("worldgen: addressing: %w", err)
 	}
@@ -158,8 +182,10 @@ func New(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("worldgen: platform: %w", err)
 	}
 	w.Measurer = atlas.NewMeasurer(w.Engine, w.Addr, cfg.Seed)
+	done(obs.Int("probes", int64(len(w.Platform.Probes))))
 
 	// 5. Geolocation ground truth and databases.
+	done = span(5, "geodb")
 	w.Truth = &geodb.Truth{}
 	err = w.Addr.RegisterTruth(w.Truth, atlas.TruthConfig{TransitAddressedStubs: w.Platform.TransitAddressedStubs})
 	if err != nil {
@@ -175,12 +201,15 @@ func New(cfg Config) (*World, error) {
 	w.Route53DB = geodb.Build("route53-geo-sim", w.Truth, geodb.ErrorModel{
 		PCityWrong: 0.07, PCountryWrong: 0.012, PTransitHome: 0.15, PMiss: 0.01,
 	}, cfg.Seed+202)
+	done()
 
 	// 6. Authoritative DNS and customer hostnames.
+	done = span(6, "dns")
 	w.Auth = dnssim.NewAuthoritative()
 	if err := w.registerHostnames(); err != nil {
 		return nil, fmt.Errorf("worldgen: hostnames: %w", err)
 	}
+	done()
 	return w, nil
 }
 
@@ -270,11 +299,18 @@ func (w *World) DeploymentOfHostname(host string) *cdn.Deployment {
 // for per-area tail statistics to be meaningful, small enough to build in
 // well under a second.
 func Small(seed int64) (*World, error) {
-	return New(Config{
+	return New(SmallConfig(seed))
+}
+
+// SmallConfig returns the reduced-scale configuration Small builds, for
+// callers that need to adjust it (attach observability, tweak scale)
+// before construction.
+func SmallConfig(seed int64) Config {
+	return Config{
 		Seed:  seed,
 		Scale: 0.12,
 		Topo:  topo.GenConfig{NumTier1: 8, NumTier2: 90, NumStub: 1200, NumIXP: 20},
-	})
+	}
 }
 
 // Default builds the full-scale paper world with the canonical seed.

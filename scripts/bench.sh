@@ -4,10 +4,13 @@
 # Usage: scripts/bench.sh <n>
 #
 # Emits BENCH_<n>.json at the repo root: a JSON array of
-# {name, ns_per_op, allocs_per_op}, one entry per benchmark (including
-# sub-benchmarks). ReportMetric columns (e.g. dirty-ases, actions) are
-# ignored; fields are located by their "ns/op" / "allocs/op" unit tokens,
-# not by position.
+# {name, ns_per_op, allocs_per_op, metrics}, one entry per benchmark
+# (including sub-benchmarks). The metrics object carries every custom
+# ReportMetric column (dirty-ases, regional-p90-ms, …); fields are located
+# by their unit tokens, not by position. Also emits BENCH_<n>_obs.json: the
+# deterministic obs metrics snapshot of an instrumented small-world load
+# run, so shape metrics (reconvergence sizes, fork counts) are archived
+# next to the timings.
 #
 # The routing-core benchmarks run at the default benchtime; the whole-run
 # steering benchmarks are seconds-per-op, so they run at -benchtime=1x to
@@ -17,6 +20,7 @@ set -eu
 n="${1:?usage: scripts/bench.sh <n>}"
 cd "$(dirname "$0")/.."
 out="BENCH_${n}.json"
+obs_out="BENCH_${n}_obs.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -32,18 +36,27 @@ awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; extras = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ns/op")          { ns = $(i - 1); continue }
+        if ($i == "allocs/op")      { allocs = $(i - 1); continue }
+        if ($i == "B/op" || $i == "MB/s") continue
+        # Any other unit token preceded by a number is a ReportMetric column.
+        if (i > 2 && $i !~ /^[0-9.+-]/ && $(i - 1) ~ /^[0-9.+-]/) {
+            if (extras != "") extras = extras ", "
+            extras = extras "\"" $i "\": " $(i - 1)
+        }
     }
     if (ns == "") next
     if (allocs == "") allocs = "null"
     if (count++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", name, ns, allocs, extras
 }
 BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+go run ./cmd/anysim -small -metrics "$obs_out" load > /dev/null
+echo "wrote $obs_out"
