@@ -17,6 +17,9 @@
 package anysim
 
 import (
+	"io"
+	"net/netip"
+
 	"anysim/internal/atlas"
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
@@ -24,8 +27,10 @@ import (
 	"anysim/internal/dynamics"
 	"anysim/internal/experiments"
 	"anysim/internal/geo"
+	"anysim/internal/glass"
 	"anysim/internal/reopt"
 	"anysim/internal/sitemap"
+	"anysim/internal/topo"
 	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
 )
@@ -252,6 +257,53 @@ func NewSteerer(ev *LoadEvaluator, cfg SteeringConfig) *Steerer {
 func LoadPenaltyMs(utilization, softUtil float64) float64 {
 	return traffic.PenaltyMs(utilization, softUtil)
 }
+
+// Looking glass: route provenance and catchment diffs (extension X4).
+// Provenance recording must be on (Config.Provenance, or the engine's
+// SetProvenance plus re-announcement) for explanations to carry decision
+// records.
+type (
+	// RouteExplanation is one AS's provenance-justified decision chain to
+	// its serving site.
+	RouteExplanation = glass.Explanation
+	// CatchmentExplanation is one probe group's catchment with the paper's
+	// pathology classification.
+	CatchmentExplanation = glass.CatchmentExplanation
+	// CatchmentPathology is the inefficiency taxonomy (§2.1, §5.4).
+	CatchmentPathology = glass.Pathology
+	// CatchmentSet is a full captured catchment state, the input to diffs.
+	CatchmentSet = glass.CatchmentSet
+	// CatchmentDiff is the classified churn between two captures, with a
+	// cause attributed to every moved group.
+	CatchmentDiff = glass.DiffReport
+	// TraceDiff is the structural comparison of two JSONL trace runs.
+	TraceDiff = glass.TraceDiff
+)
+
+// ExplainRoute returns the decision chain from an AS to its serving site.
+func ExplainRoute(w *World, asn uint32, prefix netip.Prefix) (RouteExplanation, error) {
+	return glass.Explain(w.Engine, topo.ASN(asn), prefix)
+}
+
+// ExplainCatchment explains where a <city,AS> probe group (key "CITY|ASN")
+// of a deployment lands and why.
+func ExplainCatchment(w *World, dep *Deployment, group string) (CatchmentExplanation, error) {
+	return glass.ExplainCatchment(w.Engine, dep, w.Measurer, w.Platform.Retained(), group)
+}
+
+// CaptureCatchments snapshots every probe group's catchment of a deployment.
+func CaptureCatchments(w *World, dep *Deployment) (CatchmentSet, error) {
+	return glass.Capture(w.Engine, dep, w.Measurer, w.Platform.Retained())
+}
+
+// DiffCatchments attributes a cause to every group that moved between two
+// captures of the same deployment.
+func DiffCatchments(before, after CatchmentSet) (CatchmentDiff, error) {
+	return glass.Diff(before, after)
+}
+
+// DiffTraces compares two JSONL trace runs, refusing incompatible ones.
+func DiffTraces(a, b io.Reader) (TraceDiff, error) { return glass.DiffTraces(a, b) }
 
 // Experiments (every table and figure).
 type (

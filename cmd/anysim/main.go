@@ -13,12 +13,17 @@
 //	catchment <host>         per-area catchment-site histogram for a hostname
 //	probe <groupKey> <host>  one probe group's DNS answers, pings, traceroute
 //	routes <asn> <vip>       an AS's selected routes toward a VIP's prefix
+//	explain [-json] ...      looking glass: the provenance-justified decision
+//	                         chain for -asn/-prefix or a probe -group
+//	diff [-json] <a> <b>     compare two JSONL trace runs (no world built)
 //	scenario <file>          replay a fault scenario (see -dep) step by step
 //	load [bucket]            per-site demand and utilization (see -dep)
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 routing
 // non-termination (the scenario drove the BGP solver past its iteration
-// bound — a policy-dispute configuration, not a crash).
+// bound — a policy-dispute configuration, not a crash). diff exits 1 when
+// the event streams diverge, so scripts can gate on reproducibility. A
+// failing -tracefile sink also exits 1: a partial trace is a failed run.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 	"anysim/internal/cdn"
 	"anysim/internal/dynamics"
 	"anysim/internal/geo"
+	"anysim/internal/glass"
 	"anysim/internal/obs"
 	"anysim/internal/topo"
 	"anysim/internal/traffic"
@@ -89,25 +95,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	// Validate argument counts before paying for world construction.
-	wantArgs := map[string][]int{
-		"deployments": {1}, "catchment": {2}, "probe": {3},
-		"routes": {3}, "scenario": {2}, "load": {1, 2},
+	// diff compares two already-written traces: no world is built, so it is
+	// dispatched before any of the expensive setup below.
+	if fs.Arg(0) == "diff" {
+		return diffCmd(fs.Args()[1:], stdout, stderr)
 	}
-	want, ok := wantArgs[fs.Arg(0)]
-	if !ok {
-		usage(stderr)
-		return exitUsage
-	}
-	okCount := false
-	for _, n := range want {
-		if fs.NArg() == n {
-			okCount = true
+
+	// explain has its own flags; parse them now so mistakes are fast usage
+	// errors and so the world build below can enable provenance recording.
+	var exp *explainArgs
+	if fs.Arg(0) == "explain" {
+		var code int
+		if exp, code = parseExplain(fs.Args()[1:], stderr); exp == nil {
+			return code
 		}
-	}
-	if !okCount {
-		usage(stderr)
-		return exitUsage
+	} else {
+		// Validate argument counts before paying for world construction.
+		wantArgs := map[string][]int{
+			"deployments": {1}, "catchment": {2}, "probe": {3},
+			"routes": {3}, "scenario": {2}, "load": {1, 2},
+		}
+		want, ok := wantArgs[fs.Arg(0)]
+		if !ok {
+			usage(stderr)
+			return exitUsage
+		}
+		okCount := false
+		for _, n := range want {
+			if fs.NArg() == n {
+				okCount = true
+			}
+		}
+		if !okCount {
+			usage(stderr)
+			return exitUsage
+		}
 	}
 	bucket := -1
 	if fs.Arg(0) == "load" && fs.NArg() == 2 {
@@ -169,6 +191,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	wcfg.Metrics = reg
 	wcfg.Tracer = tracer
+	// The looking glass needs the engine's decision record.
+	wcfg.Provenance = exp != nil
 	w, err = worldgen.New(wcfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
@@ -215,6 +239,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = probe(stdout, w, fs.Arg(1), fs.Arg(2))
 	case "routes":
 		err = routes(stdout, w, fs.Arg(1), fs.Arg(2))
+	case "explain":
+		err = explain(stdout, w, *dep, exp)
 	case "scenario":
 		err = scenario(stdout, w, *dep, fs.Arg(1), reg, tracer)
 	case "load":
@@ -231,8 +257,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if terr := tracer.Err(); terr != nil {
-		fmt.Fprintf(stderr, "anysim: tracefile: %v\n", terr)
+	// Close surfaces the first sink error: a trace that silently lost
+	// events would poison later `anysim diff` comparisons, so a failed sink
+	// fails the run.
+	if terr := tracer.Close(); terr != nil {
+		fmt.Fprintf(stderr, "anysim: tracefile: %v (%d events dropped; trace is incomplete)\n",
+			terr, tracer.Dropped())
 		if err == nil {
 			return exitError
 		}
@@ -415,6 +445,134 @@ func routes(out io.Writer, w *worldgen.World, asnStr, vipStr string) error {
 	return nil
 }
 
+// explainArgs are the parsed flags of the explain subcommand.
+type explainArgs struct {
+	asn    uint64
+	prefix string
+	group  string
+	json   bool
+}
+
+// parseExplain parses the explain subcommand's flags. It returns nil and an
+// exit code on error.
+func parseExplain(args []string, stderr io.Writer) (*explainArgs, int) {
+	efs := flag.NewFlagSet("anysim explain", flag.ContinueOnError)
+	efs.SetOutput(stderr)
+	var ea explainArgs
+	efs.Uint64Var(&ea.asn, "asn", 0, "AS to explain (with -prefix)")
+	efs.StringVar(&ea.prefix, "prefix", "", "anycast prefix or VIP address (with -asn)")
+	efs.StringVar(&ea.group, "group", "", "probe group key CITY|ASN to explain the catchment of (uses -dep)")
+	efs.BoolVar(&ea.json, "json", false, "render stable-key JSON instead of text")
+	if err := efs.Parse(args); err != nil {
+		return nil, exitUsage
+	}
+	byGroup := ea.group != ""
+	byRoute := ea.asn != 0 || ea.prefix != ""
+	if efs.NArg() != 0 || byGroup == byRoute || (byRoute && (ea.asn == 0 || ea.prefix == "")) {
+		fmt.Fprintln(stderr, "usage: anysim explain [-json] -group CITY|ASN\n       anysim explain [-json] -asn N -prefix P")
+		return nil, exitUsage
+	}
+	return &ea, exitOK
+}
+
+// explain runs the looking glass: either one AS's decision chain toward a
+// prefix (-asn/-prefix) or a probe group's full catchment explanation with
+// pathology class (-group).
+func explain(out io.Writer, w *worldgen.World, depName string, ea *explainArgs) error {
+	if ea.group != "" {
+		d, err := deploymentByName(w, depName)
+		if err != nil {
+			return err
+		}
+		ce, err := glass.ExplainCatchment(w.Engine, d, w.Measurer, w.Platform.Retained(), ea.group)
+		if err != nil {
+			return err
+		}
+		return renderGlass(out, ce, ce.Text, ea.json)
+	}
+	prefix, err := resolvePrefix(w, ea.prefix)
+	if err != nil {
+		return err
+	}
+	e, err := glass.Explain(w.Engine, topo.ASN(ea.asn), prefix)
+	if err != nil {
+		return err
+	}
+	return renderGlass(out, e, e.Text, ea.json)
+}
+
+// renderGlass writes a glass value as JSON or via its text renderer.
+func renderGlass(out io.Writer, v any, text func() string, jsonOut bool) error {
+	if jsonOut {
+		s, err := glass.JSON(v)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(out, s)
+		return err
+	}
+	_, err := io.WriteString(out, text())
+	return err
+}
+
+// resolvePrefix accepts an announced prefix or a bare VIP address.
+func resolvePrefix(w *worldgen.World, s string) (netip.Prefix, error) {
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return p, nil
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("bad prefix or address %q", s)
+	}
+	for _, p := range w.Engine.Prefixes() {
+		if p.Contains(addr) {
+			return p, nil
+		}
+	}
+	return netip.Prefix{}, fmt.Errorf("%v is not inside any announced prefix", addr)
+}
+
+// diffCmd compares two JSONL trace files. It needs no world: the traces
+// carry their own identity (schema, seed, world hash) in the header line,
+// and incomparable runs are refused. Diverging event streams exit nonzero.
+func diffCmd(args []string, stdout, stderr io.Writer) int {
+	dfs := flag.NewFlagSet("anysim diff", flag.ContinueOnError)
+	dfs.SetOutput(stderr)
+	jsonOut := dfs.Bool("json", false, "render stable-key JSON instead of text")
+	if err := dfs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if dfs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: anysim diff [-json] <traceA> <traceB>")
+		return exitUsage
+	}
+	fa, err := os.Open(dfs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	defer fa.Close()
+	fb, err := os.Open(dfs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	defer fb.Close()
+	d, err := glass.DiffTraces(fa, fb)
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	if err := renderGlass(stdout, d, d.Text, *jsonOut); err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	if !d.Identical {
+		return exitError
+	}
+	return exitOK
+}
+
 // deploymentByName resolves the -dep flag.
 func deploymentByName(w *worldgen.World, name string) (*cdn.Deployment, error) {
 	deps := map[string]*cdn.Deployment{
@@ -550,6 +708,12 @@ func usage(out io.Writer) {
   catchment <host>         per-area catchment histogram for a hostname
   probe <groupKey> <host>  one probe group's measurements (key: CITY|ASN)
   routes <asn> <vip>       an AS's selected routes toward a VIP
+  explain [-json] -asn N -prefix P | -group CITY|ASN
+                           looking glass: the provenance-justified decision
+                           chain (per-AS, or a probe group's catchment with
+                           pathology class against -dep)
+  diff [-json] <a> <b>     compare two JSONL traces; refuses incompatible
+                           runs, exits 1 when the event streams diverge
   scenario <file>          replay a fault scenario against -dep (default im6)
   load [bucket]            per-site demand and utilization for -dep
                            (default: the peak bucket)

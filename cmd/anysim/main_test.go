@@ -12,22 +12,23 @@ import (
 	"testing"
 
 	"anysim/internal/bgp"
+	"anysim/internal/worldgen"
 )
 
 // TestRunUsageErrors checks that flag and argument mistakes exit with the
 // usage code before any world is built (these must all return instantly).
 func TestRunUsageErrors(t *testing.T) {
 	cases := [][]string{
-		{},                      // no subcommand
-		{"-bogusflag"},          // unknown flag
-		{"frobnicate"},          // unknown subcommand
-		{"catchment"},           // missing argument
-		{"probe", "FRA|1"},      // missing argument
+		{},                             // no subcommand
+		{"-bogusflag"},                 // unknown flag
+		{"frobnicate"},                 // unknown subcommand
+		{"catchment"},                  // missing argument
+		{"probe", "FRA|1"},             // missing argument
 		{"routes", "1", "2", "3", "4"}, // too many arguments
-		{"scenario"},            // missing file
-		{"load", "nine"},        // non-numeric bucket
-		{"load", "-3"},          // negative bucket
-		{"load", "0", "extra"},  // too many arguments
+		{"scenario"},                   // missing file
+		{"load", "nine"},               // non-numeric bucket
+		{"load", "-3"},                 // negative bucket
+		{"load", "0", "extra"},         // too many arguments
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer
@@ -196,6 +197,140 @@ func TestRunSubcommands(t *testing.T) {
 		}
 		if !sawStep {
 			t.Errorf("trace has no dynamics step event:\n%s", tr)
+		}
+	})
+
+	// The explain tests need a real probe group and a prefix its country maps
+	// to; discover them from an identically-seeded world.
+	w, err := worldgen.Small(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := w.Platform.Retained()[0]
+	region, ok := w.Imperva.IM6.RegionForCountry(probe.Country)
+	if !ok {
+		t.Fatalf("probe country %s maps no IM6 region", probe.Country)
+	}
+
+	t.Run("explain-route", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "explain",
+			"-asn", fmt.Sprint(uint32(probe.ASN)), "-prefix", region.VIP.String())
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "hop 0") || !strings.Contains(out.String(), "via ") {
+			t.Errorf("explain output missing decision chain: %s", out.String())
+		}
+		// Rerun byte-identity: the looking glass is deterministic.
+		var out2, errOut2 bytes.Buffer
+		if code := run(args, &out2, &errOut2); code != exitOK {
+			t.Fatalf("rerun exit %d, stderr: %s", code, errOut2.String())
+		}
+		if out.String() != out2.String() {
+			t.Error("explain output differs across reruns")
+		}
+	})
+
+	t.Run("explain-group-json", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		group := probe.GroupKey()
+		args := append(append([]string(nil), base...), "explain", "-json", "-group", group)
+		if code := run(args, &out, &errOut); code != exitOK {
+			t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+		}
+		var decoded struct {
+			Group string `json:"group"`
+			Class string `json:"class"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+			t.Fatalf("explain -json is not valid JSON: %v\n%s", err, out.String())
+		}
+		if decoded.Group != group || decoded.Class == "" {
+			t.Errorf("explain -json missing group/class: %s", out.String())
+		}
+	})
+
+	t.Run("explain-usage", func(t *testing.T) {
+		for _, args := range [][]string{
+			{"explain"},              // no selector
+			{"explain", "-asn", "1"}, // -asn without -prefix
+			{"explain", "-group", "FRA|1", "-asn", "1", "-prefix", "198.18.0.1"}, // both
+			{"explain", "-group", "FRA|1", "extra"},                              // stray arg
+		} {
+			var out, errOut bytes.Buffer
+			if code := run(append(append([]string(nil), base...), args...), &out, &errOut); code != exitUsage {
+				t.Errorf("run(%q) = %d, want usage exit %d", args, code, exitUsage)
+			}
+		}
+	})
+
+	t.Run("diff-traces", func(t *testing.T) {
+		dir := t.TempDir()
+		file := filepath.Join(dir, "s.txt")
+		if err := os.WriteFile(file, []byte("scenario d\nat 1 site-down fra\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mkTrace := func(name string, seed string) string {
+			path := filepath.Join(dir, name)
+			var out, errOut bytes.Buffer
+			args := []string{"-small", "-seed", seed, "-tracefile", path, "scenario", file}
+			if code := run(args, &out, &errOut); code != exitOK {
+				t.Fatalf("trace run exit %d, stderr: %s", code, errOut.String())
+			}
+			return path
+		}
+		a := mkTrace("a.jsonl", "7")
+		b := mkTrace("b.jsonl", "7")
+		other := mkTrace("c.jsonl", "8")
+
+		var out, errOut bytes.Buffer
+		if code := run([]string{"diff", a, b}, &out, &errOut); code != exitOK {
+			t.Fatalf("identical traces: exit %d, stderr: %s", code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "byte-identical") {
+			t.Errorf("diff output missing identity line: %s", out.String())
+		}
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{"diff", a, other}, &out, &errOut); code != exitError {
+			t.Fatalf("incompatible traces: exit %d, want %d", code, exitError)
+		}
+		if !strings.Contains(errOut.String(), "incomparable") {
+			t.Errorf("stderr missing incomparability reason: %s", errOut.String())
+		}
+		// -json renders a machine-readable report.
+		out.Reset()
+		errOut.Reset()
+		if code := run([]string{"diff", "-json", a, b}, &out, &errOut); code != exitOK {
+			t.Fatalf("diff -json exit %d, stderr: %s", code, errOut.String())
+		}
+		var decoded struct {
+			Identical bool `json:"identical"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &decoded); err != nil || !decoded.Identical {
+			t.Errorf("diff -json not identical/valid (%v): %s", err, out.String())
+		}
+		// Usage errors need no files.
+		if code := run([]string{"diff", a}, &out, &errOut); code != exitUsage {
+			t.Errorf("diff with one file: exit %d, want %d", code, exitUsage)
+		}
+		if code := run([]string{"diff", a, "/nonexistent/b.jsonl"}, &out, &errOut); code != exitError {
+			t.Errorf("diff with missing file: exit %d, want %d", code, exitError)
+		}
+	})
+
+	t.Run("tracefile-sink-failure", func(t *testing.T) {
+		if _, err := os.Stat("/dev/full"); err != nil {
+			t.Skip("/dev/full not available")
+		}
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "-tracefile", "/dev/full", "deployments")
+		if code := run(args, &out, &errOut); code != exitError {
+			t.Fatalf("exit %d, want %d (failed trace sink must fail the run)", code, exitError)
+		}
+		if !strings.Contains(errOut.String(), "dropped") {
+			t.Errorf("stderr missing dropped-event report: %s", errOut.String())
 		}
 	})
 

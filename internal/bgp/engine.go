@@ -57,6 +57,12 @@ type Engine struct {
 	// (prefix, site), the ASes the last withdraw/restore of that site
 	// touched, used to pre-seed the next operation on the same site.
 	hints map[netip.Prefix]map[string]*asBits
+	// provOn enables decision-provenance recording (see prov.go); prov
+	// holds one dense per-rank Provenance table per prefix, parallel to
+	// ribs, immutable once installed. nil when provenance is off so the
+	// off path never pays for the feature.
+	provOn bool
+	prov   map[netip.Prefix]provTable
 }
 
 // ribTable is one prefix's converged routing state: the per-AS RIB, indexed
@@ -174,6 +180,7 @@ func (e *Engine) Withdraw(p netip.Prefix) {
 	delete(e.ribs, p)
 	delete(e.anns, p)
 	delete(e.hints, p)
+	delete(e.prov, p)
 	e.mu.Unlock()
 	e.eobs.withdraws.Inc()
 	e.traceOp("withdraw", p, ReconvergeStats{})
@@ -212,12 +219,12 @@ func (e *Engine) Announce(prefix netip.Prefix, anns []SiteAnnouncement) error {
 		siteIDs[a.Site] = true
 	}
 
-	ribs, err := e.converge(prefix, anns, nil)
+	ribs, prov, err := e.converge(prefix, anns, nil)
 	if err != nil {
 		return err
 	}
 	st := ReconvergeStats{Dirty: ribs.populated(), Passes: 1, Full: true}
-	e.install(prefix, anns, ribs, st)
+	e.install(prefix, anns, ribs, prov, st)
 	e.eobs.announces.Inc()
 	e.eobs.dirty.Observe(int64(st.Dirty))
 	e.traceOp("announce", prefix, st)
@@ -253,11 +260,19 @@ func (e *Engine) validateAnn(prefix netip.Prefix, a SiteAnnouncement) error {
 	return nil
 }
 
-// install publishes a converged routing table for a prefix.
-func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs ribTable, st ReconvergeStats) {
+// install publishes a converged routing table for a prefix, with its
+// provenance table when provenance is on (a nil prov installs an empty
+// table, the state of a dark prefix).
+func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs ribTable, prov provTable, st ReconvergeStats) {
 	e.mu.Lock()
 	e.ribs[prefix] = ribs
 	e.anns[prefix] = append([]SiteAnnouncement(nil), anns...)
+	if e.provOn {
+		if prov == nil {
+			prov = make(provTable, e.n)
+		}
+		e.prov[prefix] = prov
+	}
 	e.lastStats = st
 	e.mu.Unlock()
 }
@@ -266,10 +281,12 @@ func (e *Engine) install(prefix netip.Prefix, anns []SiteAnnouncement, ribs ribT
 // reconvergence. dirty lists the ASes whose RIBs must be recomputed; old
 // holds the previous table, carried over untouched for clean ASes and used
 // as the source of boundary exports into the dirty region. A nil scope
-// recomputes every AS.
+// recomputes every AS. oldProv is the previous provenance table (nil when
+// provenance is off), carried over for clean ASes the same way.
 type convergeScope struct {
-	dirty *asBits
-	old   ribTable
+	dirty   *asBits
+	old     ribTable
+	oldProv provTable
 }
 
 // isDirty reports whether AS index i must be recomputed; with no scope every
@@ -284,7 +301,17 @@ func (sc *convergeScope) isDirty(i int) bool {
 // computation delivers them: in phases 1 and 3 an offer's arrival round
 // equals its AS-path length, so boundary exports can be scheduled exactly.
 // Links disabled via Topology.SetLinkEnabled carry no offers in any phase.
-func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *convergeScope) (ribTable, error) {
+//
+// With provenance on, a recorder captures the best rejected offer per
+// (AS, class) at every point an offer is suppressed or capped out; the
+// returned provTable pairs each recomputed AS's selection with its
+// runner-up. With provenance off, pr stays nil, every capture site is a
+// single branch, and the returned provTable is nil.
+func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *convergeScope) (ribTable, provTable, error) {
+	var pr *provRecorder
+	if e.provOn {
+		pr = newProvRecorder(e.n)
+	}
 	links := e.topo.Links()
 	ribs := make(ribTable, e.n)
 	if sc != nil {
@@ -426,7 +453,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	round := 1
 	for ; len(pending) > 0 || round <= maxRound; round++ {
 		if round > e.n+1 {
-			return nil, &NonTerminationError{Prefix: prefix, Phase: 1, Iterations: round}
+			return nil, nil, &NonTerminationError{Prefix: prefix, Phase: 1, Iterations: round}
 		}
 		for i, offers := range sched1[round] {
 			pending[i] = append(pending[i], offers...)
@@ -435,10 +462,13 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		frontier := make([]int, 0, len(pending))
 		for i, routes := range pending {
 			if hasOrigin(ribs[i]) || finalizedCust[i] {
+				pr.dropRoutes(i, routes) // arrived after the AS settled: lost
 				continue
 			}
 			cap, arb := e.capFor(e.byIdx[i])
-			getRIB(i).classes[FromCustomer] = capClass(routes, cap, arb)
+			kept := capClass(routes, cap, arb)
+			getRIB(i).classes[FromCustomer] = kept
+			pr.dropMissing(i, routes, kept)
 			finalizedCust[i] = true
 			frontier = append(frontier, i)
 		}
@@ -457,6 +487,13 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				}
 				pi := int(e.linkB[li])
 				if !sc.isDirty(pi) || finalizedCust[pi] || hasOrigin(ribs[pi]) {
+					// A dirty receiver that already settled still *heard*
+					// this export; record it as dropped so its runner-up
+					// reflects the full offer stream. Clean receivers keep
+					// their carried-over provenance instead.
+					if pr != nil && sc.isDirty(pi) {
+						pr.dropRoutes(pi, e.export(asn, set, l, l.B))
+					}
 					continue
 				}
 				for _, nr := range e.export(asn, set, l, l.B) {
@@ -512,6 +549,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	}
 	for i, offers := range peerOffers {
 		if hasOrigin(ribs[i]) {
+			pr.dropRoutes(i, offers) // origins never import peer routes
 			continue
 		}
 		var pub, rs []Route
@@ -527,6 +565,8 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		rb := getRIB(i)
 		rb.classes[FromPublicPeer] = capClass(pub, cap, arb)
 		rb.classes[FromRSPeer] = capClass(rs, cap, arb)
+		pr.dropMissing(i, pub, rb.classes[FromPublicPeer])
+		pr.dropMissing(i, rs, rb.classes[FromRSPeer])
 	}
 
 	// Phase 3: selected routes descend provider->customer edges
@@ -588,12 +628,14 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 	for _, o := range provSeeds {
 		if !finalized[o.to] {
 			provPending[o.to] = append(provPending[o.to], o.r)
+		} else if pr != nil {
+			pr.drop(o.to, o.r)
 		}
 	}
 	ln := 0
 	for ; ln <= maxLen || len(provPending) > 0; ln++ {
 		if ln > e.n {
-			return nil, &NonTerminationError{Prefix: prefix, Phase: 3, Iterations: ln}
+			return nil, nil, &NonTerminationError{Prefix: prefix, Phase: 3, Iterations: ln}
 		}
 		// Finalize ASes whose cheapest provider offers have length ln.
 		var newly []int
@@ -614,7 +656,9 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				}
 			}
 			cap, arb := e.capFor(e.byIdx[i])
-			getRIB(i).classes[FromProvider] = capClass(keep, cap, arb)
+			kept := capClass(keep, cap, arb)
+			getRIB(i).classes[FromProvider] = kept
+			pr.dropMissing(i, offers, kept)
 			finalized[i] = true
 			newly = append(newly, i)
 		}
@@ -641,6 +685,9 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				}
 				ci := int(e.linkA[li])
 				if !sc.isDirty(ci) || finalized[ci] {
+					if pr != nil && sc.isDirty(ci) {
+						pr.dropRoutes(ci, e.export(asn, set, l, l.A))
+					}
 					continue
 				}
 				provPending[ci] = append(provPending[ci], e.export(asn, set, l, l.A)...)
@@ -651,6 +698,10 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 			l := links[li]
 			ci, pi := e.linkEnds(li)
 			if finalized[ci] {
+				if pr != nil {
+					_, set, _ := sc.old[pi].best()
+					pr.dropRoutes(ci, e.export(l.B, set, l, l.A))
+				}
 				continue
 			}
 			_, set, _ := sc.old[pi].best()
@@ -659,7 +710,11 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 		delete(sched3, ln)
 	}
 	e.eobs.p3levels.Observe(int64(ln))
-	return ribs, nil
+	var prov provTable
+	if pr != nil {
+		prov = e.buildProvTable(ribs, sc, pr)
+	}
+	return ribs, prov, nil
 }
 
 // ArbitraryTieBreakFraction is the share of non-tier-1 ASes whose

@@ -64,6 +64,14 @@ func (e *Engine) Fork() *Engine {
 		f.hints[p] = maps.Clone(m)
 		cow += len(m)
 	}
+	// Provenance tables are immutable once installed, so the fork shares
+	// them like ribs. The map stays nil with provenance off, keeping the
+	// fork's allocation count unchanged for engines that never enabled it.
+	f.provOn = e.provOn
+	if e.prov != nil {
+		f.prov = maps.Clone(e.prov)
+		cow += len(e.prov)
+	}
 	e.eobs.forks.Inc()
 	e.eobs.forkCOW.Add(int64(cow))
 	return f

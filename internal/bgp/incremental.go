@@ -92,7 +92,7 @@ func (e *Engine) WithdrawSite(prefix netip.Prefix, siteID string) error {
 		// The prefix goes dark: keep the (empty) announcement entry so a
 		// later AnnounceSite can restore it, but drop all routing state.
 		st := ReconvergeStats{Dirty: old.populated(), Passes: 1}
-		e.install(prefix, newAnns, make(ribTable, e.n), st)
+		e.install(prefix, newAnns, make(ribTable, e.n), nil, st)
 		e.eobs.dirty.Observe(int64(st.Dirty))
 		e.traceOp("withdraw-site", prefix, st)
 		return nil
@@ -250,34 +250,35 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ribTable, seed *asBits) (*asBits, error) {
 	limit := e.n * 3 / 4
 	cur := old
+	curProv := e.provFor(prefix)
 	delta := seed
 	touched := seed.clone()
 	passes := 0
 	for delta.len() > 0 {
 		passes++
 		if touched.len() > limit || passes > e.n {
-			ribs, err := e.converge(prefix, anns, nil)
+			ribs, prov, err := e.converge(prefix, anns, nil)
 			if err != nil {
 				return nil, err
 			}
 			st := ReconvergeStats{Dirty: e.n, Passes: passes, Full: true}
-			e.install(prefix, anns, ribs, st)
+			e.install(prefix, anns, ribs, prov, st)
 			e.eobs.fulls.Inc()
 			e.eobs.dirty.Observe(int64(st.Dirty))
 			e.eobs.passes.Observe(int64(st.Passes))
 			return nil, nil
 		}
 		e.eobs.frontier.Observe(int64(delta.len()))
-		ribs, err := e.converge(prefix, anns, &convergeScope{dirty: delta, old: cur})
+		ribs, prov, err := e.converge(prefix, anns, &convergeScope{dirty: delta, old: cur, oldProv: curProv})
 		if err != nil {
 			return nil, err
 		}
 		delta = e.spill(ribs, cur, delta)
-		cur = ribs
+		cur, curProv = ribs, prov
 		touched.or(delta)
 	}
 	st := ReconvergeStats{Dirty: touched.len(), Passes: passes}
-	e.install(prefix, anns, cur, st)
+	e.install(prefix, anns, cur, curProv, st)
 	e.eobs.dirty.Observe(int64(st.Dirty))
 	e.eobs.passes.Observe(int64(st.Passes))
 	return touched, nil

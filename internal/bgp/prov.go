@@ -1,0 +1,322 @@
+package bgp
+
+// Route provenance: the decision-level record behind each installed route.
+//
+// With provenance enabled the engine records, per (prefix, AS), not just the
+// selected route set but *why* it won: the policy step that decided the
+// selection (local-pref class, AS-path length, or the equal-preference
+// tie-break), the most competitive route that lost, and the step at which it
+// lost. internal/glass layers the looking-glass and catchment-diff analyses
+// on top of this record.
+//
+// Storage mirrors the rib layout: one dense per-rank provTable per prefix,
+// parallel to the ribTable, immutable once installed. Fork shallow-copies
+// the per-prefix map exactly like ribs, so provenance survives COW forks.
+//
+// The provenance-off path stays allocation-identical to an engine without
+// the feature: every recording site is gated on a nil *provRecorder (or
+// e.provOn) before any event is materialised, and the off path never touches
+// the prov map. BenchmarkAnnounceProvenance pins this.
+//
+// Determinism. A provTable is a pure function of (topology, announcement
+// set): winners come from the deterministic converge result, and the
+// runner-up per class is the *minimum* dropped route under (path length,
+// routeCmp) — a min over a set, independent of offer arrival and iteration
+// order. Incremental reconvergence carries clean ASes' provenance entries
+// over by value, which is sound for the same reason carrying their ribs is:
+// at the worklist fixed point no changed export crosses into a clean AS, so
+// a clean AS's full incoming offer stream — including the offers it
+// dropped — is identical to the one a full recompute would deliver.
+// prov_test.go property-tests both equivalences (incremental vs full,
+// fork+apply vs serial apply) bit for bit.
+
+import (
+	"fmt"
+	"net/netip"
+
+	"anysim/internal/topo"
+)
+
+// DecisionStep identifies the policy step that decided a route selection —
+// the first comparison at which the runner-up lost.
+type DecisionStep uint8
+
+// Decision steps, in BGP decision-process order.
+const (
+	// StepOnlyRoute: the AS heard no competing route at all.
+	StepOnlyRoute DecisionStep = iota
+	// StepLocalPref: the runner-up was in a less-preferred relationship
+	// class (customer > public peer > rs peer > provider).
+	StepLocalPref
+	// StepPathLen: same class, but the runner-up's AS path was longer.
+	StepPathLen
+	// StepTieBreak: same class and path length; the operator's neighbour
+	// ranking (nearest-downstream or router-ID order) or hot-potato egress
+	// decided.
+	StepTieBreak
+)
+
+var stepNames = map[DecisionStep]string{
+	StepOnlyRoute: "only-route",
+	StepLocalPref: "local-pref",
+	StepPathLen:   "path-len",
+	StepTieBreak:  "tie-break",
+}
+
+// String returns a short step name.
+func (s DecisionStep) String() string {
+	if n, ok := stepNames[s]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Provenance is the decision record of one AS's route selection for one
+// prefix. Winner is the representative selected route (the routeCmp-least
+// retained route of the winning class); RunnerUp, when present, is the most
+// competitive route that lost, and Step is the comparison that rejected it.
+type Provenance struct {
+	// Valid reports that the AS holds routing state for the prefix.
+	Valid bool
+	// WinnerClass is the import edge class of the selected routes.
+	WinnerClass RelClass
+	// Step is the decision step that settled the selection.
+	Step DecisionStep
+	// Winner is the representative selected route.
+	Winner Route
+	// HasRunnerUp reports whether any competing route existed.
+	HasRunnerUp bool
+	// RunnerUp is the best losing route; RunnerClass is its import class.
+	RunnerUp    Route
+	RunnerClass RelClass
+	// AltInClass is the number of retained equally-preferred routes (the
+	// hot-potato egress breadth of the winning class).
+	AltInClass int
+	// Arbitrary is the operator's tie-break trait: true for geography-blind
+	// (router-ID style) neighbour ranking.
+	Arbitrary bool
+}
+
+// provTable is one prefix's per-AS provenance, indexed by dense AS rank,
+// parallel to the ribTable. Immutable once installed.
+type provTable []Provenance
+
+// provRecorder accumulates the best dropped route per (AS, class) during one
+// converge call. It exists only when provenance is enabled; every method is
+// nil-safe so call sites stay branch-only on the off path.
+type provRecorder struct {
+	// drops is dense: index i*(FromProvider+1)+class.
+	drops []dropSlot
+}
+
+type dropSlot struct {
+	r  Route
+	ok bool
+}
+
+func newProvRecorder(n int) *provRecorder {
+	return &provRecorder{drops: make([]dropSlot, n*int(FromProvider+1))}
+}
+
+// dropBetter orders dropped routes: shorter AS path first, then routeCmp.
+// A min under this order is independent of recording order.
+func dropBetter(a, b Route) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	return routeLess(a, b)
+}
+
+// drop records one rejected route offer for AS index i.
+func (p *provRecorder) drop(i int, r Route) {
+	s := &p.drops[i*int(FromProvider+1)+int(r.Rel)]
+	if !s.ok || dropBetter(r, s.r) {
+		s.r, s.ok = r, true
+	}
+}
+
+// dropRoutes records a batch of rejected offers.
+func (p *provRecorder) dropRoutes(i int, routes []Route) {
+	if p == nil {
+		return
+	}
+	for _, r := range routes {
+		p.drop(i, r)
+	}
+}
+
+// dropMissing records every offered route that did not survive capClass.
+// Candidate sets are small, so the quadratic membership scan is cheap — and
+// it only ever runs with provenance on.
+func (p *provRecorder) dropMissing(i int, offered, kept []Route) {
+	if p == nil {
+		return
+	}
+	for _, r := range offered {
+		retained := false
+		for _, k := range kept {
+			if routeEqual(r, k) {
+				retained = true
+				break
+			}
+		}
+		if !retained {
+			p.drop(i, r)
+		}
+	}
+}
+
+// dropOf returns the best dropped route of a class for AS index i.
+func (p *provRecorder) dropOf(i int, c RelClass) (Route, bool) {
+	s := p.drops[i*int(FromProvider+1)+int(c)]
+	return s.r, s.ok
+}
+
+// buildProv derives one AS's provenance from its converged rib and the
+// offers it dropped. The runner-up is chosen by decision-process order: a
+// same-class equal-length alternative (retained or dropped) loses at the
+// tie-break; a same-class longer route loses at path length; the best route
+// of the next non-empty class loses at local-pref.
+func (e *Engine) buildProv(i int, rb *rib, pr *provRecorder) Provenance {
+	cls, set, ok := rb.best()
+	if !ok {
+		return Provenance{}
+	}
+	_, arb := e.capFor(e.byIdx[i])
+	p := Provenance{
+		Valid:       true,
+		WinnerClass: cls,
+		Winner:      set[0],
+		AltInClass:  len(set),
+		Arbitrary:   arb,
+	}
+	// Tie-break runner-up: the best same-class equal-length competitor,
+	// whether it was retained alongside the winner or capped out.
+	var ru Route
+	has := false
+	if len(set) > 1 {
+		ru, has = set[1], true
+	}
+	if d, okD := pr.dropOf(i, cls); okD && d.Len() == set[0].Len() {
+		if !has || routeLess(d, ru) {
+			ru, has = d, true
+		}
+	}
+	if has {
+		p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = ru, cls, true, StepTieBreak
+		return p
+	}
+	if d, okD := pr.dropOf(i, cls); okD {
+		p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = d, cls, true, StepPathLen
+		return p
+	}
+	for c := cls + 1; c <= FromProvider; c++ {
+		if alts := rb.classes[c]; len(alts) > 0 {
+			p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = alts[0], c, true, StepLocalPref
+			return p
+		}
+		if d, okD := pr.dropOf(i, c); okD {
+			p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = d, c, true, StepLocalPref
+			return p
+		}
+	}
+	p.Step = StepOnlyRoute
+	return p
+}
+
+// EngineConfig parameterises engine construction. The zero value matches
+// NewEngine.
+type EngineConfig struct {
+	// Provenance enables decision-provenance recording: every converge
+	// stores a per-AS Provenance table alongside the rib table. Off by
+	// default; the off path is allocation-identical to an engine without
+	// the feature.
+	Provenance bool
+}
+
+// NewEngineWithConfig builds an engine over a topology with the given
+// configuration.
+func NewEngineWithConfig(t *topo.Topology, cfg EngineConfig) *Engine {
+	e := NewEngine(t)
+	if cfg.Provenance {
+		e.SetProvenance(true)
+	}
+	return e
+}
+
+// SetProvenance toggles provenance recording. Turning it on (or off) clears
+// any stored provenance; prefixes announced before enabling have no
+// provenance until re-announced (Deployment.Announce is idempotent for
+// routing state, so re-announcing is safe). Not synchronized with concurrent
+// engine use — call while the engine is quiescent.
+func (e *Engine) SetProvenance(on bool) {
+	e.mu.Lock()
+	e.provOn = on
+	if on {
+		e.prov = make(map[netip.Prefix]provTable)
+	} else {
+		e.prov = nil
+	}
+	e.mu.Unlock()
+}
+
+// ProvenanceEnabled reports whether the engine records route provenance.
+func (e *Engine) ProvenanceEnabled() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.provOn
+}
+
+// Provenance returns the decision record for (prefix, asn). ok is false when
+// provenance is disabled, the prefix has no provenance (announced before
+// enabling), or the AS holds no routing state for it.
+func (e *Engine) Provenance(prefix netip.Prefix, asn topo.ASN) (Provenance, bool) {
+	i, known := e.asIdx[asn]
+	if !known {
+		return Provenance{}, false
+	}
+	e.mu.RLock()
+	tbl, ok := e.prov[prefix]
+	e.mu.RUnlock()
+	if !ok || i >= len(tbl) || !tbl[i].Valid {
+		return Provenance{}, false
+	}
+	return tbl[i], true
+}
+
+// provFor returns the stored provenance table for a prefix (nil when
+// provenance is off or the prefix has none).
+func (e *Engine) provFor(prefix netip.Prefix) provTable {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.prov[prefix]
+}
+
+// buildProvTable assembles the provenance table after a converge: recomputed
+// ASes get fresh records, clean ASes (scoped mode) carry their old entries.
+func (e *Engine) buildProvTable(ribs ribTable, sc *convergeScope, pr *provRecorder) provTable {
+	prov := make(provTable, e.n)
+	if sc != nil {
+		copy(prov, sc.oldProv)
+		sc.dirty.forEach(func(i int) { prov[i] = Provenance{} })
+	}
+	for i, rb := range ribs {
+		if rb == nil || !sc.isDirty(i) {
+			continue
+		}
+		prov[i] = e.buildProv(i, rb, pr)
+	}
+	return prov
+}
+
+// provString renders a provenance record for debugging.
+func (p Provenance) String() string {
+	if !p.Valid {
+		return "no-route"
+	}
+	s := fmt.Sprintf("%s via %s (%d alt), %s", p.WinnerClass, p.Winner.String(), p.AltInClass, p.Step)
+	if p.HasRunnerUp {
+		s += fmt.Sprintf(" over %s %s", p.RunnerClass, p.RunnerUp.String())
+	}
+	return s
+}

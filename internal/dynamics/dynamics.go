@@ -22,6 +22,7 @@ import (
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/geo"
+	"anysim/internal/glass"
 	"anysim/internal/obs"
 	"anysim/internal/topo"
 )
@@ -133,9 +134,16 @@ type Runner struct {
 	Measurer *atlas.Measurer
 	Probes   []*atlas.Probe
 
-	prefixes []netip.Prefix                            // sorted deployment prefixes
+	// ExplainMoves enables classified churn reports: every Run step then
+	// carries a glass.DiffReport attributing a provenance-backed cause to
+	// each moved probe group, and per-move events are emitted on the trace.
+	// Requires Measurer/Probes and an engine with provenance recording on;
+	// Run fails fast otherwise rather than silently skipping the analysis.
+	ExplainMoves bool
+
+	prefixes []netip.Prefix                                   // sorted deployment prefixes
 	siteAnns map[string]map[netip.Prefix]bgp.SiteAnnouncement // site ID -> prefix -> announcement
-	flash    map[geo.Area]float64                      // active flash-crowd factors
+	flash    map[geo.Area]float64                             // active flash-crowd factors
 
 	dobs runnerObs
 }
@@ -314,13 +322,32 @@ type Step struct {
 	// Stats reports the reconvergence work of the event's last engine
 	// operation (a site event touching several prefixes reports the last).
 	Stats bgp.ReconvergeStats
+	// Moves is the classified probe-group churn report of this step (nil
+	// unless the runner's ExplainMoves mode is on).
+	Moves *glass.DiffReport
 }
 
 // Run applies a scenario in time order, diffing catchments around every
 // event. The returned steps are in application order.
 func (r *Runner) Run(sc *Scenario) ([]Step, error) {
+	explain := r.ExplainMoves
+	if explain {
+		if r.Measurer == nil || len(r.Probes) == 0 {
+			return nil, fmt.Errorf("dynamics: ExplainMoves requires Measurer and Probes")
+		}
+		if !r.Engine.ProvenanceEnabled() {
+			return nil, fmt.Errorf("dynamics: ExplainMoves requires an engine with provenance recording on (bgp.EngineConfig.Provenance)")
+		}
+	}
 	steps := make([]Step, 0, len(sc.Events))
 	pre := r.Snapshot()
+	var preCap glass.CatchmentSet
+	if explain {
+		var err error
+		if preCap, err = glass.Capture(r.Engine, r.Dep, r.Measurer, r.Probes); err != nil {
+			return nil, fmt.Errorf("dynamics: capture: %w", err)
+		}
+	}
 	for _, ev := range sc.sorted() {
 		if err := r.Apply(ev); err != nil {
 			return steps, fmt.Errorf("dynamics: %s (scenario %s): %w", ev, sc.Name, err)
@@ -330,6 +357,18 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 			Event: ev,
 			Churn: Diff(pre, post),
 			Stats: r.Engine.LastReconvergeStats(),
+		}
+		if explain {
+			postCap, err := glass.Capture(r.Engine, r.Dep, r.Measurer, r.Probes)
+			if err != nil {
+				return steps, fmt.Errorf("dynamics: capture after %s: %w", ev, err)
+			}
+			rep, err := glass.Diff(preCap, postCap)
+			if err != nil {
+				return steps, fmt.Errorf("dynamics: diff after %s: %w", ev, err)
+			}
+			step.Moves = &rep
+			preCap = postCap
 		}
 		steps = append(steps, step)
 		r.observeStep(sc, step)
@@ -365,4 +404,25 @@ func (r *Runner) observeStep(sc *Scenario, st Step) {
 			obs.Int("gained", int64(st.Churn.Gained)),
 		},
 	})
+	if st.Moves == nil {
+		return
+	}
+	// Per-move classified churn: one event per moved probe group, in the
+	// report's (group-sorted) order, on the same scenario clock.
+	for _, m := range st.Moves.Moves {
+		r.dobs.tracer.Emit(obs.Event{
+			Scope: "glass",
+			Name:  "move",
+			Clock: []obs.Coord{{Key: "step", V: r.dobs.seq}, {Key: "tick", V: int64(st.Event.At)}},
+			Attrs: []obs.Attr{
+				obs.Str("group", m.Group),
+				obs.Str("prefix", m.Prefix),
+				obs.Str("from", m.FromSite),
+				obs.Str("to", m.ToSite),
+				obs.Float("delta-ms", m.DeltaRTT),
+				obs.Str("cause", string(m.Cause)),
+				obs.Int("pivot", int64(m.PivotASN)),
+			},
+		})
+	}
 }

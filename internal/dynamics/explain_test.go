@@ -1,0 +1,73 @@
+package dynamics
+
+import (
+	"testing"
+
+	"anysim/internal/glass"
+	"anysim/internal/worldgen"
+)
+
+// TestRunExplainMoves drives a site-down/site-up scenario with classified
+// churn reporting on and checks every step carries a fully-attributed move
+// report.
+func TestRunExplainMoves(t *testing.T) {
+	cfg := worldgen.SmallConfig(7)
+	cfg.Provenance = true
+	w, err := worldgen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(w.Engine, w.Imperva.IM6)
+	r.Measurer = w.Measurer
+	r.Probes = w.Platform.Retained()
+	r.ExplainMoves = true
+
+	site := w.Imperva.IM6.Sites[0].ID
+	sc := &Scenario{Name: "explain", Events: []Event{
+		{At: 1, Kind: SiteDown, Site: site},
+		{At: 2, Kind: SiteUp, Site: site},
+	}}
+	steps, err := r.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	movedTotal := 0
+	for _, st := range steps {
+		if st.Moves == nil {
+			t.Fatalf("%s: no move report with ExplainMoves on", st.Event)
+		}
+		movedTotal += st.Moves.Moved
+		for _, m := range st.Moves.Moves {
+			if m.Cause == "" {
+				t.Fatalf("%s: move of %s without a cause", st.Event, m.Group)
+			}
+			if st.Event.Kind == SiteDown && m.FromSite == site && m.Cause != glass.CauseSiteWithdrawn {
+				t.Fatalf("%s: %s left %s with cause %s", st.Event, m.Group, site, m.Cause)
+			}
+		}
+	}
+	if movedTotal == 0 {
+		t.Fatalf("site flap of %s moved no probe group", site)
+	}
+
+	// ExplainMoves without provenance (or probes) fails fast.
+	r2 := NewRunner(w.Engine, w.Imperva.IM6)
+	r2.ExplainMoves = true
+	if _, err := r2.Run(sc); err == nil {
+		t.Fatal("ExplainMoves without Measurer/Probes did not fail")
+	}
+	plain, err := worldgen.Small(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(plain.Engine, plain.Imperva.IM6)
+	r3.Measurer = plain.Measurer
+	r3.Probes = plain.Platform.Retained()
+	r3.ExplainMoves = true
+	if _, err := r3.Run(sc); err == nil {
+		t.Fatal("ExplainMoves without engine provenance did not fail")
+	}
+}

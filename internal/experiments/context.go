@@ -10,12 +10,12 @@ import (
 	"sort"
 
 	"anysim/internal/atlas"
-	"anysim/internal/stats"
 	"anysim/internal/cdn"
 	"anysim/internal/cdnfinder"
 	"anysim/internal/core"
 	"anysim/internal/reopt"
 	"anysim/internal/sitemap"
+	"anysim/internal/stats"
 	"anysim/internal/worldgen"
 )
 
@@ -218,6 +218,7 @@ func All() []Experiment {
 		{"X1", "Extension: DailyCatch and AnyOpt-style baselines vs regional anycast", Extensions},
 		{"X2", "Extension: routing dynamics — fault blast radius, regional vs global", Dynamics},
 		{"X3", "Extension: flash-crowd steering — regional knobs vs global prepending", Traffic},
+		{"X4", "Extension: looking glass — root causes of catchment inefficiency and churn", Glass},
 	}
 }
 

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anysim/internal/dynamics"
+	"anysim/internal/glass"
+	"anysim/internal/stats"
+)
+
+// GlassData is the X4 result: the provenance-attributed root-cause
+// breakdown of catchment inefficiency (regional vs global), plus the
+// classified churn of a site flap.
+type GlassData struct {
+	// Regional/Global are the full catchment captures of Imperva-6 and
+	// Imperva-NS with per-group pathology classes.
+	Regional, Global glass.CatchmentSet
+	// FlapSite is the withdrawn-and-restored site of the churn study.
+	FlapSite string
+	// Down/Up are the classified diffs around the two events.
+	Down, Up *glass.DiffReport
+	// Attributed/Moved count cause attribution across both events; the
+	// explainer's contract is Attributed == Moved.
+	Attributed, Moved int
+}
+
+// Glass (X4) reproduces the paper's Fig. 7 root-cause analysis at
+// population scale using the engine's provenance record. Fig. 7 explains
+// one inflated catchment by hand — a route-server override beating the
+// geographically sensible path; the looking glass automates that per-hop
+// argument for every probe group, splitting inefficiency into the paper's
+// three mechanisms (policy-over-geography, hot-potato egress, no regional
+// route) for the regional (Imperva-6) and global (Imperva-NS) deployments.
+// A site flap then shows the same machinery attributing live churn: every
+// moved group gets a cause, and groups leaving the withdrawn site are
+// pinned on the withdrawal itself rather than a policy change.
+//
+// The flap is self-restoring, so the world returns bit-identical.
+func Glass(ctx *Context) (*Report, error) {
+	w := ctx.World
+	probes := w.Platform.Retained()
+
+	// The shared world is built without provenance recording (the other
+	// experiments don't pay for it); switch it on and re-announce so the
+	// decision record exists. Recording never changes selection, so the
+	// resulting RIBs are identical and later experiments are unaffected.
+	if !w.Engine.ProvenanceEnabled() {
+		w.Engine.SetProvenance(true)
+		for _, p := range w.Engine.Prefixes() {
+			if err := w.Engine.Announce(p, w.Engine.Announcements(p)); err != nil {
+				return nil, fmt.Errorf("experiments: X4 re-announce %v: %w", p, err)
+			}
+		}
+	}
+
+	regional, err := glass.Capture(w.Engine, w.Imperva.IM6, w.Measurer, probes)
+	if err != nil {
+		return nil, err
+	}
+	global, err := glass.Capture(w.Engine, w.Imperva.NS, w.Measurer, probes)
+	if err != nil {
+		return nil, err
+	}
+	data := &GlassData{Regional: regional, Global: global}
+
+	// Flap the busiest Imperva-6 site (most groups in its catchment, ties
+	// by site ID) and diff the catchment around each event.
+	data.FlapSite = busiestSite(regional)
+	r := dynamics.NewRunner(w.Engine, w.Imperva.IM6)
+	r.Measurer = w.Measurer
+	r.Probes = probes
+	r.ExplainMoves = true
+	steps, err := r.Run(&dynamics.Scenario{Name: "x4-flap", Events: []dynamics.Event{
+		{At: 1, Kind: dynamics.SiteDown, Site: data.FlapSite},
+		{At: 2, Kind: dynamics.SiteUp, Site: data.FlapSite},
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: X4 flap: %w", err)
+	}
+	data.Down, data.Up = steps[0].Moves, steps[1].Moves
+	for _, d := range []*glass.DiffReport{data.Down, data.Up} {
+		data.Moved += d.Moved
+		for _, m := range d.Moves {
+			if m.Cause != "" {
+				data.Attributed++
+			}
+		}
+	}
+	if data.Attributed != data.Moved {
+		return nil, fmt.Errorf("experiments: X4: attributed %d of %d moves", data.Attributed, data.Moved)
+	}
+
+	tb := &stats.Table{Header: []string{"pathology", "IM6 groups", "IM6 %", "NS groups", "NS %"}}
+	regCount, regServed := pathologyCensus(regional)
+	globCount, globServed := pathologyCensus(global)
+	for _, c := range []glass.Pathology{glass.Efficient, glass.PolicyOverGeography, glass.HotPotatoEgress, glass.NoRegionalRoute} {
+		tb.AddRow(string(c),
+			fmt.Sprint(regCount[c]), pct(regCount[c], regServed),
+			fmt.Sprint(globCount[c]), pct(globCount[c], globServed))
+	}
+	text := tb.String()
+	text += fmt.Sprintf("\nsite flap %s: %d groups moved, %d/%d causes attributed\n",
+		data.FlapSite, data.Moved, data.Attributed, data.Moved)
+	ct := &stats.Table{Header: []string{"cause", "down", "up"}}
+	downBy, upBy := causeCounts(data.Down), causeCounts(data.Up)
+	for _, c := range []glass.MoveCause{
+		glass.CauseSiteWithdrawn, glass.CauseSiteRestored, glass.CausePolicyShift,
+		glass.CauseTieBreakShift, glass.CauseLostRoute, glass.CauseGainedRoute,
+	} {
+		if downBy[c]+upBy[c] == 0 {
+			continue
+		}
+		ct.AddRow(string(c), fmt.Sprint(downBy[c]), fmt.Sprint(upBy[c]))
+	}
+	text += ct.String()
+	return &Report{Text: text, Data: data}, nil
+}
+
+// pathologyCensus tallies groups per pathology class and the number of
+// classified groups.
+func pathologyCensus(set glass.CatchmentSet) (map[glass.Pathology]int, int) {
+	out := map[glass.Pathology]int{}
+	for _, g := range set.Groups {
+		out[g.Class]++
+	}
+	return out, len(set.Groups)
+}
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+// busiestSite returns the site serving the most groups (ties by site ID).
+func busiestSite(set glass.CatchmentSet) string {
+	counts := map[string]int{}
+	for _, g := range set.Groups {
+		if g.Served {
+			counts[g.Site]++
+		}
+	}
+	best, bestN := "", -1
+	for s, n := range counts {
+		if n > bestN || (n == bestN && s < best) {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// causeCounts maps a diff's ByCause tallies.
+func causeCounts(d *glass.DiffReport) map[glass.MoveCause]int {
+	out := map[glass.MoveCause]int{}
+	for _, c := range d.ByCause {
+		out[c.Cause] = c.N
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package glass
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Renderers. JSON output uses encoding/json over view structs whose field
+// order (and pre-sorted slices) give stable keys — two renders of equal
+// values are byte-identical. Text output is the human looking-glass form.
+
+// JSON renders any glass value with stable keys and trailing newline.
+func JSON(v any) (string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// Text renders an explanation as a looking-glass style decision chain.
+func (e Explanation) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s from %s (%s) -> site %s (%s), %.0f km\n",
+		e.Prefix, e.ASN, e.City, e.Site, e.SiteCity, e.DistKm)
+	for i, h := range e.Hops {
+		fmt.Fprintf(&b, "  hop %d  %-9s %s->%s", i, h.ASN, h.Entry, h.Handoff)
+		if !h.HasProv {
+			b.WriteString("  [no provenance]\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  %s via %s", h.Step, h.WinnerClass)
+		if h.AltInClass > 1 {
+			fmt.Fprintf(&b, " (%d-way egress", h.AltInClass)
+			if h.Arbitrary {
+				b.WriteString(", arbitrary")
+			}
+			b.WriteString(")")
+		}
+		if h.HasRunnerUp {
+			fmt.Fprintf(&b, "; beat %s route to %s (%s, len %d)",
+				h.RunnerClass, h.RunnerSite, h.RunnerSiteCity, h.RunnerPathLen)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Text renders a catchment explanation.
+func (c CatchmentExplanation) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "group %s (%s, %s) -> region %s %s\n", c.Group, c.Country, c.Area, c.Region, c.Prefix)
+	if !c.Served {
+		fmt.Fprintf(&b, "  UNSERVED (nearest site %s, %.0f km)  class=%s\n", c.NearestSite, c.NearestKm, c.Class)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  site %s (%s)  rtt %.1f ms  path %.0f km\n", c.Site, c.SiteCity, c.RTTMs, c.ActualKm)
+	fmt.Fprintf(&b, "  nearest %s at %.0f km  inflation %.1f ms  class=%s\n",
+		c.NearestSite, c.NearestKm, c.InflationMs, c.Class)
+	b.WriteString(c.Exp.Text())
+	return b.String()
+}
+
+// Text renders a diff report.
+func (r DiffReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "catchment diff for %s: %d/%d groups moved\n", r.Dep, r.Moved, r.Groups)
+	for _, c := range r.ByCause {
+		fmt.Fprintf(&b, "  %-16s %d\n", c.Cause, c.N)
+	}
+	for _, m := range r.Moves {
+		fmt.Fprintf(&b, "  %-12s %s: %s -> %s  drtt %+.1f ms  cause=%s",
+			m.Group, m.Prefix, orDark(m.FromSite), orDark(m.ToSite), m.DeltaRTT, m.Cause)
+		if m.PivotASN != 0 {
+			fmt.Fprintf(&b, " pivot=%s", m.PivotASN)
+		}
+		fmt.Fprintf(&b, "  [%s -> %s]\n", m.ClassBefore, m.ClassAfter)
+	}
+	return b.String()
+}
+
+func orDark(site string) string {
+	if site == "" {
+		return "(dark)"
+	}
+	return site
+}
+
+// Text renders a trace diff.
+func (d TraceDiff) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traces: seed %d, world %s, schema %d\n", d.Header.Seed, d.Header.World, d.Header.Schema)
+	fmt.Fprintf(&b, "events: A=%d B=%d\n", d.EventsA, d.EventsB)
+	if d.Identical {
+		b.WriteString("event streams are byte-identical\n")
+	} else {
+		fmt.Fprintf(&b, "first divergence at event line %d:\n  A: %s\n  B: %s\n",
+			d.FirstDivergence, orEOF(d.DivergeA), orEOF(d.DivergeB))
+	}
+	for _, s := range d.ByScope {
+		fmt.Fprintf(&b, "  scope %-10s A=%-6d B=%-6d\n", s.Scope, s.A, s.B)
+	}
+	return b.String()
+}
+
+func orEOF(line string) string {
+	if line == "" {
+		return "(end of trace)"
+	}
+	return line
+}

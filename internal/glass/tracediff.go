@@ -1,0 +1,142 @@
+package glass
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"anysim/internal/obs"
+)
+
+// TraceDiff is the structural comparison of two JSONL trace runs. The two
+// traces must be comparable — same schema, seed, and world-configuration
+// hash — or DiffTraces refuses outright: diffing runs of different worlds
+// produces noise, not insight.
+type TraceDiff struct {
+	Header obs.TraceHeader `json:"header"`
+	// EventsA/EventsB count event lines (excluding the header).
+	EventsA int `json:"events_a"`
+	EventsB int `json:"events_b"`
+	// Identical reports byte-identical event streams — the expected state
+	// for two runs of the same configuration.
+	Identical bool `json:"identical"`
+	// FirstDivergence is the 1-based event line where the streams first
+	// differ (0 when identical); DivergeA/DivergeB carry the differing
+	// lines themselves.
+	FirstDivergence int    `json:"first_divergence,omitempty"`
+	DivergeA        string `json:"diverge_a,omitempty"`
+	DivergeB        string `json:"diverge_b,omitempty"`
+	// ByScope tallies event counts per scope on both sides, sorted by
+	// scope name.
+	ByScope []ScopeCount `json:"by_scope"`
+}
+
+// ScopeCount is one scope's event tally in each trace.
+type ScopeCount struct {
+	Scope string `json:"scope"`
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+}
+
+// DiffTraces compares two trace streams. It returns an error when either
+// lacks a valid header or the headers are incompatible (schema, seed, or
+// world hash differ).
+func DiffTraces(ra, rb io.Reader) (TraceDiff, error) {
+	sa := bufio.NewScanner(ra)
+	sb := bufio.NewScanner(rb)
+	sa.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sb.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	ha, err := readHeader(sa, "A")
+	if err != nil {
+		return TraceDiff{}, err
+	}
+	hb, err := readHeader(sb, "B")
+	if err != nil {
+		return TraceDiff{}, err
+	}
+	if ha.Seed != hb.Seed {
+		return TraceDiff{}, fmt.Errorf("glass: incomparable traces: seed %d vs %d", ha.Seed, hb.Seed)
+	}
+	if ha.World != hb.World {
+		return TraceDiff{}, fmt.Errorf("glass: incomparable traces: world config %s vs %s", ha.World, hb.World)
+	}
+	d := TraceDiff{Header: ha, Identical: true}
+	scopes := map[string]*ScopeCount{}
+	tally := func(line []byte, side int) {
+		var ev struct {
+			Scope string `json:"scope"`
+		}
+		scope := "?"
+		if json.Unmarshal(line, &ev) == nil && ev.Scope != "" {
+			scope = ev.Scope
+		}
+		sc := scopes[scope]
+		if sc == nil {
+			sc = &ScopeCount{Scope: scope}
+			scopes[scope] = sc
+		}
+		if side == 0 {
+			sc.A++
+		} else {
+			sc.B++
+		}
+	}
+	line := 0
+	for {
+		okA, okB := sa.Scan(), sb.Scan()
+		if !okA && !okB {
+			break
+		}
+		line++
+		var la, lb []byte
+		if okA {
+			la = slices.Clone(sa.Bytes())
+			d.EventsA++
+			tally(la, 0)
+		}
+		if okB {
+			lb = slices.Clone(sb.Bytes())
+			d.EventsB++
+			tally(lb, 1)
+		}
+		if d.Identical && (!okA || !okB || !bytes.Equal(la, lb)) {
+			d.Identical = false
+			d.FirstDivergence = line
+			d.DivergeA = string(la)
+			d.DivergeB = string(lb)
+		}
+	}
+	if err := sa.Err(); err != nil {
+		return TraceDiff{}, fmt.Errorf("glass: reading trace A: %w", err)
+	}
+	if err := sb.Err(); err != nil {
+		return TraceDiff{}, fmt.Errorf("glass: reading trace B: %w", err)
+	}
+	names := make([]string, 0, len(scopes))
+	for s := range scopes {
+		names = append(names, s)
+	}
+	slices.SortFunc(names, strings.Compare)
+	for _, s := range names {
+		d.ByScope = append(d.ByScope, *scopes[s])
+	}
+	return d, nil
+}
+
+func readHeader(s *bufio.Scanner, label string) (obs.TraceHeader, error) {
+	if !s.Scan() {
+		if err := s.Err(); err != nil {
+			return obs.TraceHeader{}, fmt.Errorf("glass: reading trace %s: %w", label, err)
+		}
+		return obs.TraceHeader{}, fmt.Errorf("glass: trace %s is empty", label)
+	}
+	h, err := obs.ParseTraceHeader(s.Bytes())
+	if err != nil {
+		return obs.TraceHeader{}, fmt.Errorf("glass: trace %s: %w", label, err)
+	}
+	return h, nil
+}

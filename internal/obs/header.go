@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// TraceSchemaVersion is the version of the JSONL trace schema. Bump it when
+// an event's encoding changes shape; trace_golden_test.go pins the current
+// encoding so accidental changes fail loudly.
+const TraceSchemaVersion = 1
+
+// TraceHeader is the first line of every trace file: it identifies the
+// schema version and the run (seed, world-config hash) so consumers —
+// notably `anysim diff` — can refuse to compare traces from incompatible
+// runs instead of producing a meaningless line-by-line diff.
+type TraceHeader struct {
+	Trace  string `json:"trace"`
+	Schema int    `json:"schema"`
+	Seed   int64  `json:"seed"`
+	World  string `json:"world"`
+}
+
+// traceMagic marks a JSONL line as an anysim trace header.
+const traceMagic = "anysim"
+
+// NewTraceHeader returns a header for a run with the given seed and world
+// configuration hash.
+func NewTraceHeader(seed int64, worldHash string) TraceHeader {
+	return TraceHeader{Trace: traceMagic, Schema: TraceSchemaVersion, Seed: seed, World: worldHash}
+}
+
+// WriteHeader emits the header as the tracer's first line. Like Emit, a
+// write failure is recorded and surfaced by Close.
+func (t *Tracer) WriteHeader(h TraceHeader) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.closed {
+		t.dropped++
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"trace":`...)
+	b = appendJSONString(b, h.Trace)
+	b = append(b, `,"schema":`...)
+	b = strconv.AppendInt(b, int64(h.Schema), 10)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, h.Seed, 10)
+	b = append(b, `,"world":`...)
+	b = appendJSONString(b, h.World)
+	b = append(b, "}\n"...)
+	t.buf = b
+	_, t.err = t.w.Write(b)
+}
+
+// ParseTraceHeader decodes a trace file's first line. It returns an error
+// when the line is not an anysim trace header or its schema version differs
+// from this build's.
+func ParseTraceHeader(line []byte) (TraceHeader, error) {
+	var h TraceHeader
+	if err := json.Unmarshal(line, &h); err != nil {
+		return TraceHeader{}, fmt.Errorf("obs: trace header: %w", err)
+	}
+	if h.Trace != traceMagic {
+		return TraceHeader{}, fmt.Errorf("obs: not an anysim trace header: %q", line)
+	}
+	if h.Schema != TraceSchemaVersion {
+		return TraceHeader{}, fmt.Errorf("obs: trace schema %d, this build reads %d", h.Schema, TraceSchemaVersion)
+	}
+	return h, nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTracerCloseSurfacesPipeError is the regression test for the silent-drop
+// bug: a sink whose reader goes away mid-run must fail the run via Close, not
+// quietly truncate the trace. Uses a real OS pipe with the read end closed.
+func TestTracerCloseSurfacesPipeError(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(w)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Scope: "bgp", Name: "announce", Clock: []Coord{{"op", int64(i)}}})
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("Close returned nil for a tracer writing into a closed pipe")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("no events counted as dropped after the sink failed")
+	}
+}
+
+// TestTracerCloseCleanAndAfter checks the healthy path: Close is nil on a
+// working sink, and emits after Close are dropped, not written.
+func TestTracerCloseCleanAndAfter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Scope: "a", Name: "b"})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close on healthy sink: %v", err)
+	}
+	n := buf.Len()
+	tr.Emit(Event{Scope: "a", Name: "late"})
+	if buf.Len() != n {
+		t.Fatal("emit after Close reached the sink")
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped())
+	}
+	var nilTr *Tracer
+	if err := nilTr.Close(); err != nil || nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer Close/Dropped not inert")
+	}
+}
+
+// TestTraceHeaderRoundTrip checks WriteHeader/ParseTraceHeader agree and
+// incompatible headers are refused.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.WriteHeader(NewTraceHeader(42, "d00dfeed"))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := []byte(strings.TrimSuffix(buf.String(), "\n"))
+	h, err := ParseTraceHeader(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 42 || h.World != "d00dfeed" || h.Schema != TraceSchemaVersion {
+		t.Fatalf("round-tripped header = %+v", h)
+	}
+	if _, err := ParseTraceHeader([]byte(`{"scope":"bgp","event":"x","clock":{},"attrs":{}}`)); err == nil {
+		t.Fatal("ordinary event accepted as header")
+	}
+	if _, err := ParseTraceHeader([]byte(`{"trace":"anysim","schema":999,"seed":1,"world":"x"}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if _, err := ParseTraceHeader([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted as header")
+	}
+}
+
+// TestTraceSchemaGolden pins the exact byte encoding of the trace schema —
+// header line plus one event of every attribute kind — against a checked-in
+// golden file. A diff here means the schema changed: bump TraceSchemaVersion
+// and regenerate with -update.
+func TestTraceSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.WriteHeader(NewTraceHeader(7, "cafe1234"))
+	tr.Emit(Event{
+		Scope: "bgp",
+		Name:  "announce",
+		Clock: []Coord{{"op", 1}, {"step", 2}},
+		Attrs: []Attr{Int("dirty", 41), Float("ms", 1.5), Str("site", "iad"), Bool("full", true)},
+	})
+	tr.Emit(Event{Scope: "glass", Name: "move", Clock: []Coord{{"step", 3}},
+		Attrs: []Attr{Str("group", "FRA|64512"), Float("delta-ms", -12.25)}})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_schema.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("trace schema drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

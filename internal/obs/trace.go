@@ -83,10 +83,12 @@ func (ev *Event) Attr(key string) (Attr, bool) {
 // disabled tracer: Emit returns immediately. Hot call sites should guard
 // event construction behind Enabled so the disabled path allocates nothing.
 type Tracer struct {
-	mu  sync.Mutex
-	w   io.Writer
-	buf []byte
-	err error
+	mu      sync.Mutex
+	w       io.Writer
+	buf     []byte
+	err     error
+	closed  bool
+	dropped int64
 }
 
 // NewTracer returns a tracer writing JSONL to w.
@@ -106,6 +108,33 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// Close finalizes the tracer and surfaces the first write error it hit. A
+// sink that failed mid-run silently dropped every later event (see Dropped),
+// so a non-nil Close error means the trace file is incomplete — callers
+// (cmd/anysim) must treat it as a failed run, not a truncated-but-usable
+// artifact. Close does not close the underlying writer; emits after Close
+// are counted as dropped.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return t.err
+}
+
+// Dropped reports how many events were discarded after the first write
+// error (or after Close).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Emit writes one event as a JSON line:
 //
 //	{"scope":"bgp","event":"reconverge","clock":{"op":3},"attrs":{"dirty":41,...}}
@@ -118,7 +147,8 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.err != nil {
+	if t.err != nil || t.closed {
+		t.dropped++
 		return
 	}
 	b := t.buf[:0]

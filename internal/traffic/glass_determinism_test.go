@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"testing"
+
+	"anysim/internal/geo"
+	"anysim/internal/glass"
+	"anysim/internal/worldgen"
+)
+
+// runProvenancePipeline builds a provenance-enabled world, captures the
+// catchment, resolves a flash crowd at the given worker count (steering
+// mutates the engine through forked trials and committed applies), captures
+// again, and returns the rendered capture and diff. Every returned string
+// must be byte-identical across worker counts: provenance rides the same
+// fork/apply path as the RIBs, so a workers-dependent result would mean the
+// recorder leaked scheduling order.
+func runProvenancePipeline(t *testing.T, workers int) (before, after, diff string) {
+	t.Helper()
+	cfg := worldgen.SmallConfig(7)
+	cfg.Provenance = true
+	w, err := worldgen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := w.Imperva.IM6
+	probes := w.Platform.Retained()
+	capA, err := glass.Capture(w.Engine, dep, w.Measurer, probes)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	m := NewModel(w.Platform, DemandConfig{Seed: 1})
+	ev := NewEvaluator(w.Engine, dep, m, CapacityConfig{})
+	ev.Workers = workers
+	st := NewSteerer(ev, SteeringConfig{
+		MaxActions:         8,
+		AllowSelective:     true,
+		AllowCrossAnnounce: true,
+		Workers:            workers,
+	})
+	if _, err := st.Resolve(m.FlashCrowd(m.Matrix(0), geo.EMEA, 4)); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	capB, err := glass.Capture(w.Engine, dep, w.Measurer, probes)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	d, err := glass.Diff(capA, capB)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	ja, err := glass.JSON(capA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := glass.JSON(capB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := glass.JSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ja, jb, jd
+}
+
+// TestGlassDeterminismAcrossWorkers is the glass acceptance check: captures
+// and catchment diffs around a parallel steering run are byte-identical at
+// Workers=1, 2, and GOMAXPROCS.
+func TestGlassDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several worlds")
+	}
+	before1, after1, diff1 := runProvenancePipeline(t, 1)
+	if before1 == after1 {
+		t.Fatal("steering changed nothing; flash factor too weak to exercise the diff")
+	}
+	for _, workers := range []int{2, 0} {
+		before, after, diff := runProvenancePipeline(t, workers)
+		if before != before1 {
+			t.Fatalf("workers=%d: pre-steering capture differs from serial", workers)
+		}
+		if after != after1 {
+			t.Fatalf("workers=%d: post-steering capture differs from serial", workers)
+		}
+		if diff != diff1 {
+			t.Fatalf("workers=%d: catchment diff differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, diff1, diff)
+		}
+	}
+}

@@ -351,7 +351,7 @@ func (s *Steerer) rewindTo(res *SteeringResult, n int) error {
 			Scope: "steer",
 			Name:  "rewind",
 			Clock: []obs.Coord{{Key: "resolve", V: s.sobs.resolveSeq}},
-			Attrs: []obs.Attr{obs.Int("keep", int64(n)), obs.Int("drop", int64(len(res.Actions) - n))},
+			Attrs: []obs.Attr{obs.Int("keep", int64(n)), obs.Int("drop", int64(len(res.Actions)-n))},
 		})
 	}
 	if err := s.Reset(); err != nil {

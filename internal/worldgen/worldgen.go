@@ -8,6 +8,7 @@ package worldgen
 
 import (
 	"fmt"
+	"hash/fnv"
 	"net/netip"
 	"sort"
 
@@ -15,6 +16,7 @@ import (
 	"anysim/internal/bgp"
 	"anysim/internal/cdn"
 	"anysim/internal/dnssim"
+	"anysim/internal/geo"
 	"anysim/internal/geodb"
 	"anysim/internal/netplan"
 	"anysim/internal/obs"
@@ -40,13 +42,45 @@ type Config struct {
 	Topo topo.GenConfig
 	// Population overrides probe generation; zero fields take defaults.
 	Population atlas.PopulationConfig
+	// Provenance enables decision-provenance recording on the routing
+	// engine (see internal/bgp and internal/glass). Every announcement made
+	// during construction is then recorded, so explain queries work on the
+	// freshly built world.
+	Provenance bool
 	// Metrics, when set, receives build-phase wall timings and is attached
 	// to the routing engine so announcement work during construction is
 	// already counted. Nil disables collection.
 	Metrics *obs.Registry
 	// Tracer, when set, receives build-phase spans and the engine's routing
-	// operation events. Nil disables tracing.
+	// operation events; the first line written is the trace header
+	// identifying this configuration (see Hash). Nil disables tracing.
 	Tracer *obs.Tracer
+}
+
+// Hash returns a short hex digest of the world-shaping configuration: seed,
+// scale, topology, population, and provenance mode — everything that changes
+// the simulated world, and nothing that merely observes it (Metrics,
+// Tracer). Two runs with equal hashes are byte-comparable; `anysim diff`
+// refuses traces whose hashes differ. Map-typed fields are folded in sorted
+// key order so the digest is deterministic.
+func (c Config) Hash() string {
+	h := fnv.New64a()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	put("seed=%d|scale=%g|prov=%t", c.Seed, c.Scale, c.Provenance)
+	t := c.Topo
+	put("|topo=%d,%d,%d,%d,%d,%g,%g,%d",
+		t.Seed, t.NumTier1, t.NumTier2, t.NumStub, t.NumIXP, t.PublicPeerProb, t.RouteServerProb, t.MaxIXPMembers)
+	p := c.Population
+	put("|pop=%d,%g,%g,%g,%g,%g", p.Seed, p.Scale, p.DiscardFraction, p.PISPResolver, p.PPublicECS, p.TransitAddressedFraction)
+	areas := make([]geo.Area, 0, len(p.Counts))
+	for a := range p.Counts {
+		areas = append(areas, a)
+	}
+	sort.Slice(areas, func(i, j int) bool { return areas[i] < areas[j] })
+	for _, a := range areas {
+		put("|count:%s=%d", a, p.Counts[a])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // HostnameSets are the customer hostname populations of §4.2: per CDN, the
@@ -118,6 +152,10 @@ func New(cfg Config) (*World, error) {
 		cfg.Scale = 1.0
 	}
 	w := &World{Config: cfg}
+	// The header is the trace's first line: it names the schema and the
+	// world-shaping configuration so trace consumers can check comparability
+	// before reading a single event.
+	cfg.Tracer.WriteHeader(obs.NewTraceHeader(cfg.Seed, cfg.Hash()))
 
 	// Build phases are spanned for the trace and timed into wall gauges.
 	// Span indices are the phase numbers of the comments below.
@@ -159,7 +197,7 @@ func New(cfg Config) (*World, error) {
 	// 3. Routing. The engine is instrumented before the deployments
 	// announce, so construction-time convergence is already observed.
 	done = span(3, "routing")
-	w.Engine = bgp.NewEngine(tp)
+	w.Engine = bgp.NewEngineWithConfig(tp, bgp.EngineConfig{Provenance: cfg.Provenance})
 	w.Engine.Instrument(cfg.Metrics, cfg.Tracer)
 	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
 		if err := d.Announce(w.Engine); err != nil {

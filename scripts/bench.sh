@@ -15,6 +15,11 @@
 # The routing-core benchmarks run at the default benchtime; the whole-run
 # steering benchmarks are seconds-per-op, so they run at -benchtime=1x to
 # keep the script's wall clock bounded.
+#
+# Every benchmark runs -count 3 and the archive records the fastest of the
+# three (minimum ns/op) — the standard noise-robust point estimate, since
+# interference only ever adds time. Alloc counts are deterministic, so any
+# of the three samples carries the same value.
 set -eu
 
 n="${1:?usage: scripts/bench.sh <n>}"
@@ -24,11 +29,11 @@ obs_out="BENCH_${n}_obs.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -benchmem \
-    -bench 'BenchmarkAnnounce$|BenchmarkIncrementalReconvergence|BenchmarkLookup$|BenchmarkEngineFork' \
+go test -run '^$' -benchmem -count 3 \
+    -bench 'BenchmarkAnnounce$|BenchmarkAnnounceProvenance|BenchmarkIncrementalReconvergence|BenchmarkLookup$|BenchmarkEngineFork' \
     ./internal/bgp/ | tee -a "$raw"
 
-go test -run '^$' -benchmem -benchtime 1x \
+go test -run '^$' -benchmem -benchtime 1x -count 3 \
     -bench 'BenchmarkTrafficSteering$|BenchmarkSteeringRound$|BenchmarkDemandMatrix$' \
     . | tee -a "$raw"
 
@@ -49,11 +54,22 @@ awk '
     }
     if (ns == "") next
     if (allocs == "") allocs = "null"
-    if (count++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", name, ns, allocs, extras
+    # Keep the fastest of the -count samples per benchmark.
+    if (!(name in best)) order[++n] = name
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; al[name] = allocs; ex[name] = extras
+    }
 }
-BEGIN { printf "[\n" }
-END   { printf "\n]\n" }
+END {
+    printf "[\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", \
+            name, best[name], al[name], ex[name]
+        printf (i < n) ? ",\n" : "\n"
+    }
+    printf "]\n"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out"

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_diff.sh — gate on benchmark regressions between recorded baselines.
+#
+# Usage: scripts/bench_diff.sh [threshold_pct]
+#
+# Compares the two most recent BENCH_<n>.json archives at the repo root
+# (highest two <n>) on the headline benchmarks — BenchmarkAnnounce (the
+# routing core) and BenchmarkTrafficSteering (the whole-pipeline number) —
+# and exits nonzero when the newer archive is more than threshold_pct
+# (default 10) slower on either. Run scripts/bench.sh <n> on a quiet
+# machine to record a new archive before invoking this.
+#
+# With fewer than two archives there is nothing to compare; that is a
+# success, so fresh checkouts and CI on new branches pass.
+set -eu
+
+threshold="${1:-10}"
+cd "$(dirname "$0")/.."
+
+archives=$(ls BENCH_*.json 2>/dev/null | grep -E '^BENCH_[0-9]+\.json$' | sort -t_ -k2 -n || true)
+count=$(printf '%s\n' "$archives" | grep -c . || true)
+if [ "$count" -lt 2 ]; then
+    echo "bench_diff: $count archive(s) found, need 2; nothing to compare"
+    exit 0
+fi
+old=$(printf '%s\n' "$archives" | tail -2 | head -1)
+new=$(printf '%s\n' "$archives" | tail -1)
+echo "bench_diff: $old -> $new (threshold ${threshold}%)"
+
+# ns_per_op of one benchmark in one archive (bench.sh writes one entry per
+# line, so a line-oriented extraction is reliable).
+ns_of() {
+    sed -n 's/.*"name": "'"$2"'", "ns_per_op": \([0-9][0-9.e+-]*\),.*/\1/p' "$1" | head -1
+}
+
+fail=0
+for bench in BenchmarkAnnounce BenchmarkTrafficSteering; do
+    old_ns=$(ns_of "$old" "$bench")
+    new_ns=$(ns_of "$new" "$bench")
+    if [ -z "$old_ns" ] || [ -z "$new_ns" ]; then
+        echo "  $bench: missing from $([ -z "$old_ns" ] && echo "$old" || echo "$new"); skipping"
+        continue
+    fi
+    if ! awk -v o="$old_ns" -v n="$new_ns" -v t="$threshold" -v b="$bench" '
+        BEGIN {
+            pct = 100 * (n - o) / o
+            printf "  %-24s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", b, o, n, pct
+            exit (pct > t) ? 1 : 0
+        }'; then
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "bench_diff: regression beyond ${threshold}% — investigate before landing"
+    exit 1
+fi
+echo "bench_diff: ok"
