@@ -29,6 +29,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/reopt"
+	"anysim/internal/server"
 	"anysim/internal/sitemap"
 	"anysim/internal/topo"
 	"anysim/internal/traffic"
@@ -304,6 +305,37 @@ func DiffCatchments(before, after CatchmentSet) (CatchmentDiff, error) {
 
 // DiffTraces compares two JSONL trace runs, refusing incompatible ones.
 func DiffTraces(a, b io.Reader) (TraceDiff, error) { return glass.DiffTraces(a, b) }
+
+// The always-on twin (extension X5): a resident simulation that ingests
+// dynamics events incrementally, re-binds demand as its virtual clock
+// advances, serves consistent-snapshot queries over HTTP, and checkpoints/
+// restores its full state bit-identically. `anysim serve` is this server
+// behind a CLI.
+type (
+	// AnycastServer is the resident simulation server.
+	AnycastServer = server.Server
+	// ServerConfig wires a server to a world and deployment; Restore
+	// resumes from a checkpoint.
+	ServerConfig = server.Config
+	// ServerState is one immutable published snapshot (engine fork, load
+	// report, clock) that queries read.
+	ServerState = server.State
+	// ServerApplyResult reports one ingested event's effect.
+	ServerApplyResult = server.ApplyResult
+	// ServerCheckpoint is the serialized full state of a server, tagged
+	// with the world's identity; incompatible restores are refused.
+	ServerCheckpoint = server.Checkpoint
+)
+
+// NewServer builds a resident simulation server. The world must have been
+// built with provenance recording (Config.Provenance) for the /explain and
+// /diff queries.
+func NewServer(cfg ServerConfig) (*AnycastServer, error) { return server.New(cfg) }
+
+// ReadServerCheckpoint loads a checkpoint file for ServerConfig.Restore.
+func ReadServerCheckpoint(path string) (*ServerCheckpoint, error) {
+	return server.ReadCheckpoint(path)
+}
 
 // Experiments (every table and figure).
 type (

@@ -18,15 +18,20 @@
 //	diff [-json] <a> <b>     compare two JSONL trace runs (no world built)
 //	scenario <file>          replay a fault scenario (see -dep) step by step
 //	load [bucket]            per-site demand and utilization (see -dep)
+//	serve [-listen A] ...    keep the world resident: stream events in over
+//	                         stdin/HTTP, query it live, checkpoint/restore
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 3 routing
 // non-termination (the scenario drove the BGP solver past its iteration
-// bound — a policy-dispute configuration, not a crash). diff exits 1 when
-// the event streams diverge, so scripts can gate on reproducibility. A
-// failing -tracefile sink also exits 1: a partial trace is a failed run.
+// bound — a policy-dispute configuration, not a crash), 4 event-stream
+// decode failure (serve's stdin carried a line the dynamics DSL/JSONL
+// decoder rejects; the error names the line). diff exits 1 when the event
+// streams diverge, so scripts can gate on reproducibility. A failing
+// -tracefile sink also exits 1: a partial trace is a failed run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -38,12 +43,15 @@ import (
 	httppprof "net/http/pprof"
 	"net/netip"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"anysim/internal/asciimap"
 	"anysim/internal/atlas"
@@ -53,6 +61,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/server"
 	"anysim/internal/topo"
 	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
@@ -64,7 +73,11 @@ const (
 	exitError          = 1
 	exitUsage          = 2
 	exitNonTermination = 3
+	exitDecode         = 4
 )
+
+// stdin is the serve subcommand's event source; tests substitute it.
+var stdin io.Reader = os.Stdin
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -101,15 +114,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return diffCmd(fs.Args()[1:], stdout, stderr)
 	}
 
-	// explain has its own flags; parse them now so mistakes are fast usage
-	// errors and so the world build below can enable provenance recording.
+	// explain and serve have their own flags; parse them now so mistakes are
+	// fast usage errors and so the world build below can enable provenance
+	// recording (the looking glass and the serve query API both need it).
 	var exp *explainArgs
-	if fs.Arg(0) == "explain" {
+	var sv *serveArgs
+	switch fs.Arg(0) {
+	case "explain":
 		var code int
 		if exp, code = parseExplain(fs.Args()[1:], stderr); exp == nil {
 			return code
 		}
-	} else {
+	case "serve":
+		var code int
+		if sv, code = parseServe(fs.Args()[1:], stderr); sv == nil {
+			return code
+		}
+	default:
 		// Validate argument counts before paying for world construction.
 		wantArgs := map[string][]int{
 			"deployments": {1}, "catchment": {2}, "probe": {3},
@@ -191,8 +212,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	wcfg.Metrics = reg
 	wcfg.Tracer = tracer
-	// The looking glass needs the engine's decision record.
-	wcfg.Provenance = exp != nil
+	// The looking glass needs the engine's decision record, and serve's
+	// /explain endpoint is the same glass served over HTTP.
+	wcfg.Provenance = exp != nil || sv != nil
 	w, err = worldgen.New(wcfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
@@ -245,6 +267,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = scenario(stdout, w, *dep, fs.Arg(1), reg, tracer)
 	case "load":
 		err = load(stdout, w, *dep, bucket, reg)
+	case "serve":
+		err = serveCmd(stderr, w, *dep, sv)
 	}
 
 	// The snapshot is written even when the subcommand failed: the metrics
@@ -315,11 +339,17 @@ func debugMux(reg *obs.Registry) *http.ServeMux {
 
 // exitCode maps a subcommand error to the process exit code. Routing
 // non-termination gets its own code so scripts can tell a policy dispute
-// (a legitimate, reportable simulation outcome) from an ordinary failure.
+// (a legitimate, reportable simulation outcome) from an ordinary failure,
+// and an event-stream decode failure gets its own so a supervisor can tell
+// a bad feed (fix the producer, line number in the error) from a sim error.
 func exitCode(err error) int {
 	var nte *bgp.NonTerminationError
 	if errors.As(err, &nte) {
 		return exitNonTermination
+	}
+	var derr *dynamics.DecodeError
+	if errors.As(err, &derr) {
+		return exitDecode
 	}
 	return exitError
 }
@@ -587,6 +617,143 @@ func deploymentByName(w *worldgen.World, name string) (*cdn.Deployment, error) {
 	return d, nil
 }
 
+// serveArgs are the parsed flags of the serve subcommand.
+type serveArgs struct {
+	listen     string
+	checkpoint string
+	restore    string
+}
+
+// parseServe parses the serve subcommand's flags. It returns nil and an
+// exit code on error.
+func parseServe(args []string, stderr io.Writer) (*serveArgs, int) {
+	sfs := flag.NewFlagSet("anysim serve", flag.ContinueOnError)
+	sfs.SetOutput(stderr)
+	var sa serveArgs
+	sfs.StringVar(&sa.listen, "listen", "127.0.0.1:0", "HTTP listen address for the query API")
+	sfs.StringVar(&sa.checkpoint, "checkpoint", "", "default checkpoint path: POST /checkpoint without ?path= writes here, and so does graceful shutdown")
+	sfs.StringVar(&sa.restore, "restore", "", "checkpoint file to restore before serving (refused unless seed, world hash, and deployment match)")
+	if err := sfs.Parse(args); err != nil {
+		return nil, exitUsage
+	}
+	if sfs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: anysim serve [-listen A] [-checkpoint F] [-restore F]")
+		return nil, exitUsage
+	}
+	return &sa, exitOK
+}
+
+// syncWriter serializes serve's log lines: the banner, the per-event ingest
+// log, and the shutdown notice come from different goroutines but share one
+// stream.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// serveCmd keeps the world resident. Events stream in over stdin and POST
+// /events; queries read published snapshots and never block ingest. SIGTERM
+// or SIGINT shuts down gracefully: in-flight queries drain, the default
+// checkpoint (if configured) is written, and the caller's sink teardown then
+// flushes metrics and the trace. stdin is an event source, not a lifetime —
+// EOF (an empty or redirected stdin) leaves the server on the HTTP API
+// alone, while a malformed stdin line is fatal with exit code 4.
+func serveCmd(stderr io.Writer, w *worldgen.World, depName string, sa *serveArgs) error {
+	d, err := deploymentByName(w, depName)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{World: w, Dep: d, CheckpointPath: sa.checkpoint}
+	if sa.restore != "" {
+		cp, err := server.ReadCheckpoint(sa.restore)
+		if err != nil {
+			return err
+		}
+		cfg.Restore = cp
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", sa.listen)
+	if err != nil {
+		return err
+	}
+	out := &syncWriter{w: stderr}
+	st := s.Current()
+	fmt.Fprintf(out, "anysim: serving %s on http://%s/ (tick %d, %d events)\n",
+		d.Name, ln.Addr(), st.Tick, s.EventsApplied())
+
+	// The handler is installed before the API answers its first query, so a
+	// supervisor that signals as soon as the port is up is never missed.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	hs := &http.Server{Handler: s.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	ingestErr := make(chan error, 1)
+	dec := dynamics.NewDecoder(stdin)
+	go func() {
+		for {
+			ev, err := dec.Next()
+			if err == io.EOF {
+				ingestErr <- nil
+				return
+			}
+			if err != nil {
+				ingestErr <- err
+				return
+			}
+			res, err := s.Apply(ev)
+			if err != nil {
+				ingestErr <- err
+				return
+			}
+			fmt.Fprintf(out, "anysim: applied %s: seq %d, tick %d, %d dirty\n",
+				res.Event, res.Seq, res.Tick, res.Dirty)
+		}
+	}()
+
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx) // drains in-flight queries
+	}
+	for {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(out, "anysim: %v: draining queries and shutting down\n", sig)
+			if err := shutdown(); err != nil {
+				return err
+			}
+			if sa.checkpoint != "" {
+				if _, err := s.WriteCheckpoint(sa.checkpoint); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "anysim: checkpoint written to %s\n", sa.checkpoint)
+			}
+			return nil
+		case err := <-httpErr:
+			return fmt.Errorf("http: %w", err)
+		case err := <-ingestErr:
+			if err != nil {
+				shutdown() //nolint:errcheck // the ingest error is the one to report
+				return fmt.Errorf("stdin ingest: %w", err)
+			}
+			ingestErr = nil // EOF: keep serving on the HTTP API
+		}
+	}
+}
+
 func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.Registry, tracer *obs.Tracer) error {
 	d, err := deploymentByName(w, depName)
 	if err != nil {
@@ -717,6 +884,20 @@ func usage(out io.Writer) {
   scenario <file>          replay a fault scenario against -dep (default im6)
   load [bucket]            per-site demand and utilization for -dep
                            (default: the peak bucket)
+  serve [-listen A] [-checkpoint F] [-restore F]
+                           keep the world resident for -dep: ingest dynamics
+                           events from stdin and POST /events, answer live
+                           queries (/status /catchment /load /explain /diff
+                           /metrics) from consistent snapshots, advance the
+                           demand clock via POST /advance, and checkpoint/
+                           restore the full simulation state; SIGTERM drains
+                           queries, checkpoints (if -checkpoint), and flushes
+                           sinks before exiting
+exit codes: 0 success; 1 runtime error (including diverging traces under
+diff and failed -tracefile sinks); 2 usage error; 3 routing non-termination
+(a policy dispute drove the BGP solver past its iteration bound); 4 event
+stream decode failure (serve's stdin held a line the dynamics DSL/JSONL
+decoder rejects; the error names the line)
 -cpuprofile/-memprofile write pprof profiles of the subcommand (world
 construction excluded), e.g.: anysim -small -cpuprofile cpu.out load
 -metrics writes a deterministic JSON metrics snapshot after the run ("-"

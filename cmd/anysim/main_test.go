@@ -4,14 +4,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"anysim/internal/bgp"
+	"anysim/internal/dynamics"
 	"anysim/internal/worldgen"
 )
 
@@ -53,6 +58,10 @@ func TestExitCode(t *testing.T) {
 	}
 	if got := exitCode(fmt.Errorf("plain failure")); got != exitError {
 		t.Errorf("plain error -> %d, want %d", got, exitError)
+	}
+	derr := &dynamics.DecodeError{Line: 3, Err: fmt.Errorf("bad event")}
+	if got := exitCode(fmt.Errorf("stdin ingest: %w", derr)); got != exitDecode {
+		t.Errorf("wrapped DecodeError -> %d, want %d", got, exitDecode)
 	}
 }
 
@@ -362,6 +371,195 @@ func TestRunSubcommands(t *testing.T) {
 		}
 		if !strings.Contains(errOut.String(), "debug server on") {
 			t.Errorf("stderr missing debug server banner: %s", errOut.String())
+		}
+	})
+
+	// freePort picks a fixed-but-free port the same way the debug-addr test
+	// does: bind :0 to discover one and release it for the CLI.
+	freePort := func(t *testing.T) string {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	// waitStatus polls GET /status until the server is up and has applied
+	// wantEvents events (stdin ingest is concurrent with startup).
+	waitStatus := func(t *testing.T, base string, wantEvents int64) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get(base + "/status")
+			if err == nil {
+				var st struct {
+					Events int64 `json:"events"`
+				}
+				err := json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode == http.StatusOK && st.Events >= wantEvents {
+					return
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("server at %s did not reach %d applied events", base, wantEvents)
+	}
+	mustGet := func(t *testing.T, url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, err %v: %s", url, resp.StatusCode, err, body)
+		}
+		return string(body)
+	}
+
+	dir := t.TempDir()
+	cpPath := filepath.Join(dir, "serve-cp.json")
+
+	t.Run("serve", func(t *testing.T) {
+		addr := freePort(t)
+		metrics := filepath.Join(dir, "serve-m.json")
+		stdin = strings.NewReader("at 1 site-down fra\n")
+		defer func() { stdin = os.Stdin }()
+
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...),
+			"-metrics", metrics, "serve", "-listen", addr, "-checkpoint", cpPath)
+		done := make(chan int, 1)
+		go func() { done <- run(args, &out, &errOut) }()
+
+		api := "http://" + addr
+		waitStatus(t, api, 1) // stdin event applied
+
+		// Queries against a fixed state are deterministic.
+		load1 := mustGet(t, api+"/load")
+		load2 := mustGet(t, api+"/load")
+		if load1 == "" || load1 != load2 {
+			t.Errorf("GET /load nondeterministic or empty:\n%s\n%s", load1, load2)
+		}
+		if !strings.Contains(load1, `"sites"`) {
+			t.Errorf("GET /load missing sites: %s", load1)
+		}
+
+		// Ingest over HTTP composes with stdin ingest.
+		resp, err := http.Post(api+"/events", "text/plain",
+			strings.NewReader("at 2 site-up fra\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /events = %d", resp.StatusCode)
+		}
+		waitStatus(t, api, 2)
+
+		// Graceful shutdown: drain, checkpoint, flush sinks, exit 0.
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != exitOK {
+				t.Fatalf("serve exit %d, stderr: %s", code, errOut.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("serve did not shut down on SIGTERM")
+		}
+		for _, want := range []string{"serving Imperva-6", "shutting down", "checkpoint written"} {
+			if !strings.Contains(errOut.String(), want) {
+				t.Errorf("serve stderr missing %q: %s", want, errOut.String())
+			}
+		}
+		if st, err := os.Stat(cpPath); err != nil || st.Size() == 0 {
+			t.Fatalf("shutdown checkpoint not written: %v", err)
+		}
+		snap, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatalf("metrics snapshot not written: %v", err)
+		}
+		if !strings.Contains(string(snap), `"serve.ingest.events": 2`) {
+			t.Errorf("metrics snapshot missing serve ingest count:\n%s", snap)
+		}
+	})
+
+	t.Run("serve-restore", func(t *testing.T) {
+		if _, err := os.Stat(cpPath); err != nil {
+			t.Skip("no checkpoint from the serve subtest")
+		}
+		addr := freePort(t)
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...),
+			"serve", "-listen", addr, "-restore", cpPath)
+		done := make(chan int, 1)
+		go func() { done <- run(args, &out, &errOut) }()
+
+		// The restored server resumes at the checkpointed clock: 2 events
+		// applied, tick 2, without replaying anything.
+		api := "http://" + addr
+		waitStatus(t, api, 2)
+		var st struct {
+			Tick   int64 `json:"tick"`
+			Events int64 `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(mustGet(t, api+"/status")), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Tick != 2 || st.Events != 2 {
+			t.Errorf("restored status tick=%d events=%d, want 2/2", st.Tick, st.Events)
+		}
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case code := <-done:
+			if code != exitOK {
+				t.Fatalf("serve exit %d, stderr: %s", code, errOut.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("restored serve did not shut down on SIGTERM")
+		}
+	})
+
+	t.Run("serve-decode-error", func(t *testing.T) {
+		stdin = strings.NewReader("at 1 site-down fra\nat 2 frobnicate\n")
+		defer func() { stdin = os.Stdin }()
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...), "serve", "-listen", "127.0.0.1:0")
+		if code := run(args, &out, &errOut); code != exitDecode {
+			t.Fatalf("exit %d, want %d (bad stdin stream), stderr: %s",
+				code, exitDecode, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "line 2") {
+			t.Errorf("stderr does not name the bad line: %s", errOut.String())
+		}
+	})
+
+	t.Run("serve-restore-missing", func(t *testing.T) {
+		var out, errOut bytes.Buffer
+		args := append(append([]string(nil), base...),
+			"serve", "-listen", "127.0.0.1:0", "-restore", "/nonexistent/cp.json")
+		if code := run(args, &out, &errOut); code != exitError {
+			t.Fatalf("exit %d, want %d", code, exitError)
+		}
+	})
+
+	t.Run("serve-usage", func(t *testing.T) {
+		for _, args := range [][]string{
+			{"serve", "extra"},      // stray argument
+			{"serve", "-bogusflag"}, // unknown flag
+		} {
+			var out, errOut bytes.Buffer
+			if code := run(append(append([]string(nil), base...), args...), &out, &errOut); code != exitUsage {
+				t.Errorf("run(%q) = %d, want usage exit %d", args, code, exitUsage)
+			}
 		}
 	})
 }

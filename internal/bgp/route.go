@@ -139,11 +139,11 @@ const MaxPrepend = 8
 // relationship preference: a provider still prefers a prepended customer
 // route over any peer or provider route.
 type SiteAnnouncement struct {
-	Origin        topo.ASN
-	Site          string
-	City          string
-	OnlyNeighbors []topo.ASN
-	Prepend       int
+	Origin        topo.ASN   `json:"origin"`
+	Site          string     `json:"site"`
+	City          string     `json:"city"`
+	OnlyNeighbors []topo.ASN `json:"only_neighbors,omitempty"`
+	Prepend       int        `json:"prepend,omitempty"`
 }
 
 // seedPath is the AS path the announcement exports to its neighbours: the

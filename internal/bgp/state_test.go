@@ -1,0 +1,183 @@
+package bgp
+
+import (
+	"encoding/json"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"anysim/internal/topo"
+)
+
+// stateTestEngines returns two engines over identically-seeded topologies
+// with the same anycast announcements, for export/restore experiments. The
+// deployment origin is a CDN AS present in three cities, homed on tier-1
+// providers (the same shape the concurrency tests build).
+func stateTestEngines(t *testing.T) (*Engine, *Engine, []netip.Prefix) {
+	t.Helper()
+	mk := func() (*Engine, []netip.Prefix) {
+		tp, err := topo.Generate(topo.GenConfig{Seed: 77, NumTier1: 4, NumTier2: 24, NumStub: 160, NumIXP: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdnAS := &topo.AS{ASN: topo.CDNBase, Name: "CDN", Tier: topo.TierCDN, Home: "US",
+			Cities: []string{"IAD", "FRA", "SIN"}, Prefix: netip.MustParsePrefix("32.0.0.0/16")}
+		if err := tp.AddAS(cdnAS); err != nil {
+			t.Fatal(err)
+		}
+		providerCities := map[topo.ASN][]string{}
+		for _, city := range cdnAS.Cities {
+			for _, asn := range tp.ASNs() {
+				if a := tp.MustAS(asn); a.Tier == topo.Tier1 && a.PresentIn(city) {
+					providerCities[asn] = append(providerCities[asn], city)
+					break
+				}
+			}
+		}
+		for asn, cities := range providerCities {
+			if err := tp.AddLink(topo.Link{A: cdnAS.ASN, B: asn, Type: topo.CustomerToProvider, Cities: cities}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tp.Freeze()
+
+		e := NewEngine(tp)
+		p1 := netip.MustParsePrefix("198.18.0.0/24")
+		p2 := netip.MustParsePrefix("198.18.1.0/24")
+		if err := e.Announce(p1, []SiteAnnouncement{
+			{Origin: cdnAS.ASN, Site: "s1", City: "IAD"},
+			{Origin: cdnAS.ASN, Site: "s2", City: "FRA", Prepend: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Announce(p2, []SiteAnnouncement{{Origin: cdnAS.ASN, Site: "s3", City: "SIN"}}); err != nil {
+			t.Fatal(err)
+		}
+		return e, []netip.Prefix{p1, p2}
+	}
+	a, prefixes := mk()
+	b, _ := mk()
+	return a, b, prefixes
+}
+
+// TestExportRestoreRoundTrip withdraws a site (leaving hints and perturbed
+// ribs), exports, restores onto a fresh engine, and checks the restored
+// engine's routing state and a re-export match bit for bit.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	a, b, prefixes := stateTestEngines(t)
+
+	// Perturb engine a: withdraw one site, so hints exist and p1 routes
+	// differ from the freshly-announced state.
+	if err := a.WithdrawSite(prefixes[0], "s1"); err != nil {
+		t.Fatal(err)
+	}
+	st := a.ExportState()
+	if len(st) != 2 {
+		t.Fatalf("export has %d prefixes, want 2", len(st))
+	}
+
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	// Routing state equality: identical catchments for every prefix...
+	for _, p := range prefixes {
+		if got, want := b.Catchments(p), a.Catchments(p); !reflect.DeepEqual(got, want) {
+			t.Errorf("catchments of %s differ after restore", p)
+		}
+	}
+	// ...and a re-export (announcements + hints) that is deeply equal, so
+	// post-restore incremental operations start from the same seeds.
+	if got := b.ExportState(); !reflect.DeepEqual(got, st) {
+		t.Errorf("re-export differs:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Post-restore evolution stays in lockstep: the same incremental op on
+	// both engines reports identical reconvergence stats and catchments.
+	if err := a.AnnounceSite(prefixes[0], st[0].Anns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AnnounceSite(prefixes[0], st[0].Anns[0]); err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := a.LastReconvergeStats(), b.LastReconvergeStats(); sa != sb {
+		t.Errorf("post-restore stats diverge: %+v vs %+v", sa, sb)
+	}
+	if !reflect.DeepEqual(a.Catchments(prefixes[0]), b.Catchments(prefixes[0])) {
+		t.Error("post-restore catchments diverge")
+	}
+}
+
+// TestRestoreDarkPrefixAndWithdraw checks the two edges: a fully-withdrawn
+// (dark) prefix survives the round trip re-announceable, and prefixes
+// absent from the restored state are withdrawn.
+func TestRestoreDarkPrefixAndWithdraw(t *testing.T) {
+	a, b, prefixes := stateTestEngines(t)
+	p1, p2 := prefixes[0], prefixes[1]
+
+	// Darken p2 on a (it has a single site).
+	if err := a.WithdrawSite(p2, "s3"); err != nil {
+		t.Fatal(err)
+	}
+	st := a.ExportState()
+
+	// Give b an extra prefix that the restore must withdraw.
+	extra := netip.MustParsePrefix("198.18.9.0/24")
+	if err := b.Announce(extra, st[0].Anns[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Prefixes()
+	want := []netip.Prefix{p1, p2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored prefixes = %v, want %v", got, want)
+	}
+	if n := len(b.Catchments(p2)); n != 0 {
+		t.Errorf("dark prefix has %d catchment entries after restore", n)
+	}
+	// The dark prefix is still re-announceable via the incremental path.
+	darkAnn := SiteAnnouncement{Origin: st[0].Anns[0].Origin, Site: "s3", City: st[0].Anns[0].City}
+	if err := b.AnnounceSite(p2, darkAnn); err != nil {
+		t.Fatalf("re-announce of dark prefix: %v", err)
+	}
+}
+
+// TestRestoreRejectsBadHint checks hint index validation.
+func TestRestoreRejectsBadHint(t *testing.T) {
+	_, b, _ := stateTestEngines(t)
+	st := []PrefixState{{
+		Prefix: netip.MustParsePrefix("198.18.0.0/24"),
+		Anns:   b.ExportState()[0].Anns,
+		Hints:  []SiteHint{{Site: "s1", ASes: []int{1 << 30}}},
+	}}
+	if err := b.RestoreState(st); err == nil {
+		t.Fatal("restore accepted out-of-range hint index")
+	}
+}
+
+// TestPrefixStateJSONStable pins the wire encoding of PrefixState.
+func TestPrefixStateJSONStable(t *testing.T) {
+	ps := PrefixState{
+		Prefix: netip.MustParsePrefix("198.18.0.0/24"),
+		Anns: []SiteAnnouncement{{
+			Origin: 64512, Site: "s1", City: "FRA", OnlyNeighbors: []topo.ASN{7}, Prepend: 3,
+		}},
+		Hints: []SiteHint{{Site: "s1", ASes: []int{0, 5}}},
+	}
+	data, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"prefix":"198.18.0.0/24","anns":[{"origin":64512,"site":"s1","city":"FRA","only_neighbors":[7],"prepend":3}],"hints":[{"site":"s1","ases":[0,5]}]}`
+	if string(data) != want {
+		t.Errorf("encoding drifted:\n got %s\nwant %s", data, want)
+	}
+	var back PrefixState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ps) {
+		t.Errorf("round trip = %+v, want %+v", back, ps)
+	}
+}

@@ -16,10 +16,11 @@ package dynamics
 //
 // Parse and Scenario.String round-trip: serializing a parsed scenario and
 // parsing it again yields the same schedule (events sorted by tick,
-// declaration order preserved within a tick).
+// declaration order preserved within a tick). Scenario files may also mix
+// in JSON event lines — Parse is built on the streaming Decoder shared
+// with `anysim serve`'s ingest paths (see stream.go).
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -37,40 +38,23 @@ var kindByName = func() map[string]Kind {
 	return m
 }()
 
-// Parse reads a scenario from DSL text.
+// Parse reads a scenario from DSL text. It is a thin collector over the
+// streaming Decoder, which scenario files share with the live ingest paths;
+// errors carry 1-based line numbers (see DecodeError).
 func Parse(r io.Reader) (*Scenario, error) {
+	d := NewDecoder(r)
 	sc := &Scenario{}
-	s := bufio.NewScanner(r)
-	lineNo := 0
-	for s.Scan() {
-		lineNo++
-		line := strings.TrimSpace(s.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
 		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "scenario":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("dynamics: line %d: want `scenario <name>`", lineNo)
-			}
-			if sc.Name != "" {
-				return nil, fmt.Errorf("dynamics: line %d: duplicate scenario header", lineNo)
-			}
-			sc.Name = fields[1]
-		case "at":
-			ev, err := parseEvent(fields)
-			if err != nil {
-				return nil, fmt.Errorf("dynamics: line %d: %w", lineNo, err)
-			}
-			sc.Events = append(sc.Events, ev)
-		default:
-			return nil, fmt.Errorf("dynamics: line %d: unknown directive %q", lineNo, fields[0])
+		if err != nil {
+			return nil, err
 		}
+		sc.Events = append(sc.Events, ev)
 	}
-	if err := s.Err(); err != nil {
-		return nil, fmt.Errorf("dynamics: reading scenario: %w", err)
-	}
+	sc.Name = d.Name()
 	if sc.Name == "" {
 		return nil, fmt.Errorf("dynamics: scenario has no `scenario <name>` header")
 	}
@@ -139,6 +123,9 @@ func parseEvent(fields []string) (Event, error) {
 			return Event{}, fmt.Errorf("%s wants one site ID", kind)
 		}
 		ev.Site = args[0]
+	}
+	if err := checkEvent(ev); err != nil {
+		return Event{}, err
 	}
 	return ev, nil
 }

@@ -68,14 +68,17 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	return r.counter(name, false)
+}
+
+// WallCounter registers (or retrieves) a wall-clock-class counter (e.g.
+// query counts of a live server, which no two runs repeat identically).
+// Its Add is a no-op unless EnableWall(true) was called.
+func (r *Registry) WallCounter(name string) *Counter {
+	if r == nil {
+		return nil
 	}
-	return c
+	return r.counter(name, true)
 }
 
 // Gauge registers (or retrieves) a sim-class gauge.

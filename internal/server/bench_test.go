@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"anysim/internal/dynamics"
+)
+
+// BenchmarkServeIngestEvent measures the resident server's full ingest
+// path — incremental reconvergence, load re-evaluation, and state
+// publication — by flapping the busiest site on the small world. The
+// custom query-ns/op column reports the latency of a GET /load served
+// from the published snapshot, the number a dashboard polling the twin
+// would see.
+func BenchmarkServeIngestEvent(b *testing.B) {
+	s := testServer(b, 7)
+	var site string
+	var bestGroups int
+	for _, sl := range s.Current().Load.Sites {
+		if sl.Groups > bestGroups {
+			site, bestGroups = sl.Site, sl.Groups
+		}
+	}
+	down := dynamics.Event{Kind: dynamics.SiteDown, Site: site}
+	up := dynamics.Event{Kind: dynamics.SiteUp, Site: site}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := down
+		if i%2 == 1 {
+			ev = up
+		}
+		if _, err := s.Apply(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	// Query latency against the final published state, via the real
+	// handler. The first request pays the memoized capture; the sampled
+	// /load reads measure the steady state.
+	h := s.Handler()
+	get := func(target string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("GET %s = %d", target, rec.Code)
+		}
+	}
+	get("/load")
+	const queries = 64
+	t0 := time.Now()
+	for i := 0; i < queries; i++ {
+		get("/load")
+	}
+	b.ReportMetric(float64(time.Since(t0).Nanoseconds())/queries, "query-ns/op")
+}
+
+// BenchmarkServeIngestStream measures ingest through the event decoder —
+// the POST /events path — amortized over a 16-event flap stream.
+func BenchmarkServeIngestStream(b *testing.B) {
+	s := testServer(b, 7)
+	var site string
+	var bestGroups int
+	for _, sl := range s.Current().Load.Sites {
+		if sl.Groups > bestGroups {
+			site, bestGroups = sl.Site, sl.Groups
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&sb, "at 0 site-down %s\nat 0 site-up %s\n", site, site)
+	}
+	stream := sb.String()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ingest(strings.NewReader(stream)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package server
+
+// The live query API. Every GET reads one immutable published State (an
+// engine fork), so responses are internally consistent and never observe a
+// half-applied event; POST /events and /advance go through the serialized
+// ingest path. Responses are JSON; for a fixed world, event history, and
+// tick, query bodies are deterministic (byte-identical across runs), which
+// the serve smoke test and the checkpoint round-trip test rely on.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"anysim/internal/dynamics"
+	"anysim/internal/glass"
+)
+
+// Handler returns the HTTP API:
+//
+//	GET  /status             clock, deployment, and world identity
+//	GET  /catchment          full captured catchment (glass.CatchmentSet)
+//	GET  /load               per-site load for the current time bucket
+//	GET  /explain?group=K    one probe group's catchment, hop by hop
+//	GET  /diff?since=T       catchment moves since the state at tick T
+//	GET  /metrics            obs registry snapshot
+//	POST /events             ingest a dynamics-DSL / JSONL event stream
+//	POST /advance?to=T       advance the virtual clock
+//	POST /checkpoint[?path=] write a checkpoint file
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrumented(h))
+	}
+	handle("GET /status", s.handleStatus)
+	handle("GET /catchment", s.handleCatchment)
+	handle("GET /load", s.handleLoad)
+	handle("GET /explain", s.handleExplain)
+	handle("GET /diff", s.handleDiff)
+	handle("GET /metrics", s.handleMetrics)
+	handle("POST /events", s.handleEvents)
+	handle("POST /advance", s.handleAdvance)
+	handle("POST /checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+// instrumented counts queries and their wall latency (wall-class metrics;
+// free unless EnableWall is on).
+func (s *Server) instrumented(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.sobs.queries.Inc()
+		s.sobs.queryNs.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// writeJSON encodes v stably (MarshalIndent via glass.JSON) with a
+// trailing newline.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := glass.JSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	io.WriteString(w, body)
+}
+
+// apiError is the error body of every non-2xx JSON response.
+type apiError struct {
+	Error string `json:"error"`
+	// Line is set for event-stream decode errors.
+	Line int `json:"line,omitempty"`
+	// Applied reports events that took effect before the failure.
+	Applied []ApplyResult `json:"applied,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// statusView is the GET /status body.
+type statusView struct {
+	Dep        string             `json:"dep"`
+	Seed       int64              `json:"seed"`
+	World      string             `json:"world"`
+	Seq        int64              `json:"seq"`
+	Tick       int64              `json:"tick"`
+	Bucket     int                `json:"bucket"`
+	Events     int64              `json:"events"`
+	OldestTick int64              `json:"oldest_tick"`
+	Prefixes   int                `json:"prefixes"`
+	Groups     int                `json:"groups"`
+	Flash      map[string]float64 `json:"flash,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.Current()
+	writeJSON(w, http.StatusOK, statusView{
+		Dep:        s.dep.Name,
+		Seed:       s.w.Config.Seed,
+		World:      s.w.Config.Hash(),
+		Seq:        st.Seq,
+		Tick:       st.Tick,
+		Bucket:     st.Bucket,
+		Events:     s.EventsApplied(),
+		OldestTick: s.OldestTick(),
+		Prefixes:   len(st.Engine.Prefixes()),
+		Groups:     len(s.model.Groups),
+		Flash:      flashView(st),
+	})
+}
+
+func (s *Server) handleCatchment(w http.ResponseWriter, r *http.Request) {
+	set, err := s.Current().Catchment()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, set)
+}
+
+// siteView is one site's row in the GET /load body.
+type siteView struct {
+	Site        string  `json:"site"`
+	City        string  `json:"city"`
+	Tier        string  `json:"tier"`
+	Capacity    float64 `json:"capacity"`
+	Demand      float64 `json:"demand"`
+	Utilization float64 `json:"utilization"`
+	Groups      int     `json:"groups"`
+	Overloaded  bool    `json:"overloaded,omitempty"`
+}
+
+// loadView is the GET /load body.
+type loadView struct {
+	Seq            int64              `json:"seq"`
+	Tick           int64              `json:"tick"`
+	Bucket         int                `json:"bucket"`
+	MaxUtilization float64            `json:"max_utilization"`
+	Unserved       float64            `json:"unserved"`
+	Flash          map[string]float64 `json:"flash,omitempty"`
+	Sites          []siteView         `json:"sites"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	st := s.Current()
+	view := loadView{
+		Seq:            st.Seq,
+		Tick:           st.Tick,
+		Bucket:         st.Bucket,
+		MaxUtilization: st.Load.MaxUtilization(),
+		Unserved:       st.Load.Unserved,
+		Flash:          flashView(st),
+	}
+	for _, sl := range st.Load.Sites {
+		view.Sites = append(view.Sites, siteView{
+			Site:        sl.Site,
+			City:        sl.City,
+			Tier:        sl.Tier.String(),
+			Capacity:    sl.Capacity,
+			Demand:      sl.Demand,
+			Utilization: sl.Utilization(),
+			Groups:      sl.Groups,
+			Overloaded:  sl.Overloaded(),
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func flashView(st *State) map[string]float64 {
+	if len(st.Flash) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(st.Flash))
+	for a, f := range st.Flash {
+		out[a.String()] = f
+	}
+	return out
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	group := r.URL.Query().Get("group")
+	if group == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ?group=CITY|ASN"))
+		return
+	}
+	st := s.Current()
+	ce, err := glass.ExplainCatchment(st.Engine, s.dep, st.measurer(), s.w.Platform.Retained(), group)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ce)
+}
+
+// diffView is the GET /diff body: the classified moves between the
+// retained state at the requested tick and the current state.
+type diffView struct {
+	Since    int64            `json:"since"`
+	BaseSeq  int64            `json:"base_seq"`
+	BaseTick int64            `json:"base_tick"`
+	Seq      int64            `json:"seq"`
+	Tick     int64            `json:"tick"`
+	Report   glass.DiffReport `json:"report"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	since, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?since=: %w", err))
+		return
+	}
+	base := s.StateAt(since)
+	if base == nil {
+		writeError(w, http.StatusGone,
+			fmt.Errorf("history does not reach tick %d (oldest retained tick is %d)", since, s.OldestTick()))
+		return
+	}
+	cur := s.Current()
+	before, err := base.Catchment()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	after, err := cur.Catchment()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rep, err := glass.Diff(before, after)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, diffView{
+		Since:    since,
+		BaseSeq:  base.Seq,
+		BaseTick: base.Tick,
+		Seq:      cur.Seq,
+		Tick:     cur.Tick,
+		Report:   rep,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.w.Config.Metrics.WriteSnapshot(w)
+}
+
+// eventsView is the POST /events success body.
+type eventsView struct {
+	Applied []ApplyResult `json:"applied"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	applied, err := s.Ingest(r.Body)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		var derr *dynamics.DecodeError
+		line := 0
+		if errors.As(err, &derr) {
+			code = http.StatusBadRequest
+			line = derr.Line
+		}
+		writeJSON(w, code, apiError{Error: err.Error(), Line: line, Applied: applied})
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsView{Applied: applied})
+}
+
+// Ingest decodes an event stream (dynamics DSL or JSONL, see
+// dynamics.NewDecoder) and applies each event in order. On error it
+// returns the results of the events already applied — an event stream is
+// applied up to, not including, its first bad line.
+func (s *Server) Ingest(r io.Reader) ([]ApplyResult, error) {
+	d := dynamics.NewDecoder(r)
+	var applied []ApplyResult
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		res, err := s.Apply(ev)
+		if err != nil {
+			return applied, err
+		}
+		applied = append(applied, res)
+	}
+}
+
+// advanceView is the POST /advance body.
+type advanceView struct {
+	Seq    int64 `json:"seq"`
+	Tick   int64 `json:"tick"`
+	Bucket int   `json:"bucket"`
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	to, err := strconv.ParseInt(r.URL.Query().Get("to"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?to=: %w", err))
+		return
+	}
+	st, err := s.AdvanceTo(to)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, advanceView{Seq: st.Seq, Tick: st.Tick, Bucket: st.Bucket})
+}
+
+// checkpointView is the POST /checkpoint body.
+type checkpointView struct {
+	Path   string `json:"path"`
+	Bytes  int    `json:"bytes"`
+	Tick   int64  `json:"tick"`
+	Events int64  `json:"events"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		path = s.cfg.CheckpointPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("no ?path= given and the server has no default checkpoint path (-checkpoint)"))
+		return
+	}
+	n, err := s.WriteCheckpoint(path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointView{Path: path, Bytes: n, Tick: s.Current().Tick, Events: s.EventsApplied()})
+}

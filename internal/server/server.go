@@ -1,0 +1,352 @@
+// Package server is the always-on face of the simulator: where the
+// subcommands in cmd/anysim build a world, run one experiment, and exit,
+// `anysim serve` keeps a world resident and turns it into a live digital
+// twin of an anycast deployment. Routing events (the dynamics DSL) stream
+// in over stdin or HTTP and are applied through the BGP engine's
+// incremental reconvergence; a virtual clock advances demand through the
+// diurnal time buckets; and a query API answers catchment, load, and
+// explain questions about the current state without ever blocking ingest.
+//
+// The concurrency design leans entirely on Engine.Fork: every published
+// state holds a copy-on-write fork of the engine (microseconds to make),
+// so queries read an immutable snapshot while the one ingest goroutine
+// mutates the real engine. A query that arrives mid-event sees the
+// pre-event world, never a half-converged one. Recent states are retained
+// in a ring so /diff can attribute catchment moves to the events between
+// two ticks.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"anysim/internal/atlas"
+	"anysim/internal/bgp"
+	"anysim/internal/cdn"
+	"anysim/internal/dynamics"
+	"anysim/internal/geo"
+	"anysim/internal/glass"
+	"anysim/internal/obs"
+	"anysim/internal/traffic"
+	"anysim/internal/worldgen"
+)
+
+// DefaultHistory is the number of published states retained for /diff.
+const DefaultHistory = 128
+
+// Config assembles a server over a built world.
+type Config struct {
+	// World is the simulated Internet; it must have been built with
+	// Provenance on (explain queries and catchment classification need the
+	// engine's decision records). The world's Metrics and Tracer, if any,
+	// observe the server too.
+	World *worldgen.World
+	// Dep is the deployment the server fronts (events and queries are
+	// scoped to it).
+	Dep *cdn.Deployment
+	// Demand and Capacity shape the load model; zero values take the
+	// package defaults (Demand.Seed defaults to the world seed).
+	Demand   traffic.DemandConfig
+	Capacity traffic.CapacityConfig
+	// History bounds the retained state ring; DefaultHistory when 0.
+	History int
+	// CheckpointPath is the default target of POST /checkpoint.
+	CheckpointPath string
+	// Restore, when set, resumes from a checkpoint instead of starting at
+	// tick 0: routing, link states, flash crowds, clock, capacities, and
+	// the metrics registry are all reinstated bit-identically. The world
+	// must match the checkpoint's compatibility header (seed, world-config
+	// hash, schema) and deployment.
+	Restore *Checkpoint
+}
+
+// Server owns one world and applies events to it. All mutation goes
+// through the mutex-serialized ingest path (Apply, AdvanceTo, Checkpoint);
+// queries never take that lock — they read the last published State.
+type Server struct {
+	cfg   Config
+	w     *worldgen.World
+	dep   *cdn.Deployment
+	model *traffic.Model
+	eval  *traffic.Evaluator
+
+	mu     sync.Mutex
+	runner *dynamics.Runner
+	tick   int64
+	events int64 // events applied (ingest clock)
+	seq    int64 // states published
+	hist   []*State
+
+	cur atomic.Pointer[State]
+
+	sobs serverObs
+}
+
+// serverObs bundles the server's observability handles. Ingest-side
+// metrics are sim-class (the event stream determines them); query counts
+// are wall-class, since no two runs see the same queries.
+type serverObs struct {
+	events *obs.Counter   // serve.ingest.events
+	ticks  *obs.Counter   // serve.ticks
+	dirty  *obs.Histogram // serve.ingest.dirty
+	passes *obs.Histogram // serve.ingest.passes
+
+	queries *obs.Counter   // serve.queries (wall)
+	queryNs *obs.Histogram // serve.query.ns (wall)
+
+	tracer *obs.Tracer
+}
+
+// State is one published snapshot: an immutable view of the world at a
+// (seq, tick) instant. Engine is a copy-on-write fork — later ingest never
+// mutates it — so any number of queries can read one State concurrently.
+type State struct {
+	Seq    int64
+	Tick   int64
+	Bucket int
+	Engine *bgp.Engine
+	Load   *traffic.LoadReport
+	Flash  map[geo.Area]float64
+
+	srv     *Server
+	capOnce sync.Once
+	capSet  glass.CatchmentSet
+	capErr  error
+}
+
+// Catchment returns the deployment's full captured catchment at this
+// state, computed on first use and memoized (capture walks every probe
+// group; /catchment and /diff share one capture per state).
+func (st *State) Catchment() (glass.CatchmentSet, error) {
+	st.capOnce.Do(func() {
+		st.capSet, st.capErr = glass.Capture(st.Engine, st.srv.dep, st.measurer(), st.srv.w.Platform.Retained())
+	})
+	return st.capSet, st.capErr
+}
+
+// measurer returns the world's measurer rebound to this state's engine
+// fork: a Measurer resolves forwarding through the engine it holds, and a
+// query must see the snapshot, not the live (mutating) engine.
+func (st *State) measurer() *atlas.Measurer {
+	m := *st.srv.w.Measurer
+	m.Engine = st.Engine
+	return &m
+}
+
+// New assembles a server, deriving site capacities from the world's
+// baseline routing (or reinstating checkpointed ones — see Config.Restore)
+// and publishing the initial state.
+func New(cfg Config) (*Server, error) {
+	if cfg.World == nil || cfg.Dep == nil {
+		return nil, fmt.Errorf("server: Config.World and Config.Dep are required")
+	}
+	w := cfg.World
+	if !w.Engine.ProvenanceEnabled() {
+		return nil, fmt.Errorf("server: world must be built with Provenance on (worldgen.Config.Provenance)")
+	}
+	if cfg.History == 0 {
+		cfg.History = DefaultHistory
+	}
+	dcfg := cfg.Demand
+	if dcfg.Seed == 0 {
+		dcfg.Seed = w.Config.Seed
+	}
+	s := &Server{cfg: cfg, w: w, dep: cfg.Dep}
+	s.model = traffic.NewModel(w.Platform, dcfg)
+
+	reg, tr := w.Config.Metrics, w.Config.Tracer
+	s.sobs = serverObs{
+		events:  reg.Counter("serve.ingest.events"),
+		ticks:   reg.Counter("serve.ticks"),
+		dirty:   reg.Histogram("serve.ingest.dirty", obs.Pow2Bounds(20)),
+		passes:  reg.Histogram("serve.ingest.passes", obs.Pow2Bounds(6)),
+		queries: reg.WallCounter("serve.queries"),
+		queryNs: reg.WallHistogram("serve.query.ns", obs.Pow2Bounds(34)),
+		tracer:  tr,
+	}
+
+	if cp := cfg.Restore; cp != nil {
+		if err := s.restore(cp); err != nil {
+			return nil, err
+		}
+		s.eval.Instrument(reg)
+		s.mu.Lock()
+		s.publishLocked()
+		s.mu.Unlock()
+		// The metrics snapshot is reinstated last: rebuilding routing and
+		// publishing the initial state count work the checkpointed run
+		// already counted, and the restore must erase that double count.
+		if reg != nil && len(cp.Metrics) > 0 {
+			if err := reg.RestoreSnapshot(cp.Metrics); err != nil {
+				return nil, fmt.Errorf("server: restore metrics: %w", err)
+			}
+		}
+		s.emitTrace("restore", obs.Str("dep", s.dep.Name), obs.Int("events", s.events))
+		return s, nil
+	}
+
+	// Fresh start: capacities derive from the baseline diurnal peak, so the
+	// evaluator must be built before any event perturbs the catchments.
+	s.eval = traffic.NewEvaluator(w.Engine, s.dep, s.model, cfg.Capacity)
+	s.eval.Instrument(reg)
+	s.runner = dynamics.NewRunner(w.Engine, s.dep)
+	s.runner.Measurer = w.Measurer
+	s.runner.Probes = w.Platform.Retained()
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Model returns the demand model (read-only).
+func (s *Server) Model() *traffic.Model { return s.model }
+
+// Dep returns the deployment the server fronts.
+func (s *Server) Dep() *cdn.Deployment { return s.dep }
+
+// Current returns the last published state. Never nil after New.
+func (s *Server) Current() *State { return s.cur.Load() }
+
+// StateAt returns the newest retained state with Tick <= tick, or nil when
+// the history ring no longer reaches back that far.
+func (s *Server) StateAt(tick int64) *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.hist) - 1; i >= 0; i-- {
+		if s.hist[i].Tick <= tick {
+			return s.hist[i]
+		}
+	}
+	return nil
+}
+
+// EventsApplied returns the ingest clock: events applied so far.
+func (s *Server) EventsApplied() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// OldestTick returns the earliest tick the history ring still covers.
+func (s *Server) OldestTick() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist[0].Tick
+}
+
+// ApplyResult reports one ingested event.
+type ApplyResult struct {
+	Seq    int64  `json:"seq"`
+	Tick   int64  `json:"tick"`
+	Event  string `json:"event"`
+	Dirty  int    `json:"dirty"`
+	Passes int    `json:"passes"`
+	Full   bool   `json:"full,omitempty"`
+}
+
+// Apply ingests one event: the clock advances to the event's tick (an
+// event timed before the current tick applies "now" — the server's clock
+// only runs forward), the event reconverges routing incrementally, and a
+// new state is published.
+func (s *Server) Apply(ev dynamics.Event) (ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int64(ev.At) > s.tick {
+		s.tick = int64(ev.At)
+	}
+	if err := s.runner.Apply(ev); err != nil {
+		return ApplyResult{}, err
+	}
+	s.events++
+	var stats bgp.ReconvergeStats
+	switch ev.Kind {
+	case dynamics.FlashBegin, dynamics.FlashEnd:
+		// Demand-only events leave routing (and its stats) untouched.
+	default:
+		stats = s.w.Engine.LastReconvergeStats()
+	}
+	st := s.publishLocked()
+	s.sobs.events.Inc()
+	s.sobs.dirty.Observe(int64(stats.Dirty))
+	s.sobs.passes.Observe(int64(stats.Passes))
+	s.emitTrace("ingest",
+		obs.Str("event", ev.String()),
+		obs.Int("dirty", int64(stats.Dirty)),
+		obs.Int("passes", int64(stats.Passes)),
+		obs.Bool("full", stats.Full),
+	)
+	return ApplyResult{
+		Seq: st.Seq, Tick: s.tick, Event: ev.String(),
+		Dirty: stats.Dirty, Passes: stats.Passes, Full: stats.Full,
+	}, nil
+}
+
+// AdvanceTo moves the virtual clock to tick (strictly forward), re-binning
+// demand into the tick's time bucket and publishing the re-evaluated load.
+func (s *Server) AdvanceTo(tick int64) (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tick <= s.tick {
+		return nil, fmt.Errorf("server: clock runs forward: at tick %d, cannot advance to %d", s.tick, tick)
+	}
+	s.tick = tick
+	st := s.publishLocked()
+	s.sobs.ticks.Inc()
+	s.emitTrace("advance")
+	return st, nil
+}
+
+// publishLocked evaluates load for the current tick's bucket (with any
+// active flash crowds folded in) and publishes a new immutable state.
+// Caller holds s.mu.
+func (s *Server) publishLocked() *State {
+	bucket := int(s.tick % int64(s.model.Buckets()))
+	mat := s.model.Matrix(bucket)
+	flash := s.runner.ActiveFlash()
+	for _, a := range sortedAreas(flash) {
+		mat = s.model.FlashCrowd(mat, a, flash[a])
+	}
+	s.seq++
+	st := &State{
+		Seq:    s.seq,
+		Tick:   s.tick,
+		Bucket: bucket,
+		Engine: s.w.Engine.Fork(),
+		Flash:  flash,
+		srv:    s,
+	}
+	// Load is evaluated on the fork: the report is pinned to exactly the
+	// routing state the queries against this State will see.
+	st.Load = s.eval.EvaluateOn(st.Engine, mat)
+	s.cur.Store(st)
+	s.hist = append(s.hist, st)
+	if len(s.hist) > s.cfg.History {
+		s.hist = s.hist[len(s.hist)-s.cfg.History:]
+	}
+	return st
+}
+
+// emitTrace emits one server event clocked by (event, tick).
+func (s *Server) emitTrace(name string, attrs ...obs.Attr) {
+	if !s.sobs.tracer.Enabled() {
+		return
+	}
+	s.sobs.tracer.Emit(obs.Event{
+		Scope: "serve",
+		Name:  name,
+		Clock: []obs.Coord{{Key: "event", V: s.events}, {Key: "tick", V: s.tick}},
+		Attrs: attrs,
+	})
+}
+
+// sortedAreas returns a flash map's areas in deterministic order.
+func sortedAreas(m map[geo.Area]float64) []geo.Area {
+	out := make([]geo.Area, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -244,6 +244,21 @@ func NewEvaluator(e *bgp.Engine, dep *cdn.Deployment, m *Model, cfg CapacityConf
 	return ev
 }
 
+// NewEvaluatorWithCaps returns an evaluator that uses externally supplied
+// per-site capacities instead of deriving them from the baseline diurnal
+// peak. This is the checkpoint-restore path of `anysim serve`: capacities
+// were derived once against the original baseline routing and must survive
+// a restart bit-identically, even though the restored engine's current
+// routing state is no longer that baseline.
+func NewEvaluatorWithCaps(e *bgp.Engine, dep *cdn.Deployment, m *Model, cfg CapacityConfig, caps map[string]float64) *Evaluator {
+	cfg = cfg.withDefaults()
+	cp := make(map[string]float64, len(caps))
+	for site, c := range caps {
+		cp[site] = c
+	}
+	return &Evaluator{Engine: e, Dep: dep, Model: m, cfg: cfg, Caps: cp}
+}
+
 // Config returns the capacity configuration in effect.
 func (ev *Evaluator) Config() CapacityConfig { return ev.cfg }
 

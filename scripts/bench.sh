@@ -37,6 +37,13 @@ go test -run '^$' -benchmem -benchtime 1x -count 3 \
     -bench 'BenchmarkTrafficSteering$|BenchmarkSteeringRound$|BenchmarkDemandMatrix$' \
     . | tee -a "$raw"
 
+# The resident server: full ingest path (reconverge + re-evaluate + publish)
+# with the query-ns/op column reporting snapshot-read latency, and the
+# decoder-fronted stream path POST /events takes.
+go test -run '^$' -benchmem -count 3 \
+    -bench 'BenchmarkServeIngestEvent$|BenchmarkServeIngestStream$' \
+    ./internal/server/ | tee -a "$raw"
+
 awk '
 /^Benchmark/ {
     name = $1

@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of `anysim serve`.
+#
+# Builds the CLI, starts the resident server on the small world with an
+# ephemeral port, streams a fault in over POST /events, checks that GET
+# /load answers 200 with a nonempty, deterministic body (two reads of the
+# same published state must be byte-identical), then shuts down with
+# SIGTERM and requires a graceful zero exit. Everything a supervisor
+# (systemd, a container runtime) relies on, exercised once per commit.
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+log="$work/serve.log"
+pid=""
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/anysim" ./cmd/anysim
+
+# stdin is /dev/null: EOF must leave the server running on the HTTP API.
+# The tracefile checks the sink-flush path: SIGTERM must close the tracer.
+"$work/anysim" -small -tracefile "$work/trace.jsonl" serve -listen 127.0.0.1:0 \
+    < /dev/null 2> "$log" &
+pid=$!
+
+# The banner names the ephemeral port; poll for it.
+addr=""
+for _ in $(seq 1 150); do
+    addr=$(sed -n 's#.*serving .* on http://\([^/]*\)/.*#\1#p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve_smoke: server exited early"; cat "$log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "serve_smoke: no banner after 30s"; cat "$log"; exit 1; }
+echo "serve_smoke: up on $addr"
+
+# Fault in, load out.
+curl -fsS -X POST --data-binary 'at 1 site-down fra' "http://$addr/events" > "$work/events.json"
+grep -q '"applied"' "$work/events.json"
+curl -fsS "http://$addr/load" > "$work/load1.json"
+curl -fsS "http://$addr/load" > "$work/load2.json"
+[ -s "$work/load1.json" ] || { echo "serve_smoke: GET /load is empty"; exit 1; }
+grep -q '"sites"' "$work/load1.json"
+cmp -s "$work/load1.json" "$work/load2.json" || {
+    echo "serve_smoke: GET /load is nondeterministic"
+    diff "$work/load1.json" "$work/load2.json" || true
+    exit 1
+}
+
+# Graceful shutdown: drain and exit 0.
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve_smoke: nonzero exit on SIGTERM"; cat "$log"; exit 1
+fi
+pid=""
+grep -q 'shutting down' "$log"
+# The trace was flushed on shutdown: header line plus ingest events.
+[ -s "$work/trace.jsonl" ] || { echo "serve_smoke: trace not flushed"; exit 1; }
+grep -q '"scope": *"serve"' "$work/trace.jsonl" || {
+    echo "serve_smoke: trace has no serve events"; cat "$work/trace.jsonl"; exit 1
+}
+echo "serve_smoke: ok"
