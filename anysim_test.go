@@ -75,8 +75,8 @@ func TestFacadeReOpt(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("experiment count = %d, want 19 (15 tables/figures + X1 + X2 + X3 + X4)", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("experiment count = %d, want 20 (15 tables/figures + X1 + X2 + X3 + X4 + X6)", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, ex := range exps {
@@ -85,7 +85,7 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 		}
 		ids[ex.ID] = true
 	}
-	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "S54", "X1", "X2", "X3", "X4"} {
+	for _, want := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "S54", "X1", "X2", "X3", "X4", "X6"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}

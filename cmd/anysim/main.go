@@ -61,6 +61,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/policy"
 	"anysim/internal/server"
 	"anysim/internal/topo"
 	"anysim/internal/traffic"
@@ -99,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFile   = fs.String("tracefile", "", "write a JSONL trace of simulation events (world build, routing ops, scenario steps) to this file")
 		wallMetrics = fs.Bool("wallmetrics", false, "also collect wall-clock timings (the snapshot's \"wall\" section; nondeterministic)")
 		debugAddr   = fs.String("debug-addr", "", "serve expvar, net/http/pprof, and /metrics on this address while the run executes")
+		policyFile  = fs.String("policy", "", "install a community/filter policy from this file on the routing engine (its hash joins the run identity)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -215,6 +217,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The looking glass needs the engine's decision record, and serve's
 	// /explain endpoint is the same glass served over HTTP.
 	wcfg.Provenance = exp != nil || sv != nil
+	if *policyFile != "" {
+		pol, perr := policy.Load(*policyFile)
+		if perr != nil {
+			fmt.Fprintf(stderr, "anysim: %v\n", perr)
+			return exitUsage
+		}
+		wcfg.Policy = pol
+	}
 	w, err = worldgen.New(wcfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "anysim: building world: %v\n", err)
@@ -869,7 +879,7 @@ func load(out io.Writer, w *worldgen.World, depName string, bucket int, reg *obs
 }
 
 func usage(out io.Writer) {
-	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] [-cpuprofile F] [-memprofile F]
+	fmt.Fprintln(out, `usage: anysim [-seed N] [-small] [-policy F] [-cpuprofile F] [-memprofile F]
               [-metrics F|-] [-tracefile F] [-wallmetrics] [-debug-addr A] <subcommand>
   deployments              list deployments, regions, and VIPs
   catchment <host>         per-area catchment histogram for a hostname
@@ -904,5 +914,8 @@ construction excluded), e.g.: anysim -small -cpuprofile cpu.out load
 for stdout); -wallmetrics adds nondeterministic wall-clock timings to it.
 -tracefile writes a JSONL stream of simulation events keyed to simulation
 clocks. -debug-addr serves expvar, pprof, and /metrics over HTTP while
-the run executes, e.g.: anysim -small -debug-addr localhost:6060 load`)
+the run executes, e.g.: anysim -small -debug-addr localhost:6060 load
+-policy installs a community/filter policy (see internal/policy) on the
+routing engine; the policy hash joins the trace-header and checkpoint
+identity, so diff and restore refuse runs under a different policy.`)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"anysim/internal/geo"
+	"anysim/internal/policy"
 	"anysim/internal/topo"
 )
 
@@ -63,6 +64,10 @@ type Engine struct {
 	// off path never pays for the feature.
 	provOn bool
 	prov   map[netip.Prefix]provTable
+	// policy is the optional community/filter layer (see policy.go). nil —
+	// the default — means the engine behaves exactly as it did before the
+	// layer existed: no seed-time evaluation, no community pointers set.
+	policy *policy.Policy
 }
 
 // ribTable is one prefix's converged routing state: the per-AS RIB, indexed
@@ -257,6 +262,9 @@ func (e *Engine) validateAnn(prefix netip.Prefix, a SiteAnnouncement) error {
 	if a.Prepend < 0 || a.Prepend > MaxPrepend {
 		return fmt.Errorf("bgp: site %q announces %s with prepend %d outside [0,%d]", a.Site, prefix, a.Prepend, MaxPrepend)
 	}
+	if len(a.Communities) > 0 && e.policy == nil {
+		return fmt.Errorf("bgp: site %q announces %s with communities but the engine has no policy layer", a.Site, prefix)
+	}
 	return nil
 }
 
@@ -371,6 +379,24 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				continue
 			}
 			rel := classify(l, nbr)
+			var comms *policy.Set
+			if e.policy != nil {
+				var rejected bool
+				comms, rel, rejected = e.applySeedPolicy(prefix, a, nbr, rel)
+				if rejected {
+					if pr != nil {
+						pr.dropPolicy(ni, Route{
+							Rel:           rel,
+							Path:          seedPath,
+							Cities:        seedCities,
+							Site:          a.Site,
+							FinalIXP:      l.IXP,
+							FinalUpstream: nbr,
+						})
+					}
+					continue
+				}
+			}
 			r := Route{
 				Rel:           rel,
 				Path:          seedPath,
@@ -379,6 +405,7 @@ func (e *Engine) converge(prefix netip.Prefix, anns []SiteAnnouncement, sc *conv
 				DownKm:        0,
 				FinalIXP:      l.IXP,
 				FinalUpstream: nbr,
+				Comms:         comms,
 			}
 			switch rel {
 			case FromCustomer:
@@ -775,6 +802,7 @@ func (e *Engine) export(from topo.ASN, set []Route, l topo.Link, to topo.ASN) []
 			DownKm:        e.km(c, r.Cities[0]) + r.DownKm,
 			FinalIXP:      r.FinalIXP,
 			FinalUpstream: r.FinalUpstream,
+			Comms:         r.Comms,
 		}
 		out = append(out, nr)
 	}

@@ -72,6 +72,10 @@ func (e *Engine) Fork() *Engine {
 		f.prov = maps.Clone(e.prov)
 		cow += len(e.prov)
 	}
+	// The policy layer is immutable after parse and its interner is
+	// concurrency-safe, so the fork shares the pointer: full and
+	// incremental reconvergence across forks intern into the same table.
+	f.policy = e.policy
 	e.eobs.forks.Inc()
 	e.eobs.forkCOW.Add(int64(cow))
 	return f

@@ -420,7 +420,8 @@ func (e *Engine) seedTargets(a SiteAnnouncement, dirty *asBits) {
 func routeEqual(a, b Route) bool {
 	return a.Rel == b.Rel && a.Site == b.Site && a.DownKm == b.DownKm &&
 		a.FinalIXP == b.FinalIXP && a.FinalUpstream == b.FinalUpstream &&
-		slices.Equal(a.Path, b.Path) && slices.Equal(a.Cities, b.Cities)
+		slices.Equal(a.Path, b.Path) && slices.Equal(a.Cities, b.Cities) &&
+		a.Comms.Equal(b.Comms)
 }
 
 func routesEqual(a, b []Route) bool {

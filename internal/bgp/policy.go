@@ -1,0 +1,111 @@
+package bgp
+
+// The policy layer's attachment point. All community evaluation happens at
+// the origin's edge — the phase-0 seed stage — which is where a real anycast
+// operator's export policy and its neighbours' import policies both act:
+// sites only announce at their own city, so "peers in metro X" for a scoped
+// announcement are exactly this site's peer sessions. Once seeded, a route's
+// community set travels transitively and unchanged through transit ASes
+// (export copies the interned pointer), matching how RFC 1997 communities
+// propagate unless a transit network strips them.
+//
+// Per seed session the pipeline is: the operator's export chain, then the
+// built-in well-known scope communities (no-export-metro, no-peer-metro),
+// then the neighbour's import chain (tagging, local-pref override, reject).
+// A rejection at any stage suppresses the seed; with provenance on it is
+// recorded as a policy drop so the looking glass can explain the
+// counterfactual as "community-dropped".
+//
+// The no-policy path is untouched: every hook is gated on e.policy != nil,
+// Route grows only a nil pointer, and the alloc-pin test plus
+// BenchmarkAnnounce hold the engine to its pre-policy allocation count.
+
+import (
+	"net/netip"
+
+	"anysim/internal/policy"
+	"anysim/internal/topo"
+)
+
+// SetPolicy installs (or removes, with nil) the engine's policy layer.
+// Like SetProvenance, it is not synchronized with concurrent engine use —
+// call while the engine is quiescent, and re-announce prefixes whose routes
+// should reflect the new policy.
+func (e *Engine) SetPolicy(p *policy.Policy) {
+	e.mu.Lock()
+	e.policy = p
+	e.mu.Unlock()
+}
+
+// Policy returns the engine's policy layer (nil when none is configured).
+func (e *Engine) Policy() *policy.Policy {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.policy
+}
+
+// sessionClassOf converts the class a neighbour assigns to the origin's
+// routes (classify's receiver-relative result) into the session's role from
+// the operator's viewpoint: a neighbour that imports our routes as
+// FromCustomer is our provider, and so on.
+func sessionClassOf(rel RelClass) policy.NeighborClass {
+	switch rel {
+	case FromCustomer:
+		return policy.Provider
+	case FromProvider:
+		return policy.Customer
+	case FromPublicPeer:
+		return policy.Peer
+	case FromRSPeer:
+		return policy.RSPeer
+	}
+	return policy.MatchAny
+}
+
+// relOfSessionClass is the inverse direction for local-pref overrides: a
+// neighbour told to prefer the route like a customer route imports it as
+// FromCustomer.
+func relOfSessionClass(c policy.NeighborClass) (RelClass, bool) {
+	switch c {
+	case policy.Customer:
+		return FromCustomer, true
+	case policy.Peer:
+		return FromPublicPeer, true
+	case policy.RSPeer:
+		return FromRSPeer, true
+	case policy.Provider:
+		return FromProvider, true
+	}
+	return FromOrigin, false
+}
+
+// applySeedPolicy runs the full policy pipeline for one phase-0 seed
+// session. It returns the route's community set, its (possibly local-pref
+// overridden) import class, and whether the seed was rejected. Only called
+// when e.policy != nil.
+func (e *Engine) applySeedPolicy(prefix netip.Prefix, a SiteAnnouncement, nbr topo.ASN, rel RelClass) (comms *policy.Set, newRel RelClass, rejected bool) {
+	sess := policy.Session{
+		Prefix:   prefix,
+		Neighbor: nbr,
+		Class:    sessionClassOf(rel),
+		Metro:    a.City,
+	}
+	exp := e.policy.EvalExport(sess, e.policy.Intern(a.Communities))
+	if exp.Reject {
+		return nil, rel, true
+	}
+	if policy.ScopeRejects(exp.Set, sess) {
+		return nil, rel, true
+	}
+	imp := e.policy.EvalImport(sess, exp.Set)
+	if imp.Reject {
+		return nil, rel, true
+	}
+	newRel = rel
+	if imp.LocalPref != 0 {
+		if r, ok := relOfSessionClass(policy.LocalPrefClass(imp.LocalPref)); ok {
+			newRel = r
+		}
+	}
+	return imp.Set, newRel, false
+}

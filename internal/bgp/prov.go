@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"anysim/internal/policy"
 	"anysim/internal/topo"
 )
 
@@ -54,6 +55,11 @@ const (
 	// ranking (nearest-downstream or router-ID order) or hot-potato egress
 	// decided.
 	StepTieBreak
+	// StepCommunity: the runner-up never entered the decision process at
+	// all — the policy layer rejected it at the origin's edge (an export
+	// filter, a scope community, or an import reject). Only produced by
+	// engines with a policy configured.
+	StepCommunity
 )
 
 var stepNames = map[DecisionStep]string{
@@ -61,6 +67,7 @@ var stepNames = map[DecisionStep]string{
 	StepLocalPref: "local-pref",
 	StepPathLen:   "path-len",
 	StepTieBreak:  "tie-break",
+	StepCommunity: "community-dropped",
 }
 
 // String returns a short step name.
@@ -107,6 +114,11 @@ type provTable []Provenance
 type provRecorder struct {
 	// drops is dense: index i*(FromProvider+1)+class.
 	drops []dropSlot
+	// polDrops records seeds the policy layer rejected, same dense layout.
+	// Allocated lazily on the first policy drop: a provenance-on converge
+	// with no policy (or a policy that rejects nothing) allocates exactly
+	// what it did before the policy layer existed.
+	polDrops []dropSlot
 }
 
 type dropSlot struct {
@@ -166,10 +178,31 @@ func (p *provRecorder) dropMissing(i int, offered, kept []Route) {
 	}
 }
 
-// dropOf returns the best dropped route of a class for AS index i.
-func (p *provRecorder) dropOf(i int, c RelClass) (Route, bool) {
+// dropPolicy records a seed the policy layer rejected for AS index i. The
+// route carries its pre-policy import class.
+func (p *provRecorder) dropPolicy(i int, r Route) {
+	if p.polDrops == nil {
+		p.polDrops = make([]dropSlot, len(p.drops))
+	}
+	s := &p.polDrops[i*int(FromProvider+1)+int(r.Rel)]
+	if !s.ok || dropBetter(r, s.r) {
+		s.r, s.ok = r, true
+	}
+}
+
+// dropOf returns the best dropped route of a class for AS index i, taking
+// the minimum under dropBetter across decision-process drops and policy
+// drops. pol reports that the returned route was a policy rejection —
+// selection never saw it — which buildProv surfaces as StepCommunity.
+func (p *provRecorder) dropOf(i int, c RelClass) (r Route, pol, ok bool) {
 	s := p.drops[i*int(FromProvider+1)+int(c)]
-	return s.r, s.ok
+	r, ok = s.r, s.ok
+	if p.polDrops != nil {
+		if ps := p.polDrops[i*int(FromProvider+1)+int(c)]; ps.ok && (!ok || dropBetter(ps.r, r)) {
+			r, pol, ok = ps.r, true, true
+		}
+	}
+	return r, pol, ok
 }
 
 // buildProv derives one AS's provenance from its converged rib and the
@@ -191,23 +224,27 @@ func (e *Engine) buildProv(i int, rb *rib, pr *provRecorder) Provenance {
 		Arbitrary:   arb,
 	}
 	// Tie-break runner-up: the best same-class equal-length competitor,
-	// whether it was retained alongside the winner or capped out.
+	// whether it was retained alongside the winner, capped out, or (when
+	// the chosen competitor is a policy drop) filtered before selection —
+	// the latter reports StepCommunity instead of the decision step.
 	var ru Route
-	has := false
+	has, ruPol := false, false
 	if len(set) > 1 {
 		ru, has = set[1], true
 	}
-	if d, okD := pr.dropOf(i, cls); okD && d.Len() == set[0].Len() {
+	if d, pol, okD := pr.dropOf(i, cls); okD && d.Len() == set[0].Len() {
 		if !has || routeLess(d, ru) {
-			ru, has = d, true
+			ru, has, ruPol = d, true, pol
 		}
 	}
 	if has {
-		p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = ru, cls, true, StepTieBreak
+		p.RunnerUp, p.RunnerClass, p.HasRunnerUp = ru, cls, true
+		p.Step = stepOr(StepTieBreak, ruPol)
 		return p
 	}
-	if d, okD := pr.dropOf(i, cls); okD {
-		p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = d, cls, true, StepPathLen
+	if d, pol, okD := pr.dropOf(i, cls); okD {
+		p.RunnerUp, p.RunnerClass, p.HasRunnerUp = d, cls, true
+		p.Step = stepOr(StepPathLen, pol)
 		return p
 	}
 	for c := cls + 1; c <= FromProvider; c++ {
@@ -215,13 +252,23 @@ func (e *Engine) buildProv(i int, rb *rib, pr *provRecorder) Provenance {
 			p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = alts[0], c, true, StepLocalPref
 			return p
 		}
-		if d, okD := pr.dropOf(i, c); okD {
-			p.RunnerUp, p.RunnerClass, p.HasRunnerUp, p.Step = d, c, true, StepLocalPref
+		if d, pol, okD := pr.dropOf(i, c); okD {
+			p.RunnerUp, p.RunnerClass, p.HasRunnerUp = d, c, true
+			p.Step = stepOr(StepLocalPref, pol)
 			return p
 		}
 	}
 	p.Step = StepOnlyRoute
 	return p
+}
+
+// stepOr substitutes StepCommunity when the chosen runner-up was a policy
+// rejection rather than a decision-process loss.
+func stepOr(s DecisionStep, pol bool) DecisionStep {
+	if pol {
+		return StepCommunity
+	}
+	return s
 }
 
 // EngineConfig parameterises engine construction. The zero value matches
@@ -232,6 +279,10 @@ type EngineConfig struct {
 	// default; the off path is allocation-identical to an engine without
 	// the feature.
 	Provenance bool
+	// Policy installs a community/filter layer (see policy.go). nil — the
+	// default — leaves the engine byte- and allocation-identical to one
+	// without the layer.
+	Policy *policy.Policy
 }
 
 // NewEngineWithConfig builds an engine over a topology with the given
@@ -240,6 +291,9 @@ func NewEngineWithConfig(t *topo.Topology, cfg EngineConfig) *Engine {
 	e := NewEngine(t)
 	if cfg.Provenance {
 		e.SetProvenance(true)
+	}
+	if cfg.Policy != nil {
+		e.SetPolicy(cfg.Policy)
 	}
 	return e
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"anysim/internal/policy"
 	"anysim/internal/topo"
 )
 
@@ -78,7 +79,15 @@ func classify(l topo.Link, recv topo.ASN) RelClass {
 // prefixes from the site's own city, Cities[len-1] is the catchment site's
 // city.
 type Route struct {
-	Rel    RelClass
+	Rel RelClass
+	// FinalUpstream is the AS handing traffic to the origin (the owner of
+	// the penultimate traceroute hop when the CDN's site router does not
+	// answer). It shares Rel's alignment word: together with dropping a
+	// word of padding this keeps Route at its pre-policy 104 bytes, so
+	// rib slice growth hits the same allocator size classes (and the
+	// BenchmarkAnnounce allocation pin) as before the Comms field existed.
+	FinalUpstream topo.ASN
+
 	Path   []topo.ASN
 	Cities []string
 	Site   string // identity of the announcing anycast site
@@ -92,10 +101,13 @@ type Route struct {
 	// happens, or "" if the final link is a private interconnection. The
 	// paper finds 49% of p-hop IPs belong to IXPs and are invisible in BGP.
 	FinalIXP string
-	// FinalUpstream is the AS handing traffic to the origin (the owner of
-	// the penultimate traceroute hop when the CDN's site router does not
-	// answer).
-	FinalUpstream topo.ASN
+
+	// Comms is the route's interned community set (nil = none). Communities
+	// are attached at the origin's edge and travel transitively: export
+	// copies the pointer, never the set. Always nil when the engine has no
+	// policy layer, so the no-policy path carries only this one pointer of
+	// overhead.
+	Comms *policy.Set
 }
 
 // Origin returns the origin AS of the route.
@@ -144,6 +156,12 @@ type SiteAnnouncement struct {
 	City          string     `json:"city"`
 	OnlyNeighbors []topo.ASN `json:"only_neighbors,omitempty"`
 	Prepend       int        `json:"prepend,omitempty"`
+	// Communities are attached to every route this announcement seeds,
+	// before the policy layer's export rules run. Announcing with
+	// communities requires an engine with a policy configured (the
+	// well-known scope communities are meaningless without the layer that
+	// enforces them).
+	Communities []policy.Community `json:"communities,omitempty"`
 }
 
 // seedPath is the AS path the announcement exports to its neighbours: the

@@ -219,6 +219,7 @@ func All() []Experiment {
 		{"X2", "Extension: routing dynamics — fault blast radius, regional vs global", Dynamics},
 		{"X3", "Extension: flash-crowd steering — regional knobs vs global prepending", Traffic},
 		{"X4", "Extension: looking glass — root causes of catchment inefficiency and churn", Glass},
+		{"X6", "Extension: RFC6 metro offload — community-scoped announcements", MetroOffload},
 	}
 }
 

@@ -78,7 +78,7 @@ func ExplainCatchment(e *bgp.Engine, dep *cdn.Deployment, m *atlas.Measurer, pro
 	if rep == nil {
 		return CatchmentExplanation{}, fmt.Errorf("glass: no probe in group %q", group)
 	}
-	return explainProbe(e, dep, m, rep)
+	return explainProbe(e, dep, m.WithEngine(e), rep)
 }
 
 // representative returns the lowest-ID probe of a group.
@@ -163,7 +163,7 @@ func classify(ce CatchmentExplanation) Pathology {
 			continue
 		}
 		switch p.Step {
-		case bgp.StepLocalPref, bgp.StepPathLen:
+		case bgp.StepLocalPref, bgp.StepPathLen, bgp.StepCommunity:
 			return PolicyOverGeography
 		case bgp.StepTieBreak:
 			return HotPotatoEgress
@@ -204,8 +204,11 @@ type CatchmentSet struct {
 
 // Capture snapshots the catchment of every probe group. It is a pure
 // function of engine state and the probe set, so two captures of identical
-// worlds are deeply equal.
+// worlds are deeply equal. The measurer is rebound to e, so capturing an
+// engine fork (a what-if world) works with the shared measurer: routing
+// comes from e, measurement noise from the measurer's own seed.
 func Capture(e *bgp.Engine, dep *cdn.Deployment, m *atlas.Measurer, probes []*atlas.Probe) (CatchmentSet, error) {
+	m = m.WithEngine(e)
 	reps := map[string]*atlas.Probe{}
 	for _, p := range probes {
 		k := p.GroupKey()

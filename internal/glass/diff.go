@@ -3,6 +3,7 @@ package glass
 import (
 	"fmt"
 
+	"anysim/internal/bgp"
 	"anysim/internal/topo"
 )
 
@@ -28,6 +29,11 @@ const (
 	// CauseTieBreakShift: the pivot AS kept class and path length but its
 	// equal-preference tie-break now picks a different neighbour/egress.
 	CauseTieBreakShift MoveCause = "tie-break-shift"
+	// CausePolicyFilter: the pivot AS's best alternative was rejected by
+	// the community/policy layer on exactly one side — the move is the
+	// policy filter appearing (or disappearing), not a decision-process
+	// shift.
+	CausePolicyFilter MoveCause = "policy-filter"
 	// CauseLostRoute / CauseGainedRoute: the group went dark or came back.
 	CauseLostRoute   MoveCause = "lost-route"
 	CauseGainedRoute MoveCause = "gained-route"
@@ -102,7 +108,7 @@ func Diff(before, after CatchmentSet) (DiffReport, error) {
 		rep.Moves = append(rep.Moves, mv)
 	}
 	rep.Moved = len(rep.Moves)
-	for _, c := range []MoveCause{CauseGainedRoute, CauseLostRoute, CausePolicyShift, CauseSiteRestored, CauseSiteWithdrawn, CauseTieBreakShift} {
+	for _, c := range []MoveCause{CauseGainedRoute, CauseLostRoute, CausePolicyFilter, CausePolicyShift, CauseSiteRestored, CauseSiteWithdrawn, CauseTieBreakShift} {
 		if n := counts[c]; n > 0 {
 			rep.ByCause = append(rep.ByCause, CauseCount{Cause: c, N: n})
 		}
@@ -137,6 +143,13 @@ func attribute(before, after *CatchmentSet, b, a *GroupView) (MoveCause, topo.AS
 	hb, ha := b.hops[pivot], a.hops[pivot]
 	pb, okB := hb.Prov()
 	pa, okA := ha.Prov()
+	// A community-dropped runner-up on exactly one side means the policy
+	// filter itself is what changed at the pivot.
+	bPol := okB && pb.Valid && pb.HasRunnerUp && pb.Step == bgp.StepCommunity
+	aPol := okA && pa.Valid && pa.HasRunnerUp && pa.Step == bgp.StepCommunity
+	if bPol != aPol {
+		return CausePolicyFilter, hb.ASN
+	}
 	if okB && okA && pb.Valid && pa.Valid &&
 		pb.WinnerClass == pa.WinnerClass && pb.Winner.Len() == pa.Winner.Len() {
 		return CauseTieBreakShift, hb.ASN

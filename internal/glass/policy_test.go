@@ -1,0 +1,117 @@
+package glass
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"anysim/internal/bgp"
+	"anysim/internal/obs"
+	"anysim/internal/policy"
+)
+
+// TestPolicyFilterCause: re-converging under a policy that rejects every
+// import of the FRA site's seeds moves that site's catchment elsewhere, and
+// the diff pins (some of) those moves on the policy filter — the pivot AS's
+// provenance says community-dropped, and the explanation text surfaces the
+// same step.
+func TestPolicyFilterCause(t *testing.T) {
+	w := provWorld(t, 9)
+	dep := w.Imperva.IM6
+	probes := w.Platform.Retained()
+	before, err := Capture(w.Engine, dep, w.Measurer, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Policy fork: refuse every seed announced at FRA, draining that site.
+	// Groups it served fall back over routes whose decision records show the
+	// dropped alternative.
+	pe := w.Engine.Fork()
+	pe.SetPolicy(policy.MustParse("policy no-fra\nimport metro FRA -> reject\n"))
+	atFRA := false
+	for _, r := range dep.Regions {
+		for _, a := range pe.Announcements(r.Prefix) {
+			atFRA = atFRA || a.City == "FRA"
+		}
+		if err := pe.Announce(r.Prefix, pe.Announcements(r.Prefix)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !atFRA {
+		t.Fatal("deployment does not announce at FRA; pick another metro")
+	}
+	after, err := Capture(pe, dep, w.Measurer, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Moved == 0 {
+		t.Fatal("rejecting all peering imports moved no groups")
+	}
+	var pf *Move
+	for i := range d.Moves {
+		if d.Moves[i].Cause == "" {
+			t.Fatalf("%s: move without a cause", d.Moves[i].Group)
+		}
+		if d.Moves[i].Cause == CausePolicyFilter && pf == nil {
+			pf = &d.Moves[i]
+		}
+	}
+	if pf == nil {
+		t.Fatalf("no move attributed to %s among %d moves: %+v", CausePolicyFilter, d.Moved, causeTally(d))
+	}
+	// The pivot's decision record names the filtered route.
+	prov, ok := pe.Provenance(netip.MustParsePrefix(pf.Prefix), pf.PivotASN)
+	if !ok || !prov.Valid {
+		t.Fatalf("no provenance at pivot %s", pf.PivotASN)
+	}
+	if prov.Step != bgp.StepCommunity {
+		t.Fatalf("pivot step = %s, want community-dropped", prov.Step)
+	}
+	// The explanation text for the moved group shows the step by name.
+	exp, err := ExplainCatchment(pe, dep, w.Measurer, probes, pf.Group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text(), "community-dropped") {
+		t.Fatalf("explanation does not mention community-dropped:\n%s", exp.Text())
+	}
+}
+
+func causeTally(d DiffReport) map[MoveCause]int {
+	out := map[MoveCause]int{}
+	for _, m := range d.Moves {
+		out[m.Cause]++
+	}
+	return out
+}
+
+// TestDiffTracesPolicyMismatch: traces from runs under different policies
+// (or policy vs none) are incomparable, with the policy named in the error.
+func TestDiffTracesPolicyMismatch(t *testing.T) {
+	mk := func(policyHash string) *bytes.Buffer {
+		var buf bytes.Buffer
+		tr := obs.NewTracer(&buf)
+		h := obs.NewTraceHeader(7, "w1")
+		h.Policy = policyHash
+		tr.WriteHeader(h)
+		return &buf
+	}
+	if _, err := DiffTraces(mk("aaaa"), mk("aaaa")); err != nil {
+		t.Fatalf("same policy refused: %v", err)
+	}
+	_, err := DiffTraces(mk("aaaa"), mk("bbbb"))
+	if err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("policy mismatch not refused: %v", err)
+	}
+	_, err = DiffTraces(mk("aaaa"), mk(""))
+	if err == nil || !strings.Contains(err.Error(), "(none)") {
+		t.Fatalf("policy-vs-none mismatch must name the missing policy: %v", err)
+	}
+}

@@ -61,6 +61,13 @@ func DiffTraces(ra, rb io.Reader) (TraceDiff, error) {
 	if ha.Seed != hb.Seed {
 		return TraceDiff{}, fmt.Errorf("glass: incomparable traces: seed %d vs %d", ha.Seed, hb.Seed)
 	}
+	// The world hash folds the policy hash in, but check policy first so a
+	// policy mismatch names itself instead of surfacing as a generic
+	// world-config mismatch.
+	if ha.Policy != hb.Policy {
+		return TraceDiff{}, fmt.Errorf("glass: incomparable traces: policy %s vs %s",
+			orNone(ha.Policy), orNone(hb.Policy))
+	}
 	if ha.World != hb.World {
 		return TraceDiff{}, fmt.Errorf("glass: incomparable traces: world config %s vs %s", ha.World, hb.World)
 	}
@@ -139,4 +146,12 @@ func readHeader(s *bufio.Scanner, label string) (obs.TraceHeader, error) {
 		return obs.TraceHeader{}, fmt.Errorf("glass: trace %s: %w", label, err)
 	}
 	return h, nil
+}
+
+// orNone renders an empty policy hash readably in error messages.
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }

@@ -20,6 +20,10 @@ type TraceHeader struct {
 	Schema int    `json:"schema"`
 	Seed   int64  `json:"seed"`
 	World  string `json:"world"`
+	// Policy is the policy-config hash of the run ("" = no policy layer).
+	// Runs under different policies produce different routing state, so
+	// trace diffing and checkpoint restore refuse to cross this field.
+	Policy string `json:"policy,omitempty"`
 }
 
 // traceMagic marks a JSONL line as an anysim trace header.
@@ -52,6 +56,12 @@ func (t *Tracer) WriteHeader(h TraceHeader) {
 	b = strconv.AppendInt(b, h.Seed, 10)
 	b = append(b, `,"world":`...)
 	b = appendJSONString(b, h.World)
+	// Written only when set, so no-policy traces stay byte-identical to
+	// the pre-policy schema.
+	if h.Policy != "" {
+		b = append(b, `,"policy":`...)
+		b = appendJSONString(b, h.Policy)
+	}
 	b = append(b, "}\n"...)
 	t.buf = b
 	_, t.err = t.w.Write(b)

@@ -83,6 +83,44 @@ func TestTraceHeaderRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceHeaderPolicy: the policy hash round-trips through the header,
+// and a run without one emits a header line byte-identical to the
+// pre-policy schema (no "policy" key at all).
+func TestTraceHeaderPolicy(t *testing.T) {
+	write := func(policyHash string) string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		h := NewTraceHeader(42, "d00dfeed")
+		h.Policy = policyHash
+		tr.WriteHeader(h)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSuffix(buf.String(), "\n")
+	}
+
+	line := write("0123456789abcdef")
+	h, err := ParseTraceHeader([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Policy != "0123456789abcdef" {
+		t.Fatalf("policy hash did not round-trip: %+v", h)
+	}
+
+	bare := write("")
+	if strings.Contains(bare, "policy") {
+		t.Fatalf("no-policy header mentions policy: %s", bare)
+	}
+	h, err = ParseTraceHeader([]byte(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Policy != "" {
+		t.Fatalf("no-policy header parsed a policy: %+v", h)
+	}
+}
+
 // TestTraceSchemaGolden pins the exact byte encoding of the trace schema —
 // header line plus one event of every attribute kind — against a checked-in
 // golden file. A diff here means the schema changed: bump TraceSchemaVersion

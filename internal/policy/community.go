@@ -1,0 +1,288 @@
+// Package policy implements BGP communities and a declarative per-neighbor
+// policy layer over them.
+//
+// A Community is the classic RFC 1997 32-bit tag, written "ASN:value". The
+// package reserves three well-known high halves for metro scoping — the
+// mechanism DoubleZero's RFC6 metro-routing policy uses to keep same-metro
+// traffic off transit:
+//
+//	64910:<metro>  metro-tag      — informational: route entered at <metro>
+//	64911:<metro>  no-export-metro — do not announce over ANY session at <metro>
+//	64912:<metro>  no-peer-metro   — do not announce to public/route-server
+//	                                 peers at <metro> (transit still hears it)
+//
+// The low half encodes a 3-letter IATA metro code in base 26
+// ((c0-'A')*676 + (c1-'A')*26 + (c2-'A'), max 17575), so a metro community
+// round-trips through its numeric form.
+//
+// Routes carry communities as an interned *Set: canonical (sorted, deduped),
+// immutable after interning, with nil meaning "no communities". Interning
+// keeps the per-route cost to one pointer and makes set equality cheap, which
+// matters because Route values are copied by the million during convergence.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Community is one RFC 1997 BGP community: high 16 bits are an ASN-like
+// namespace, low 16 bits a value within it. The text form is "high:low",
+// with the well-known metro communities rendering symbolically
+// ("metro:FRA", "no-peer-metro:SIN").
+type Community uint32
+
+// Well-known community namespaces (high halves) reserved by this package.
+const (
+	// MetroTagNS tags the metro a route was announced at.
+	MetroTagNS uint16 = 64910
+	// NoExportMetroNS forbids announcing the route over any session at the
+	// encoded metro.
+	NoExportMetroNS uint16 = 64911
+	// NoPeerMetroNS forbids announcing the route to public-peer and
+	// route-server sessions at the encoded metro; customer and provider
+	// sessions still hear it.
+	NoPeerMetroNS uint16 = 64912
+)
+
+// make32 assembles a community from its halves.
+func make32(hi, lo uint16) Community { return Community(uint32(hi)<<16 | uint32(lo)) }
+
+// High returns the namespace half.
+func (c Community) High() uint16 { return uint16(c >> 16) }
+
+// Low returns the value half.
+func (c Community) Low() uint16 { return uint16(c) }
+
+// metroCode encodes a 3-letter uppercase IATA metro code into 16 bits.
+func metroCode(metro string) (uint16, error) {
+	if len(metro) != 3 {
+		return 0, fmt.Errorf("policy: metro %q is not a 3-letter IATA code", metro)
+	}
+	code := 0
+	for i := 0; i < 3; i++ {
+		ch := metro[i]
+		if ch < 'A' || ch > 'Z' {
+			return 0, fmt.Errorf("policy: metro %q is not a 3-letter IATA code", metro)
+		}
+		code = code*26 + int(ch-'A')
+	}
+	return uint16(code), nil
+}
+
+// metroName is the inverse of metroCode.
+func metroName(code uint16) string {
+	if code >= 26*26*26 {
+		return ""
+	}
+	return string([]byte{'A' + byte(code/676), 'A' + byte(code/26%26), 'A' + byte(code%26)})
+}
+
+// MetroTag returns the informational metro-tag community for a metro.
+func MetroTag(metro string) (Community, error) {
+	code, err := metroCode(metro)
+	if err != nil {
+		return 0, err
+	}
+	return make32(MetroTagNS, code), nil
+}
+
+// NoExportMetro returns the community that blocks every session at a metro.
+func NoExportMetro(metro string) (Community, error) {
+	code, err := metroCode(metro)
+	if err != nil {
+		return 0, err
+	}
+	return make32(NoExportMetroNS, code), nil
+}
+
+// NoPeerMetro returns the community that blocks public-peer and route-server
+// sessions at a metro.
+func NoPeerMetro(metro string) (Community, error) {
+	code, err := metroCode(metro)
+	if err != nil {
+		return 0, err
+	}
+	return make32(NoPeerMetroNS, code), nil
+}
+
+var wellKnownNames = map[uint16]string{
+	MetroTagNS:      "metro",
+	NoExportMetroNS: "no-export-metro",
+	NoPeerMetroNS:   "no-peer-metro",
+}
+
+// String renders the community: symbolic for the well-known metro
+// namespaces, "high:low" otherwise.
+func (c Community) String() string {
+	if name, ok := wellKnownNames[c.High()]; ok {
+		if m := metroName(c.Low()); m != "" {
+			return name + ":" + m
+		}
+	}
+	return strconv.Itoa(int(c.High())) + ":" + strconv.Itoa(int(c.Low()))
+}
+
+// ParseCommunity parses "high:low" or a symbolic metro form
+// ("metro:FRA", "no-export-metro:FRA", "no-peer-metro:FRA").
+func ParseCommunity(s string) (Community, error) {
+	head, tail, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, fmt.Errorf("policy: community %q is not high:low", s)
+	}
+	for ns, name := range wellKnownNames {
+		if head == name {
+			code, err := metroCode(tail)
+			if err != nil {
+				return 0, fmt.Errorf("policy: community %q: %v", s, err)
+			}
+			return make32(ns, code), nil
+		}
+	}
+	hi, err := strconv.ParseUint(head, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("policy: community %q has a bad high half", s)
+	}
+	lo, err := strconv.ParseUint(tail, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("policy: community %q has a bad low half", s)
+	}
+	return make32(uint16(hi), uint16(lo)), nil
+}
+
+// MarshalText renders the community in its text form, so JSON state files
+// show "no-peer-metro:FRA" instead of an opaque integer.
+func (c Community) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses the text form.
+func (c *Community) UnmarshalText(b []byte) error {
+	v, err := ParseCommunity(string(b))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
+// Set is an immutable, canonical (sorted, deduplicated) community set.
+// A nil *Set is the empty set; every method is nil-receiver-safe. Sets are
+// produced only by an Interner, so pointer identity implies equality within
+// one interner — but Equal compares content and is correct across interners.
+type Set struct {
+	elems []Community
+}
+
+// Len returns the number of communities in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.elems)
+}
+
+// Has reports membership.
+func (s *Set) Has(c Community) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.elems {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the communities in canonical order. The caller must not
+// mutate the returned slice.
+func (s *Set) Slice() []Community {
+	if s == nil {
+		return nil
+	}
+	return s.elems
+}
+
+// Equal reports whether two sets hold the same communities.
+func (s *Set) Equal(o *Set) bool {
+	if s == o {
+		return true
+	}
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.elems {
+		if s.elems[i] != o.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as space-joined communities.
+func (s *Set) String() string {
+	if s.Len() == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(s.elems))
+	for i, c := range s.elems {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Interner canonicalises community slices into shared *Set values. It is
+// safe for concurrent use; forks of an engine share their policy's interner,
+// so full and incremental reconvergence of the same world produce
+// pointer-identical sets.
+type Interner struct {
+	mu   sync.Mutex
+	sets map[string]*Set
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{sets: make(map[string]*Set)}
+}
+
+// canonical sorts and dedups a community slice in place.
+func canonical(cs []Community) []Community {
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	out := cs[:0]
+	for i, c := range cs {
+		if i == 0 || c != cs[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Intern returns the canonical shared Set for a community slice. The input
+// is not retained. An empty input interns to nil (the empty set).
+func (in *Interner) Intern(cs []Community) *Set {
+	if len(cs) == 0 {
+		return nil
+	}
+	canon := canonical(append([]Community(nil), cs...))
+	if len(canon) == 0 {
+		return nil
+	}
+	var key strings.Builder
+	key.Grow(len(canon) * 4)
+	for _, c := range canon {
+		key.WriteByte(byte(c >> 24))
+		key.WriteByte(byte(c >> 16))
+		key.WriteByte(byte(c >> 8))
+		key.WriteByte(byte(c))
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s, ok := in.sets[key.String()]; ok {
+		return s
+	}
+	s := &Set{elems: canon}
+	in.sets[key.String()] = s
+	return s
+}

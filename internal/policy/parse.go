@@ -1,0 +1,209 @@
+package policy
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+
+	"anysim/internal/topo"
+)
+
+// The policy language is line-oriented:
+//
+//	# comment (blank lines ignored)
+//	policy <name>
+//	import [match-term ...] -> <action> [<action> ...]
+//	export [match-term ...] -> <action> [<action> ...]
+//
+// Match terms (all optional, AND-ed; an absent term is a wildcard):
+//
+//	class <customer|peer|rs-peer|provider>
+//	neighbor <asn>
+//	prefix <cidr>
+//	metro <IATA>
+//	community <high:low | metro:XXX | no-export-metro:XXX | no-peer-metro:XXX>
+//
+// Actions: accept | reject | add-community <c> | strip-community <c> |
+// set-local-pref <n> | tag-metro. The first accept/reject reached during
+// evaluation is terminal; the rest accumulate.
+
+// Parse reads a policy from a reader. name labels errors (a file path).
+func Parse(r io.Reader, name string) (*Policy, error) {
+	p := New("", nil, nil)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "policy":
+			if len(fields) != 2 {
+				return nil, fail("policy wants exactly one name")
+			}
+			p.Name = fields[1]
+		case "import", "export":
+			rule, err := parseRule(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if fields[0] == "import" {
+				p.Imports = append(p.Imports, rule)
+			} else {
+				p.Exports = append(p.Exports, rule)
+			}
+		default:
+			return nil, fail("unknown directive %q (want policy, import, or export)", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("%s: missing 'policy <name>' line", name)
+	}
+	return p, nil
+}
+
+// Load reads a policy file from disk.
+func Load(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %v", err)
+	}
+	defer f.Close()
+	return Parse(f, path)
+}
+
+// MustParse parses a policy from source text, panicking on error. For
+// tests and compiled-in experiment policies.
+func MustParse(src string) *Policy {
+	p, err := Parse(strings.NewReader(src), "inline")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	i := 0
+	// Match terms up to the "->" separator.
+	for ; i < len(fields) && fields[i] != "->"; i += 2 {
+		if i+1 >= len(fields) {
+			return r, fmt.Errorf("match term %q wants a value", fields[i])
+		}
+		val := fields[i+1]
+		var err error
+		switch fields[i] {
+		case "class":
+			r.Class, err = ParseNeighborClass(val)
+		case "neighbor":
+			var n uint64
+			n, err = strconv.ParseUint(val, 10, 32)
+			r.Neighbor = topo.ASN(n)
+		case "prefix":
+			r.Prefix, err = netip.ParsePrefix(val)
+		case "metro":
+			if _, err = metroCode(val); err == nil {
+				r.Metro = val
+			}
+		case "community":
+			r.Comm, err = ParseCommunity(val)
+			r.HasComm = true
+		default:
+			return r, fmt.Errorf("unknown match term %q", fields[i])
+		}
+		if err != nil {
+			return r, err
+		}
+	}
+	if i >= len(fields) {
+		return r, fmt.Errorf("rule has no '->' action separator")
+	}
+	i++ // skip "->"
+	if i >= len(fields) {
+		return r, fmt.Errorf("rule has no actions after '->'")
+	}
+	for i < len(fields) {
+		var a Action
+		switch fields[i] {
+		case "accept":
+			a.Kind = Accept
+		case "reject":
+			a.Kind = Reject
+		case "tag-metro":
+			a.Kind = TagMetro
+		case "add-community", "strip-community":
+			if i+1 >= len(fields) {
+				return r, fmt.Errorf("%s wants a community", fields[i])
+			}
+			c, err := ParseCommunity(fields[i+1])
+			if err != nil {
+				return r, err
+			}
+			a.Comm = c
+			a.Kind = AddCommunity
+			if fields[i] == "strip-community" {
+				a.Kind = StripCommunity
+			}
+			i++
+		case "set-local-pref":
+			if i+1 >= len(fields) {
+				return r, fmt.Errorf("set-local-pref wants a number")
+			}
+			lp, err := strconv.Atoi(fields[i+1])
+			if err != nil || lp <= 0 {
+				return r, fmt.Errorf("set-local-pref %q is not a positive integer", fields[i+1])
+			}
+			a.Kind, a.LocalPref = SetLocalPref, lp
+			i++
+		default:
+			return r, fmt.Errorf("unknown action %q", fields[i])
+		}
+		r.Actions = append(r.Actions, a)
+		i++
+	}
+	return r, nil
+}
+
+// Canonical renders the policy in a normal form: the name line, then every
+// import rule in order, then every export rule. Two policies with the same
+// canonical form behave identically.
+func (p *Policy) Canonical() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s\n", p.Name)
+	for _, r := range p.Imports {
+		fmt.Fprintf(&b, "import %s\n", r.String())
+	}
+	for _, r := range p.Exports {
+		fmt.Fprintf(&b, "export %s\n", r.String())
+	}
+	return b.String()
+}
+
+// Hash returns a short stable identity for the policy's behaviour: FNV-64a
+// over the canonical rendering. A nil policy hashes to "" so no-policy runs
+// keep their existing identity.
+func (p *Policy) Hash() string {
+	if p == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	io.WriteString(h, p.Canonical())
+	return fmt.Sprintf("%016x", h.Sum64())
+}

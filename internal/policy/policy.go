@@ -1,0 +1,335 @@
+package policy
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"anysim/internal/topo"
+)
+
+// NeighborClass is the role of a BGP session's remote end from the
+// operator's viewpoint: the neighbour is our customer, our settlement-free
+// public peer, a route-server peer, or our transit provider. MatchAny is the
+// rule wildcard.
+type NeighborClass uint8
+
+// Neighbor classes, in descending preference order of the routes they
+// deliver.
+const (
+	MatchAny NeighborClass = iota
+	Customer
+	Peer
+	RSPeer
+	Provider
+)
+
+var classNames = map[NeighborClass]string{
+	MatchAny: "any",
+	Customer: "customer",
+	Peer:     "peer",
+	RSPeer:   "rs-peer",
+	Provider: "provider",
+}
+
+// String returns the class keyword used by the policy language.
+func (c NeighborClass) String() string {
+	if n, ok := classNames[c]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// ParseNeighborClass parses a class keyword.
+func ParseNeighborClass(s string) (NeighborClass, error) {
+	for c, n := range classNames {
+		if c != MatchAny && n == s {
+			return c, nil
+		}
+	}
+	return MatchAny, fmt.Errorf("policy: unknown neighbor class %q", s)
+}
+
+// LocalPrefClass maps a numeric set-local-pref value onto the engine's four
+// preference bands, mirroring the conventional operator numbering:
+// customers >= 300, public peers 200–299, route-server peers 150–199,
+// providers below 150.
+func LocalPrefClass(lp int) NeighborClass {
+	switch {
+	case lp >= 300:
+		return Customer
+	case lp >= 200:
+		return Peer
+	case lp >= 150:
+		return RSPeer
+	default:
+		return Provider
+	}
+}
+
+// ActionKind enumerates policy actions. Accept and Reject are terminal: the
+// first one reached ends evaluation. The others accumulate and evaluation
+// continues with the next matching rule.
+type ActionKind uint8
+
+// Policy actions.
+const (
+	Accept ActionKind = iota
+	Reject
+	AddCommunity
+	StripCommunity
+	SetLocalPref
+	TagMetro
+)
+
+// Action is one policy action. Comm is used by AddCommunity/StripCommunity,
+// LocalPref by SetLocalPref.
+type Action struct {
+	Kind      ActionKind
+	Comm      Community
+	LocalPref int
+}
+
+// String renders the action in policy-language form.
+func (a Action) String() string {
+	switch a.Kind {
+	case Accept:
+		return "accept"
+	case Reject:
+		return "reject"
+	case AddCommunity:
+		return "add-community " + a.Comm.String()
+	case StripCommunity:
+		return "strip-community " + a.Comm.String()
+	case SetLocalPref:
+		return "set-local-pref " + strconv.Itoa(a.LocalPref)
+	case TagMetro:
+		return "tag-metro"
+	}
+	return "unknown"
+}
+
+// Rule is one policy rule: a conjunction of match terms (zero values are
+// wildcards) and the actions applied on match. Rules are evaluated in file
+// order; added communities are visible to later rules' community matches.
+type Rule struct {
+	Class    NeighborClass
+	Neighbor topo.ASN
+	Prefix   netip.Prefix
+	Metro    string
+	Comm     Community
+	HasComm  bool
+	Actions  []Action
+}
+
+// String renders the rule's match-and-action body (without the import/export
+// direction keyword).
+func (r Rule) String() string {
+	var b strings.Builder
+	if r.Class != MatchAny {
+		fmt.Fprintf(&b, "class %s ", r.Class)
+	}
+	if r.Neighbor != 0 {
+		fmt.Fprintf(&b, "neighbor %d ", r.Neighbor)
+	}
+	if r.Prefix.IsValid() {
+		fmt.Fprintf(&b, "prefix %s ", r.Prefix)
+	}
+	if r.Metro != "" {
+		fmt.Fprintf(&b, "metro %s ", r.Metro)
+	}
+	if r.HasComm {
+		fmt.Fprintf(&b, "community %s ", r.Comm)
+	}
+	b.WriteString("->")
+	for _, a := range r.Actions {
+		b.WriteString(" " + a.String())
+	}
+	return b.String()
+}
+
+// Session identifies one BGP session a route is crossing: the prefix, the
+// remote neighbour, its class from the operator's viewpoint, and the metro
+// the session lives at.
+type Session struct {
+	Prefix   netip.Prefix
+	Neighbor topo.ASN
+	Class    NeighborClass
+	Metro    string
+}
+
+func (r *Rule) matches(sess Session, comms []Community) bool {
+	if r.Class != MatchAny && r.Class != sess.Class {
+		return false
+	}
+	if r.Neighbor != 0 && r.Neighbor != sess.Neighbor {
+		return false
+	}
+	if r.Prefix.IsValid() && r.Prefix != sess.Prefix {
+		return false
+	}
+	if r.Metro != "" && r.Metro != sess.Metro {
+		return false
+	}
+	if r.HasComm && !hasComm(comms, r.Comm) {
+		return false
+	}
+	return true
+}
+
+func hasComm(cs []Community, c Community) bool {
+	for _, e := range cs {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of evaluating one rule chain over one session.
+type Result struct {
+	// Reject reports the route was filtered; the other fields are then
+	// meaningless.
+	Reject bool
+	// Set is the resulting interned community set.
+	Set *Set
+	// LocalPref is the import preference override (0 = none set).
+	LocalPref int
+}
+
+// Policy is a parsed per-neighbor policy: an ordered import chain and an
+// ordered export chain, plus the interner that canonicalises every community
+// set the policy produces. A nil *Policy means "no policy layer" and is the
+// engine's zero-cost default.
+type Policy struct {
+	Name     string
+	Imports  []Rule
+	Exports  []Rule
+	interner *Interner
+}
+
+// New builds a policy from already-constructed rule chains.
+func New(name string, imports, exports []Rule) *Policy {
+	return &Policy{Name: name, Imports: imports, Exports: exports, interner: NewInterner()}
+}
+
+// Intern canonicalises a community slice through the policy's interner.
+// Nil-receiver-safe: a nil policy interns everything to the empty set.
+func (p *Policy) Intern(cs []Community) *Set {
+	if p == nil {
+		return nil
+	}
+	return p.interner.Intern(cs)
+}
+
+// EvalImport runs the import chain for a session over an incoming community
+// set.
+func (p *Policy) EvalImport(sess Session, in *Set) Result {
+	return p.eval(p.Imports, sess, in)
+}
+
+// EvalExport runs the export chain for a session over an outgoing community
+// set.
+func (p *Policy) EvalExport(sess Session, in *Set) Result {
+	return p.eval(p.Exports, sess, in)
+}
+
+// eval walks a rule chain in order. Non-terminal actions accumulate; the
+// first Accept or Reject reached wins; a chain that falls off the end
+// accepts (BGP's default of announcing what policy does not forbid).
+func (p *Policy) eval(rules []Rule, sess Session, in *Set) Result {
+	comms := in.Slice()
+	changed := false
+	lp := 0
+	for ri := range rules {
+		r := &rules[ri]
+		if !r.matches(sess, comms) {
+			continue
+		}
+		for _, a := range r.Actions {
+			switch a.Kind {
+			case Accept:
+				return p.finish(in, comms, changed, lp)
+			case Reject:
+				return Result{Reject: true}
+			case AddCommunity:
+				comms, changed = addComm(comms, a.Comm, changed)
+			case StripCommunity:
+				comms, changed = stripComm(comms, a.Comm, changed)
+			case SetLocalPref:
+				lp = a.LocalPref
+			case TagMetro:
+				// A metro outside the IATA namespace simply cannot be
+				// tagged; the rule is a deterministic no-op there.
+				if tag, err := MetroTag(sess.Metro); err == nil {
+					comms, changed = addComm(comms, tag, changed)
+				}
+			}
+		}
+	}
+	return p.finish(in, comms, changed, lp)
+}
+
+func (p *Policy) finish(in *Set, comms []Community, changed bool, lp int) Result {
+	set := in
+	if changed {
+		set = p.interner.Intern(comms)
+	}
+	return Result{Set: set, LocalPref: lp}
+}
+
+// addComm appends c to a working community slice, copying the backing array
+// on first mutation so the input set stays immutable.
+func addComm(cs []Community, c Community, changed bool) ([]Community, bool) {
+	if hasComm(cs, c) {
+		return cs, changed
+	}
+	if !changed {
+		cs = append(append([]Community(nil), cs...), c)
+	} else {
+		cs = append(cs, c)
+	}
+	return cs, true
+}
+
+func stripComm(cs []Community, c Community, changed bool) ([]Community, bool) {
+	if !hasComm(cs, c) {
+		return cs, changed
+	}
+	out := cs
+	if !changed {
+		out = append([]Community(nil), cs...)
+	}
+	keep := out[:0]
+	for _, e := range out {
+		if e != c {
+			keep = append(keep, e)
+		}
+	}
+	return keep, true
+}
+
+// ScopeRejects applies the well-known scope communities: a route carrying
+// no-export-metro:<m> must not cross any session at metro m, and one
+// carrying no-peer-metro:<m> must not cross public-peer or route-server
+// sessions at m. This enforcement is built into the engine whenever a policy
+// layer is configured, independent of the policy's rule chains.
+func ScopeRejects(s *Set, sess Session) bool {
+	if s == nil {
+		return false
+	}
+	for _, c := range s.elems {
+		hi := c.High()
+		if hi != NoExportMetroNS && hi != NoPeerMetroNS {
+			continue
+		}
+		if metroName(c.Low()) != sess.Metro {
+			continue
+		}
+		if hi == NoExportMetroNS || sess.Class == Peer || sess.Class == RSPeer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,335 @@
+package policy
+
+import (
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func mustCommunity(t *testing.T, s string) Community {
+	t.Helper()
+	c, err := ParseCommunity(s)
+	if err != nil {
+		t.Fatalf("ParseCommunity(%q): %v", s, err)
+	}
+	return c
+}
+
+func TestCommunityRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		high uint16
+		low  uint16
+		out  string // expected String(); "" = same as in
+	}{
+		{"65000:120", 65000, 120, ""},
+		{"0:0", 0, 0, ""},
+		{"65535:65535", 65535, 65535, ""},
+		{"metro:FRA", MetroTagNS, 3822, ""},
+		{"no-export-metro:SIN", NoExportMetroNS, 12389, ""},
+		{"no-peer-metro:AAA", NoPeerMetroNS, 0, ""},
+		// Numeric form of a well-known community renders symbolically.
+		{"64910:3822", MetroTagNS, 3822, "metro:FRA"},
+	}
+	for _, tc := range cases {
+		c := mustCommunity(t, tc.in)
+		if c.High() != tc.high || c.Low() != tc.low {
+			t.Errorf("%q: got %d:%d, want %d:%d", tc.in, c.High(), c.Low(), tc.high, tc.low)
+		}
+		want := tc.out
+		if want == "" {
+			want = tc.in
+		}
+		if c.String() != want {
+			t.Errorf("%q: String() = %q, want %q", tc.in, c.String(), want)
+		}
+		back := mustCommunity(t, c.String())
+		if back != c {
+			t.Errorf("%q: round-trip %q parsed to different community", tc.in, c.String())
+		}
+	}
+	for _, bad := range []string{"", "65000", "x:y", "70000:1", "1:70000", "metro:fra", "metro:FRAN"} {
+		if _, err := ParseCommunity(bad); err == nil {
+			t.Errorf("ParseCommunity(%q): want error", bad)
+		}
+	}
+}
+
+func TestCommunityJSON(t *testing.T) {
+	c, err := NoPeerMetro("FRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"no-peer-metro:FRA"` {
+		t.Fatalf("marshal = %s, want %q", b, "no-peer-metro:FRA")
+	}
+	var back Community
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("unmarshal = %v, want %v", back, c)
+	}
+}
+
+func TestMetroCommunities(t *testing.T) {
+	tag, _ := MetroTag("FRA")
+	noexp, _ := NoExportMetro("FRA")
+	nopeer, _ := NoPeerMetro("FRA")
+	if tag.Low() != noexp.Low() || tag.Low() != nopeer.Low() {
+		t.Fatalf("metro code differs across namespaces: %d %d %d", tag.Low(), noexp.Low(), nopeer.Low())
+	}
+	if tag.High() != MetroTagNS || noexp.High() != NoExportMetroNS || nopeer.High() != NoPeerMetroNS {
+		t.Fatal("wrong namespace halves")
+	}
+	for _, bad := range []string{"", "FR", "FRAN", "fra", "F1A"} {
+		if _, err := MetroTag(bad); err == nil {
+			t.Errorf("MetroTag(%q): want error", bad)
+		}
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := mustCommunity(t, "65000:1")
+	b := mustCommunity(t, "65000:2")
+
+	s1 := in.Intern([]Community{b, a, a})
+	s2 := in.Intern([]Community{a, b})
+	if s1 != s2 {
+		t.Fatal("equal sets interned to different pointers")
+	}
+	if got := s1.String(); got != "65000:1 65000:2" {
+		t.Fatalf("canonical order: got %q", got)
+	}
+	if in.Intern(nil) != nil || in.Intern([]Community{}) != nil {
+		t.Fatal("empty input must intern to nil")
+	}
+	// The input slice is not retained: mutating it must not change the set.
+	src := []Community{a}
+	s3 := in.Intern(src)
+	src[0] = b
+	if !s3.Has(a) || s3.Has(b) {
+		t.Fatal("interned set aliases the input slice")
+	}
+}
+
+func TestSetNilSafety(t *testing.T) {
+	var s *Set
+	if s.Len() != 0 || s.Has(1) || s.Slice() != nil {
+		t.Fatal("nil set must behave as empty")
+	}
+	if !s.Equal(nil) {
+		t.Fatal("nil.Equal(nil) must be true")
+	}
+	in := NewInterner()
+	one := in.Intern([]Community{1})
+	if s.Equal(one) || one.Equal(s) {
+		t.Fatal("nil vs non-empty must be unequal")
+	}
+	if s.String() != "(none)" {
+		t.Fatalf("nil set String() = %q", s.String())
+	}
+}
+
+const testPolicy = `# metro offload with a customer carve-out
+policy metro-offload
+import class customer -> set-local-pref 300 accept
+import community 65000:666 -> reject
+import -> tag-metro
+export metro FRA class peer -> reject
+export neighbor 42 prefix 192.0.2.0/24 -> add-community 65000:120
+`
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	p := MustParse(testPolicy)
+	if p.Name != "metro-offload" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if len(p.Imports) != 3 || len(p.Exports) != 2 {
+		t.Fatalf("got %d imports, %d exports", len(p.Imports), len(p.Exports))
+	}
+	// Canonical form reparses to the same canonical form.
+	canon := p.Canonical()
+	p2, err := Parse(strings.NewReader(canon), "canon")
+	if err != nil {
+		t.Fatalf("reparse canonical: %v\n%s", err, canon)
+	}
+	if p2.Canonical() != canon {
+		t.Fatalf("canonical not a fixed point:\n%s\nvs\n%s", canon, p2.Canonical())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"import -> accept\n",                        // no policy name
+		"policy p\nfrob -> accept\n",                // unknown directive
+		"policy p\nimport class nonsense -> accept", // bad class
+		"policy p\nimport -> ",                      // no actions
+		"policy p\nimport accept",                   // no arrow
+		"policy p\nimport -> set-local-pref x",      // bad pref
+		"policy p\nimport -> set-local-pref -1",     // negative pref
+		"policy p\nimport metro fra -> accept",      // bad metro
+		"policy p\nimport community zzz -> accept",  // bad community
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestHash(t *testing.T) {
+	var nilPolicy *Policy
+	if nilPolicy.Hash() != "" {
+		t.Fatal("nil policy must hash to empty string")
+	}
+	p1 := MustParse(testPolicy)
+	p2 := MustParse(testPolicy)
+	if p1.Hash() != p2.Hash() {
+		t.Fatal("same source must hash identically")
+	}
+	// Comments and blank lines do not change behaviour, so not the hash.
+	p3 := MustParse(strings.ReplaceAll(testPolicy, "# metro offload with a customer carve-out", "\n\n# other words\n"))
+	if p3.Hash() != p1.Hash() {
+		t.Fatal("comments must not change the hash")
+	}
+	// A behavioural change does.
+	p4 := MustParse(strings.ReplaceAll(testPolicy, "65000:666", "65000:667"))
+	if p4.Hash() == p1.Hash() {
+		t.Fatal("different rules must hash differently")
+	}
+}
+
+func TestEvalFirstTerminalWins(t *testing.T) {
+	p := MustParse(`policy p
+import community 65000:1 -> reject
+import -> add-community 65000:9 accept
+import -> add-community 65000:10
+`)
+	sess := Session{Metro: "FRA", Class: Peer}
+	// First rule matches: reject, later accumulation never runs.
+	in := p.Intern([]Community{mustCommunity(t, "65000:1")})
+	if res := p.EvalImport(sess, in); !res.Reject {
+		t.Fatal("matching reject rule must reject")
+	}
+	// Second rule accepts before the third can add 65000:10.
+	res := p.EvalImport(sess, nil)
+	if res.Reject {
+		t.Fatal("unexpected reject")
+	}
+	if !res.Set.Has(mustCommunity(t, "65000:9")) || res.Set.Has(mustCommunity(t, "65000:10")) {
+		t.Fatalf("accept must be terminal: got %v", res.Set)
+	}
+}
+
+func TestEvalAccumulationAndCOW(t *testing.T) {
+	p := MustParse(`policy p
+import -> tag-metro
+import community metro:FRA -> set-local-pref 300 add-community 65000:5
+import -> strip-community 65000:7
+`)
+	seven := mustCommunity(t, "65000:7")
+	in := p.Intern([]Community{seven})
+	res := p.EvalImport(Session{Metro: "FRA", Class: Peer}, in)
+	if res.Reject {
+		t.Fatal("unexpected reject")
+	}
+	// The added metro tag was visible to the second rule's community match.
+	if res.LocalPref != 300 {
+		t.Fatalf("LocalPref = %d, want 300", res.LocalPref)
+	}
+	tag, _ := MetroTag("FRA")
+	if !res.Set.Has(tag) || !res.Set.Has(mustCommunity(t, "65000:5")) || res.Set.Has(seven) {
+		t.Fatalf("result set wrong: %v", res.Set)
+	}
+	// Copy-on-write: the input set is untouched.
+	if !in.Has(seven) || in.Len() != 1 {
+		t.Fatalf("input set mutated: %v", in)
+	}
+	// Fall-off-the-end with no mutation returns the input set pointer.
+	quiet := MustParse("policy q\nimport neighbor 9 -> reject\n")
+	if res := quiet.EvalImport(Session{Neighbor: 8}, in); res.Set != in {
+		t.Fatal("no-op evaluation must return the input set unchanged")
+	}
+}
+
+func TestEvalMatchTerms(t *testing.T) {
+	pfx := netip.MustParsePrefix("192.0.2.0/24")
+	p := MustParse(`policy p
+import class customer neighbor 42 prefix 192.0.2.0/24 metro FRA -> reject
+`)
+	full := Session{Prefix: pfx, Neighbor: 42, Class: Customer, Metro: "FRA"}
+	if !p.EvalImport(full, nil).Reject {
+		t.Fatal("all terms match: want reject")
+	}
+	for name, sess := range map[string]Session{
+		"class":    {Prefix: pfx, Neighbor: 42, Class: Peer, Metro: "FRA"},
+		"neighbor": {Prefix: pfx, Neighbor: 41, Class: Customer, Metro: "FRA"},
+		"prefix":   {Prefix: netip.MustParsePrefix("198.51.100.0/24"), Neighbor: 42, Class: Customer, Metro: "FRA"},
+		"metro":    {Prefix: pfx, Neighbor: 42, Class: Customer, Metro: "SIN"},
+	} {
+		if p.EvalImport(sess, nil).Reject {
+			t.Errorf("mismatched %s term must not match", name)
+		}
+	}
+}
+
+func TestScopeRejects(t *testing.T) {
+	in := NewInterner()
+	nopeer, _ := NoPeerMetro("FRA")
+	noexp, _ := NoExportMetro("SIN")
+	set := in.Intern([]Community{nopeer, noexp})
+
+	cases := []struct {
+		metro string
+		class NeighborClass
+		want  bool
+	}{
+		{"FRA", Peer, true},      // no-peer-metro blocks peers at FRA
+		{"FRA", RSPeer, true},    // ... and route servers
+		{"FRA", Customer, false}, // ... but not customers
+		{"FRA", Provider, false}, // ... or transit
+		{"SIN", Provider, true},  // no-export-metro blocks everything at SIN
+		{"SIN", Customer, true},
+		{"LHR", Peer, false}, // other metros unaffected
+	}
+	for _, tc := range cases {
+		got := ScopeRejects(set, Session{Metro: tc.metro, Class: tc.class})
+		if got != tc.want {
+			t.Errorf("ScopeRejects at %s/%s = %v, want %v", tc.metro, tc.class, got, tc.want)
+		}
+	}
+	if ScopeRejects(nil, Session{Metro: "FRA", Class: Peer}) {
+		t.Fatal("nil set never scope-rejects")
+	}
+}
+
+func TestLocalPrefClass(t *testing.T) {
+	cases := map[int]NeighborClass{
+		500: Customer, 300: Customer,
+		299: Peer, 200: Peer,
+		199: RSPeer, 150: RSPeer,
+		149: Provider, 0: Provider,
+	}
+	for lp, want := range cases {
+		if got := LocalPrefClass(lp); got != want {
+			t.Errorf("LocalPrefClass(%d) = %v, want %v", lp, got, want)
+		}
+	}
+}
+
+func TestNilPolicyIntern(t *testing.T) {
+	var p *Policy
+	if p.Intern([]Community{1, 2}) != nil {
+		t.Fatal("nil policy must intern to nil")
+	}
+	if p.Canonical() != "" {
+		t.Fatal("nil policy canonical must be empty")
+	}
+}

@@ -51,8 +51,10 @@ type Checkpoint struct {
 func (s *Server) Checkpoint() *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	hdr := obs.NewTraceHeader(s.w.Config.Seed, s.w.Config.Hash())
+	hdr.Policy = s.w.Config.PolicyHash()
 	cp := &Checkpoint{
-		Header:        obs.NewTraceHeader(s.w.Config.Seed, s.w.Config.Hash()),
+		Header:        hdr,
 		Dep:           s.dep.Name,
 		Tick:          s.tick,
 		Seq:           s.seq,
@@ -119,10 +121,12 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// Compatible checks a checkpoint against a world's compatibility tag and a
-// deployment, without restoring anything.
-func (cp *Checkpoint) Compatible(seed int64, worldHash, dep string) error {
+// Compatible checks a checkpoint against a world's compatibility tag
+// (seed, world hash, policy hash) and a deployment, without restoring
+// anything.
+func (cp *Checkpoint) Compatible(seed int64, worldHash, policyHash, dep string) error {
 	want := obs.NewTraceHeader(seed, worldHash)
+	want.Policy = policyHash
 	h := cp.Header
 	if h.Trace != want.Trace {
 		return fmt.Errorf("server: not an anysim checkpoint (header %q)", h.Trace)
@@ -132,6 +136,12 @@ func (cp *Checkpoint) Compatible(seed int64, worldHash, dep string) error {
 	}
 	if h.Seed != want.Seed {
 		return fmt.Errorf("server: checkpoint is from seed %d, this world is seed %d", h.Seed, want.Seed)
+	}
+	// Policy before world: the world hash folds the policy hash in, and a
+	// policy mismatch should name the policy, not a generic world hash.
+	if h.Policy != want.Policy {
+		return fmt.Errorf("server: checkpoint policy %s does not match this world's policy %s; restore under the original -policy file",
+			orNone(h.Policy), orNone(want.Policy))
 	}
 	if h.World != want.World {
 		return fmt.Errorf("server: checkpoint world hash %s does not match this world (%s); rebuild with the original configuration", h.World, want.World)
@@ -147,7 +157,7 @@ func (cp *Checkpoint) Compatible(seed int64, worldHash, dep string) error {
 // then flash crowds and the clock. The caller reinstates the metrics
 // snapshot after the initial publish.
 func (s *Server) restore(cp *Checkpoint) error {
-	if err := cp.Compatible(s.w.Config.Seed, s.w.Config.Hash(), s.dep.Name); err != nil {
+	if err := cp.Compatible(s.w.Config.Seed, s.w.Config.Hash(), s.w.Config.PolicyHash(), s.dep.Name); err != nil {
 		return err
 	}
 	for site := range cp.Caps {
@@ -191,4 +201,12 @@ func (s *Server) restore(cp *Checkpoint) error {
 	// The initial publish bumps seq back to exactly the checkpoint's.
 	s.seq = cp.Seq - 1
 	return nil
+}
+
+// orNone renders an empty policy hash readably in error messages.
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }

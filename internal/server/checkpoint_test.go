@@ -148,6 +148,14 @@ func TestRestoreRefusesMismatch(t *testing.T) {
 
 	refuse("deployment mismatch", wb, cp, "eg3", "deployment")
 
+	// A checkpoint taken under a policy cannot restore onto a world
+	// without one — and the refusal names the policy side, rendering the
+	// missing hash as "(none)", not the folded world hash.
+	tampered = *cp
+	tampered.Header.Policy = "deadbeefdeadbeef"
+	refuse("policy mismatch", wb, &tampered, "im6", "policy")
+	refuse("policy mismatch names none", wb, &tampered, "im6", "(none)")
+
 	tampered = *cp
 	tampered.Caps = map[string]float64{"no-such-site": 1}
 	refuse("unknown site capacity", wb, &tampered, "im6", "unknown site")

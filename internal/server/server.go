@@ -130,9 +130,7 @@ func (st *State) Catchment() (glass.CatchmentSet, error) {
 // fork: a Measurer resolves forwarding through the engine it holds, and a
 // query must see the snapshot, not the live (mutating) engine.
 func (st *State) measurer() *atlas.Measurer {
-	m := *st.srv.w.Measurer
-	m.Engine = st.Engine
-	return &m
+	return st.srv.w.Measurer.WithEngine(st.Engine)
 }
 
 // New assembles a server, deriving site capacities from the world's

@@ -12,6 +12,7 @@ import (
 
 	"anysim/internal/bgp"
 	"anysim/internal/obs"
+	"anysim/internal/policy"
 	"anysim/internal/topo"
 )
 
@@ -41,13 +42,22 @@ const (
 	// it needs a prefix owned by one region, so a global deployment's
 	// shared prefix cannot express it.
 	ActionPrependWave
+	// ActionScopedAnnounce re-announces the overloaded site's prefix with
+	// the well-known no-peer-metro community for the site's own metro:
+	// same-metro public-peer and route-server sessions stop hearing the
+	// route, shedding exactly the local peering catchment while transit
+	// keeps carrying it — the communities-driven mild sibling of the
+	// transit-only knob. Requires an engine with a policy layer configured
+	// (the scope community is inert without one).
+	ActionScopedAnnounce
 )
 
 var actionNames = map[ActionKind]string{
-	ActionPrepend:       "prepend",
-	ActionSelective:     "transit-only",
-	ActionCrossAnnounce: "cross-announce",
-	ActionPrependWave:   "prepend-wave",
+	ActionPrepend:        "prepend",
+	ActionSelective:      "transit-only",
+	ActionCrossAnnounce:  "cross-announce",
+	ActionPrependWave:    "prepend-wave",
+	ActionScopedAnnounce: "scoped-announce",
 }
 
 // String returns the knob's name.
@@ -102,6 +112,10 @@ type SteeringConfig struct {
 	// meaningful for regional deployments: with a single global prefix
 	// every site already announces it.
 	AllowCrossAnnounce bool
+	// AllowScoped enables community-scoped announcements ("this prefix,
+	// but not to peers in metro X"). Candidates are only generated when
+	// the evaluator's engine has a policy layer configured.
+	AllowScoped bool
 	// Workers bounds the candidate-trial worker pool: each round's
 	// candidates are applied and evaluated concurrently on per-candidate
 	// engine forks. 0 means GOMAXPROCS. Results are bit-identical at any
@@ -593,6 +607,19 @@ func (s *Steerer) knobCands(rep *LoadReport, over SiteLoad) []*Action {
 		cands = append(cands, wave)
 	}
 
+	// The scoped announcement is the mildest shedding knob: it drops only
+	// the site's own-metro peer sessions, so the local peering catchment
+	// spills to transit (and often to a sibling site) while every other
+	// peer keeps its direct route. Offered before transit-only because it
+	// sheds a strict subset of what that knob sheds.
+	if s.cfg.AllowScoped && ann != nil && s.Eval.Engine.Policy() != nil {
+		if scope, err := policy.NoPeerMetro(ann.City); err == nil && !hasCommunity(ann.Communities, scope) {
+			cands = append(cands, &Action{
+				Kind: ActionScopedAnnounce, Prefix: p, Site: over.Site, Target: over.Site,
+				Detail: fmt.Sprintf("announce %s, but not to peers in metro %s", p, ann.City),
+			})
+		}
+	}
 	// Mild knobs move traffic to sibling announcers. Prepending only
 	// deters neighbours that compare path length — clients on peer or
 	// customer routes to the site stay put at any prepend depth — so after
@@ -869,6 +896,21 @@ func (s *Steerer) applyOn(eng *bgp.Engine, cur map[netip.Prefix][]bgp.SiteAnnoun
 			return err
 		}
 		cur[act.Prefix] = append(cur[act.Prefix], next)
+	case ActionScopedAnnounce:
+		ann, i := annIn(cur, act.Prefix, act.Site)
+		if ann == nil {
+			return fmt.Errorf("traffic: %s does not announce %s", act.Site, act.Prefix)
+		}
+		scope, err := policy.NoPeerMetro(ann.City)
+		if err != nil {
+			return fmt.Errorf("traffic: scoped announce at %s: %w", ann.City, err)
+		}
+		next := *ann
+		next.Communities = appendCommunity(ann.Communities, scope)
+		if err := eng.AnnounceSite(act.Prefix, next); err != nil {
+			return err
+		}
+		cur[act.Prefix][i] = next
 	case ActionPrependWave:
 		_, inRegion := s.regionSites(act.Prefix)
 		if inRegion == nil {
@@ -889,6 +931,28 @@ func (s *Steerer) applyOn(eng *bgp.Engine, cur map[netip.Prefix][]bgp.SiteAnnoun
 		return fmt.Errorf("traffic: unknown action kind %d", act.Kind)
 	}
 	return nil
+}
+
+// hasCommunity reports whether an announcement's community list already
+// carries c.
+func hasCommunity(cs []policy.Community, c policy.Community) bool {
+	for _, e := range cs {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// appendCommunity returns a fresh community list with c added (announcement
+// slices are shared across trial forks, so never mutated in place).
+func appendCommunity(cs []policy.Community, c policy.Community) []policy.Community {
+	out := make([]policy.Community, 0, len(cs)+1)
+	out = append(out, cs...)
+	if !hasCommunity(cs, c) {
+		out = append(out, c)
+	}
+	return out
 }
 
 // providersAt lists the deployment AS's transit providers with sessions at

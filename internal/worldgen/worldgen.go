@@ -20,6 +20,7 @@ import (
 	"anysim/internal/geodb"
 	"anysim/internal/netplan"
 	"anysim/internal/obs"
+	"anysim/internal/policy"
 	"anysim/internal/topo"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// during construction is then recorded, so explain queries work on the
 	// freshly built world.
 	Provenance bool
+	// Policy installs a community/filter layer on the routing engine (see
+	// internal/policy). It shapes routing state, so its hash joins the
+	// world hash and the trace-header identity.
+	Policy *policy.Policy
 	// Metrics, when set, receives build-phase wall timings and is attached
 	// to the routing engine so announcement work during construction is
 	// already counted. Nil disables collection.
@@ -80,8 +85,17 @@ func (c Config) Hash() string {
 	for _, a := range areas {
 		put("|count:%s=%d", a, p.Counts[a])
 	}
+	// Folded only when a policy is configured, so every pre-policy world
+	// hash (and the archives that recorded them) stays valid.
+	if c.Policy != nil {
+		put("|policy=%s", c.Policy.Hash())
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
+
+// PolicyHash returns the hash of the configured policy ("" without one) —
+// the value carried in trace headers and checkpoint identities.
+func (c Config) PolicyHash() string { return c.Policy.Hash() }
 
 // HostnameSets are the customer hostname populations of §4.2: per CDN, the
 // hostnames served by the regional anycast platform, plus hostnames on
@@ -155,7 +169,9 @@ func New(cfg Config) (*World, error) {
 	// The header is the trace's first line: it names the schema and the
 	// world-shaping configuration so trace consumers can check comparability
 	// before reading a single event.
-	cfg.Tracer.WriteHeader(obs.NewTraceHeader(cfg.Seed, cfg.Hash()))
+	hdr := obs.NewTraceHeader(cfg.Seed, cfg.Hash())
+	hdr.Policy = cfg.PolicyHash()
+	cfg.Tracer.WriteHeader(hdr)
 
 	// Build phases are spanned for the trace and timed into wall gauges.
 	// Span indices are the phase numbers of the comments below.
@@ -197,7 +213,7 @@ func New(cfg Config) (*World, error) {
 	// 3. Routing. The engine is instrumented before the deployments
 	// announce, so construction-time convergence is already observed.
 	done = span(3, "routing")
-	w.Engine = bgp.NewEngineWithConfig(tp, bgp.EngineConfig{Provenance: cfg.Provenance})
+	w.Engine = bgp.NewEngineWithConfig(tp, bgp.EngineConfig{Provenance: cfg.Provenance, Policy: cfg.Policy})
 	w.Engine.Instrument(cfg.Metrics, cfg.Tracer)
 	for _, d := range []*cdn.Deployment{w.Edgio.EG3, w.Edgio.EG4, w.Imperva.IM6, w.Imperva.NS, w.Tangled.Global} {
 		if err := d.Announce(w.Engine); err != nil {

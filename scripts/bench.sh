@@ -4,8 +4,8 @@
 # Usage: scripts/bench.sh <n>
 #
 # Emits BENCH_<n>.json at the repo root: a JSON array of
-# {name, ns_per_op, allocs_per_op, metrics}, one entry per benchmark
-# (including sub-benchmarks). The metrics object carries every custom
+# {name, ns_per_op, bytes_per_op, allocs_per_op, metrics}, one entry per
+# benchmark (including sub-benchmarks). The metrics object carries every custom
 # ReportMetric column (dirty-ases, regional-p90-ms, …); fields are located
 # by their unit tokens, not by position. Also emits BENCH_<n>_obs.json: the
 # deterministic obs metrics snapshot of an instrumented small-world load
@@ -16,10 +16,12 @@
 # steering benchmarks are seconds-per-op, so they run at -benchtime=1x to
 # keep the script's wall clock bounded.
 #
-# Every benchmark runs -count 3 and the archive records the fastest of the
-# three (minimum ns/op) — the standard noise-robust point estimate, since
-# interference only ever adds time. Alloc counts are deterministic, so any
-# of the three samples carries the same value.
+# Every benchmark runs -count 5 and the archive records the fastest of the
+# five (minimum ns/op) — the standard noise-robust point estimate, since
+# interference only ever adds time. The steering benchmarks need the extra
+# draws most: at -benchtime=1x each count is a single ~10 s iteration, so
+# the min converges slowly. Alloc counts are deterministic, so any of the
+# five samples carries the same value.
 set -eu
 
 n="${1:?usage: scripts/bench.sh <n>}"
@@ -29,18 +31,18 @@ obs_out="BENCH_${n}_obs.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -benchmem -count 3 \
+go test -run '^$' -benchmem -count 5 \
     -bench 'BenchmarkAnnounce$|BenchmarkAnnounceProvenance|BenchmarkIncrementalReconvergence|BenchmarkLookup$|BenchmarkEngineFork' \
     ./internal/bgp/ | tee -a "$raw"
 
-go test -run '^$' -benchmem -benchtime 1x -count 3 \
+go test -run '^$' -benchmem -benchtime 1x -count 5 \
     -bench 'BenchmarkTrafficSteering$|BenchmarkSteeringRound$|BenchmarkDemandMatrix$' \
     . | tee -a "$raw"
 
 # The resident server: full ingest path (reconverge + re-evaluate + publish)
 # with the query-ns/op column reporting snapshot-read latency, and the
 # decoder-fronted stream path POST /events takes.
-go test -run '^$' -benchmem -count 3 \
+go test -run '^$' -benchmem -count 5 \
     -bench 'BenchmarkServeIngestEvent$|BenchmarkServeIngestStream$' \
     ./internal/server/ | tee -a "$raw"
 
@@ -48,11 +50,12 @@ awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; allocs = ""; extras = ""
+    ns = ""; bytes = ""; allocs = ""; extras = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")          { ns = $(i - 1); continue }
+        if ($i == "B/op")           { bytes = $(i - 1); continue }
         if ($i == "allocs/op")      { allocs = $(i - 1); continue }
-        if ($i == "B/op" || $i == "MB/s") continue
+        if ($i == "MB/s") continue
         # Any other unit token preceded by a number is a ReportMetric column.
         if (i > 2 && $i !~ /^[0-9.+-]/ && $(i - 1) ~ /^[0-9.+-]/) {
             if (extras != "") extras = extras ", "
@@ -60,19 +63,21 @@ awk '
         }
     }
     if (ns == "") next
+    if (bytes == "") bytes = "null"
     if (allocs == "") allocs = "null"
-    # Keep the fastest of the -count samples per benchmark.
+    # Keep the fastest of the -count samples per benchmark. Bytes and
+    # allocs are deterministic, so the fastest sample carries them too.
     if (!(name in best)) order[++n] = name
     if (!(name in best) || ns + 0 < best[name] + 0) {
-        best[name] = ns; al[name] = allocs; ex[name] = extras
+        best[name] = ns; by[name] = bytes; al[name] = allocs; ex[name] = extras
     }
 }
 END {
     printf "[\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", \
-            name, best[name], al[name], ex[name]
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"metrics\": {%s}}", \
+            name, best[name], by[name], al[name], ex[name]
         printf (i < n) ? ",\n" : "\n"
     }
     printf "]\n"

@@ -59,4 +59,51 @@ grep -q 'shutting down' "$log"
 grep -q '"scope": *"serve"' "$work/trace.jsonl" || {
     echo "serve_smoke: trace has no serve events"; cat "$work/trace.jsonl"; exit 1
 }
+
+# Policy case: a server running under -policy must stamp the policy hash
+# into its trace header, and its looking glass must surface the routes the
+# policy filtered — some group's /explain names the community-dropped step.
+cat > "$work/policy.txt" <<'POLICY'
+policy smoke
+import metro FRA -> reject
+POLICY
+log="$work/serve_policy.log"
+"$work/anysim" -small -policy "$work/policy.txt" -tracefile "$work/trace_policy.jsonl" \
+    serve -listen 127.0.0.1:0 < /dev/null 2> "$log" &
+pid=$!
+addr=""
+for _ in $(seq 1 150); do
+    addr=$(sed -n 's#.*serving .* on http://\([^/]*\)/.*#\1#p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve_smoke: policy server exited early"; cat "$log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "serve_smoke: no policy-server banner after 30s"; cat "$log"; exit 1; }
+echo "serve_smoke: policy server up on $addr"
+
+# Walk the catchment's group keys until one explanation shows the filtered
+# route. The drop policy drains the FRA site, so affected groups cluster
+# early in the sorted group list; the walk is bounded all the same.
+curl -fsS "http://$addr/catchment" > "$work/catchment.json"
+found=""
+for group in $(sed -n 's/.*"group": "\([^"]*\)".*/\1/p' "$work/catchment.json" | head -200); do
+    enc=$(printf '%s' "$group" | sed 's/|/%7C/')
+    if curl -fsS "http://$addr/explain?group=$enc" | grep -q 'community-dropped'; then
+        found="$group"
+        break
+    fi
+done
+[ -n "$found" ] || { echo "serve_smoke: no /explain mentions community-dropped under the drop policy"; exit 1; }
+echo "serve_smoke: /explain for $found names community-dropped"
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve_smoke: policy server nonzero exit on SIGTERM"; cat "$log"; exit 1
+fi
+pid=""
+# The run identity in the trace header carries the policy hash.
+head -1 "$work/trace_policy.jsonl" | grep -q '"policy":' || {
+    echo "serve_smoke: policy run's trace header has no policy hash"
+    head -1 "$work/trace_policy.jsonl"; exit 1
+}
 echo "serve_smoke: ok"
