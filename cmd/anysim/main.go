@@ -110,10 +110,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	// diff compares two already-written traces: no world is built, so it is
-	// dispatched before any of the expensive setup below.
+	// diff and profile consume already-written traces: no world is built,
+	// so they are dispatched before any of the expensive setup below.
 	if fs.Arg(0) == "diff" {
 		return diffCmd(fs.Args()[1:], stdout, stderr)
+	}
+	if fs.Arg(0) == "profile" {
+		return profileCmd(fs.Args()[1:], stdout, stderr)
 	}
 
 	// explain and serve have their own flags; parse them now so mistakes are
@@ -167,7 +170,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Observability sinks are opened before the (expensive) world build so
 	// an unwritable path is a fast usage error.
 	var reg *obs.Registry
-	if *metricsOut != "" || *debugAddr != "" {
+	// -wallmetrics alone is enough to want a registry: spans only record
+	// wall coordinates (for anysim profile) when a wall-enabled registry is
+	// attached, even if no snapshot file was requested. serve always gets
+	// one — its telemetry plane (/metrics, /metrics.prom, per-endpoint
+	// latencies) must work out of the box for supervisors and scrapers —
+	// but wall collection stays opt-in even there: wall coordinates in the
+	// trace would break cross-run `anysim diff` comparisons.
+	if *metricsOut != "" || *debugAddr != "" || *wallMetrics || sv != nil {
 		reg = obs.NewRegistry()
 		reg.EnableWall(*wallMetrics)
 	}
@@ -343,6 +353,10 @@ func debugMux(reg *obs.Registry) *http.ServeMux {
 		} else {
 			_, _ = w.Write([]byte("{}\n"))
 		}
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = debugRegistry.Load().WriteProm(w)
 	})
 	return mux
 }
@@ -891,6 +905,10 @@ func usage(out io.Writer) {
                            pathology class against -dep)
   diff [-json] <a> <b>     compare two JSONL traces; refuses incompatible
                            runs, exits 1 when the event streams diverge
+  profile [-top N] [-chrome F] <trace.jsonl>
+                           aggregate a trace's spans into a self-time table
+                           (run with -wallmetrics for wall timings); -chrome
+                           exports a Perfetto-loadable trace-event file
   scenario <file>          replay a fault scenario against -dep (default im6)
   load [bucket]            per-site demand and utilization for -dep
                            (default: the peak bucket)
@@ -898,7 +916,8 @@ func usage(out io.Writer) {
                            keep the world resident for -dep: ingest dynamics
                            events from stdin and POST /events, answer live
                            queries (/status /catchment /load /explain /diff
-                           /metrics) from consistent snapshots, advance the
+                           /metrics /metrics.prom /healthz, SSE /watch)
+                           from consistent snapshots, advance the
                            demand clock via POST /advance, and checkpoint/
                            restore the full simulation state; SIGTERM drains
                            queries, checkpoints (if -checkpoint), and flushes
@@ -913,8 +932,10 @@ construction excluded), e.g.: anysim -small -cpuprofile cpu.out load
 -metrics writes a deterministic JSON metrics snapshot after the run ("-"
 for stdout); -wallmetrics adds nondeterministic wall-clock timings to it.
 -tracefile writes a JSONL stream of simulation events keyed to simulation
-clocks. -debug-addr serves expvar, pprof, and /metrics over HTTP while
-the run executes, e.g.: anysim -small -debug-addr localhost:6060 load
+clocks; with -wallmetrics its spans also carry wall timings, which anysim
+profile aggregates. -debug-addr serves expvar, pprof, /metrics, and
+/metrics.prom over HTTP while the run executes, e.g.:
+anysim -small -debug-addr localhost:6060 load
 -policy installs a community/filter policy (see internal/policy) on the
 routing engine; the policy hash joins the trace-header and checkpoint
 identity, so diff and restore refuse runs under a different policy.`)

@@ -583,3 +583,64 @@ func TestRunObsUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunProfile drives the profile subcommand end to end: a -wallmetrics
+// -tracefile scenario run produces a span-bearing trace, and profile turns
+// it into a self-time table plus a Chrome trace-event export.
+func TestRunProfile(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.jsonl")
+	file := filepath.Join(dir, "s.txt")
+	text := "scenario profile-test\nat 1 site-down fra\nat 2 site-up fra\n"
+	if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-small", "-seed", "7", "-wallmetrics", "-tracefile", trace, "scenario", file}
+	if code := run(args, &out, &errOut); code != exitOK {
+		t.Fatalf("scenario exit %d, stderr: %s", code, errOut.String())
+	}
+
+	chrome := filepath.Join(dir, "chrome.json")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"profile", "-top", "0", "-chrome", chrome, trace}, &out, &errOut); code != exitOK {
+		t.Fatalf("profile exit %d, stderr: %s", code, errOut.String())
+	}
+	table := out.String()
+	for _, want := range []string{"self", "worldgen", "dynamics/step"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("profile table missing %q:\n%s", want, table)
+		}
+	}
+	// -wallmetrics was on, so the trace has wall coordinates and the table
+	// must report real milliseconds, not the synthetic tick timeline.
+	if strings.Contains(table, "ticks") {
+		t.Errorf("wall-clocked trace profiled on the tick fallback:\n%s", table)
+	}
+	cb, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome export not written: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(cb, &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	sawSpan := false
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Error("chrome export has no complete (ph=X) span events")
+	}
+
+	// Usage and runtime errors exit with the right codes.
+	if code := run([]string{"profile"}, &out, &errOut); code != exitUsage {
+		t.Errorf("profile with no args = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"profile", filepath.Join(dir, "missing.jsonl")}, &out, &errOut); code != exitError {
+		t.Errorf("profile on a missing file = %d, want %d", code, exitError)
+	}
+}

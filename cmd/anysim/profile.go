@@ -1,0 +1,64 @@
+package main
+
+// The profile subcommand: aggregate a JSONL trace (written with -tracefile,
+// ideally alongside -wallmetrics so spans carry wall_ns) into a per-scope
+// self-time table, and optionally export the span tree as a Chrome
+// trace-event file loadable in Perfetto / chrome://tracing.
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anysim/internal/obs"
+)
+
+// profileCmd aggregates one trace file. Like diff, it needs no world: the
+// trace carries its own identity in the header line.
+func profileCmd(args []string, stdout, stderr io.Writer) int {
+	pfs := flag.NewFlagSet("anysim profile", flag.ContinueOnError)
+	pfs.SetOutput(stderr)
+	topN := pfs.Int("top", 20, "rows in the self-time table (0 for all)")
+	chrome := pfs.String("chrome", "", "also write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing) to this path")
+	if err := pfs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if pfs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: anysim profile [-top N] [-chrome F] <trace.jsonl>")
+		return exitUsage
+	}
+	f, err := os.Open(pfs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	defer f.Close()
+	p, err := obs.ReadProfile(bufio.NewReader(f))
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: profile: %v\n", err)
+		return exitError
+	}
+	if err := p.WriteTable(stdout, *topN); err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: chrome: %v\n", err)
+			return exitError
+		}
+		werr := p.WriteChrome(out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "anysim: chrome: %v\n", werr)
+			return exitError
+		}
+		fmt.Fprintf(stderr, "anysim: wrote Chrome trace to %s (open in Perfetto)\n", *chrome)
+	}
+	return exitOK
+}

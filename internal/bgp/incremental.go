@@ -248,6 +248,17 @@ func (e *Engine) ReconvergeLinks(changed []int) error {
 // incremental regime has lost its advantage and a full recompute takes
 // over. It returns the touched set (nil after a full fallback).
 func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ribTable, seed *asBits) (*asBits, error) {
+	// The whole operation and each frontier drain are spanned for the
+	// profiler. The op clock anticipates the sequence number the caller's
+	// operation event will draw (seq+1), so spans and the event that
+	// summarizes them share a coordinate. Guarded by spanActive: an
+	// uninstrumented engine pays two nil checks and builds no coordinates.
+	spans := e.spanActive()
+	var rsp obs.SpanScope
+	if spans {
+		rsp = obs.StartSpan(e.eobs.tracer, e.eobs.reg, e.eobs.reconvTm, "bgp", "reconverge",
+			obs.Coord{Key: "op", V: e.eobs.seq.Load() + 1})
+	}
 	limit := e.n * 3 / 4
 	cur := old
 	curProv := e.provFor(prefix)
@@ -259,6 +270,7 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ri
 		if touched.len() > limit || passes > e.n {
 			ribs, prov, err := e.converge(prefix, anns, nil)
 			if err != nil {
+				rsp.End()
 				return nil, err
 			}
 			st := ReconvergeStats{Dirty: e.n, Passes: passes, Full: true}
@@ -266,21 +278,39 @@ func (e *Engine) reconverge(prefix netip.Prefix, anns []SiteAnnouncement, old ri
 			e.eobs.fulls.Inc()
 			e.eobs.dirty.Observe(int64(st.Dirty))
 			e.eobs.passes.Observe(int64(st.Passes))
+			if rsp.Active() {
+				rsp.End(obs.Int("dirty", int64(st.Dirty)), obs.Int("passes", int64(st.Passes)),
+					obs.Bool("full", true))
+			}
 			return nil, nil
 		}
-		e.eobs.frontier.Observe(int64(delta.len()))
+		frontier := int64(delta.len())
+		e.eobs.frontier.Observe(frontier)
+		var psp obs.SpanScope
+		if spans {
+			psp = obs.StartSpan(e.eobs.tracer, e.eobs.reg, e.eobs.passTm, "bgp", "pass",
+				obs.Coord{Key: "op", V: e.eobs.seq.Load() + 1}, obs.Coord{Key: "pass", V: int64(passes)})
+		}
 		ribs, prov, err := e.converge(prefix, anns, &convergeScope{dirty: delta, old: cur, oldProv: curProv})
 		if err != nil {
+			psp.End()
+			rsp.End()
 			return nil, err
 		}
 		delta = e.spill(ribs, cur, delta)
 		cur, curProv = ribs, prov
 		touched.or(delta)
+		if psp.Active() {
+			psp.End(obs.Int("frontier", frontier), obs.Int("spill", int64(delta.len())))
+		}
 	}
 	st := ReconvergeStats{Dirty: touched.len(), Passes: passes}
 	e.install(prefix, anns, cur, curProv, st)
 	e.eobs.dirty.Observe(int64(st.Dirty))
 	e.eobs.passes.Observe(int64(st.Passes))
+	if rsp.Active() {
+		rsp.End(obs.Int("dirty", int64(st.Dirty)), obs.Int("passes", int64(st.Passes)))
+	}
 	return touched, nil
 }
 

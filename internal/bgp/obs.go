@@ -41,10 +41,24 @@ type engineObs struct {
 	p1rounds *obs.Histogram // phase-1 climb rounds per converge call
 	p3levels *obs.Histogram // phase-3 descent levels per converge call
 
+	// Span sites of the incremental reconvergence hot path; reg is kept so
+	// spans can check the wall gate before reading the clock.
+	reg      *obs.Registry
+	reconvTm obs.SpanTimer // bgp.reconverge: whole incremental operation
+	passTm   obs.SpanTimer // bgp.reconverge.pass: one worklist frontier drain
+
 	tracer *obs.Tracer
 	// seq is the engine's simulation clock: it numbers traced operations on
 	// the root engine. Forks never trace, so they never advance it.
 	seq *atomic.Int64
+}
+
+// spanActive reports whether span instrumentation on this engine records
+// anything — a tracer is attached or wall metrics may be on. Hot sites check
+// it before building clock coordinates so the disabled path allocates
+// nothing (two nil checks).
+func (e *Engine) spanActive() bool {
+	return e.eobs.tracer.Enabled() || e.eobs.reg.WallEnabled()
 }
 
 // Instrument attaches a metrics registry and tracer to the engine. Both may
@@ -67,6 +81,9 @@ func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		frontier:  reg.Histogram("bgp.reconverge.frontier", obs.Pow2Bounds(20)),
 		p1rounds:  reg.Histogram("bgp.converge.phase1_rounds", obs.Pow2Bounds(8)),
 		p3levels:  reg.Histogram("bgp.converge.phase3_levels", obs.Pow2Bounds(8)),
+		reg:       reg,
+		reconvTm:  reg.SpanTimer("bgp.reconverge"),
+		passTm:    reg.SpanTimer("bgp.reconverge.pass"),
 		tracer:    tr,
 		seq:       new(atomic.Int64),
 	}

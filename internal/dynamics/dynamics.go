@@ -158,8 +158,17 @@ type runnerObs struct {
 	moved  *obs.Histogram // dynamics.step.moved (catchment pairs that changed site)
 	lost   *obs.Histogram // dynamics.step.lost
 
+	// Span site for one scenario step; reg carries the wall gate.
+	reg    *obs.Registry
+	stepTm obs.SpanTimer // dynamics.step
+
 	tracer *obs.Tracer
 	seq    int64 // steps applied across all Run calls (the scenario clock)
+}
+
+// spanActive reports whether step spans record anything on this runner.
+func (r *Runner) spanActive() bool {
+	return r.dobs.tracer.Enabled() || r.dobs.reg.WallEnabled()
 }
 
 // Instrument attaches a metrics registry and tracer to the runner. Either
@@ -171,6 +180,8 @@ func (r *Runner) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		passes: reg.Histogram("dynamics.step.passes", obs.Pow2Bounds(6)),
 		moved:  reg.Histogram("dynamics.step.moved", obs.Pow2Bounds(20)),
 		lost:   reg.Histogram("dynamics.step.lost", obs.Pow2Bounds(20)),
+		reg:    reg,
+		stepTm: reg.SpanTimer("dynamics.step"),
 		tracer: tr,
 		seq:    r.dobs.seq,
 	}
@@ -349,7 +360,17 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 		}
 	}
 	for _, ev := range sc.sorted() {
+		// Each step is spanned, clocked by the scenario step it will become
+		// (seq+1 — observeStep advances the clock when it emits the step
+		// event) and its simulated tick. The engine's reconvergence spans
+		// nest inside it.
+		var ssp obs.SpanScope
+		if r.spanActive() {
+			ssp = obs.StartSpan(r.dobs.tracer, r.dobs.reg, r.dobs.stepTm, "dynamics", "step",
+				obs.Coord{Key: "step", V: r.dobs.seq + 1}, obs.Coord{Key: "tick", V: int64(ev.At)})
+		}
 		if err := r.Apply(ev); err != nil {
+			ssp.End()
 			return steps, fmt.Errorf("dynamics: %s (scenario %s): %w", ev, sc.Name, err)
 		}
 		post := r.Snapshot()
@@ -361,10 +382,12 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 		if explain {
 			postCap, err := glass.Capture(r.Engine, r.Dep, r.Measurer, r.Probes)
 			if err != nil {
+				ssp.End()
 				return steps, fmt.Errorf("dynamics: capture after %s: %w", ev, err)
 			}
 			rep, err := glass.Diff(preCap, postCap)
 			if err != nil {
+				ssp.End()
 				return steps, fmt.Errorf("dynamics: diff after %s: %w", ev, err)
 			}
 			step.Moves = &rep
@@ -372,6 +395,9 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 		}
 		steps = append(steps, step)
 		r.observeStep(sc, step)
+		if ssp.Active() {
+			ssp.End(obs.Str("event", step.Event.String()), obs.Int("dirty", int64(step.Stats.Dirty)))
+		}
 		pre = post
 	}
 	return steps, nil

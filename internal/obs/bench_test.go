@@ -78,6 +78,46 @@ func BenchmarkTracerEmit(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanDisabled pins the span disabled path — nil tracer, no
+// registry — which every instrumented hot loop pays when observability is
+// off: a nil check and an atomic-free registry check, zero allocations,
+// single-digit ns.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	var reg *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(tr, reg, SpanTimer{}, "bgp", "reconverge")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanGatedOff: a live registry with wall collection off and no
+// tracer — the configuration `-metrics` alone produces. Still no-op.
+func BenchmarkSpanGatedOff(b *testing.B) {
+	reg := NewRegistry()
+	tm := reg.SpanTimer("bgp.reconverge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(nil, reg, tm, "bgp", "reconverge")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled documents the full cost: id allocation, two Emit
+// calls, and wall-histogram observes.
+func BenchmarkSpanEnabled(b *testing.B) {
+	reg := NewRegistry()
+	reg.EnableWall(true)
+	tr := NewTracer(io.Discard)
+	tm := reg.SpanTimer("bgp.reconverge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(tr, reg, tm, "bgp", "reconverge", Coord{"op", int64(i)})
+		sp.End(Int("dirty", 41))
+	}
+}
+
 func BenchmarkSnapshot(b *testing.B) {
 	r := NewRegistry()
 	for i := 0; i < 64; i++ {

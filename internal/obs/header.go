@@ -9,7 +9,13 @@ import (
 // TraceSchemaVersion is the version of the JSONL trace schema. Bump it when
 // an event's encoding changes shape; trace_golden_test.go pins the current
 // encoding so accidental changes fail loudly.
-const TraceSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — header + flat events
+//	2 — hierarchical spans: begin/end event pairs with id/parent attrs
+//	    (and wall_ns offsets when wall metrics are enabled)
+const TraceSchemaVersion = 2
 
 // TraceHeader is the first line of every trace file: it identifies the
 // schema version and the run (seed, world-config hash) so consumers —

@@ -137,6 +137,12 @@ func TestTraceSchemaGolden(t *testing.T) {
 	})
 	tr.Emit(Event{Scope: "glass", Name: "move", Clock: []Coord{{"step", 3}},
 		Attrs: []Attr{Str("group", "FRA|64512"), Float("delta-ms", -12.25)}})
+	// Schema 2: a nested span pair — begin/end events with id/parent attrs.
+	// No wall metrics here, so no wall_ns coordinate appears.
+	outer := StartSpan(tr, nil, SpanTimer{}, "worldgen", "topology", Coord{"phase", 1})
+	inner := StartSpan(tr, nil, SpanTimer{}, "worldgen", "tiers", Coord{"phase", 1})
+	inner.End(Int("ases", 500))
+	outer.End()
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}

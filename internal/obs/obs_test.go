@@ -36,8 +36,11 @@ func TestNilSafety(t *testing.T) {
 	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
 		t.Error("nil handles accumulated state")
 	}
-	done := Span(tr, g, "x", "phase", Coord{"i", 1})
-	done(Int("n", 2))
+	sp := StartSpan(tr, r, r.SpanTimer("x.phase"), "x", "phase", Coord{"i", 1})
+	if sp.Active() {
+		t.Error("disabled span reports active")
+	}
+	sp.End(Int("n", 2))
 	if got := string(r.AppendSnapshot(nil)); got != "{}\n" {
 		t.Errorf("nil snapshot = %q", got)
 	}
@@ -254,24 +257,130 @@ func TestEventAttrLookup(t *testing.T) {
 	}
 }
 
-// TestSpan checks begin/end emission and wall-duration recording.
+// spanLine is the decoded form of a span begin/end trace line.
+type spanLine struct {
+	Scope string `json:"scope"`
+	Event string `json:"event"`
+	Attrs struct {
+		Span   string `json:"span"`
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+		WallNs *int64 `json:"wall_ns"`
+		Ases   int64  `json:"ases"`
+	} `json:"attrs"`
+}
+
+func decodeSpanLines(t *testing.T, b []byte) []spanLine {
+	t.Helper()
+	var out []spanLine
+	for _, ln := range bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n")) {
+		var sl spanLine
+		if err := json.Unmarshal(ln, &sl); err != nil {
+			t.Fatalf("bad trace line: %v\n%s", err, ln)
+		}
+		out = append(out, sl)
+	}
+	return out
+}
+
+// TestSpan checks begin/end emission, wall-duration recording into the
+// SpanTimer histogram+gauge, and the wall_ns coordinate gating.
 func TestSpan(t *testing.T) {
 	var buf bytes.Buffer
 	r := NewRegistry()
 	r.EnableWall(true)
 	tr := NewTracer(&buf)
-	d := r.WallGauge("phase.ns")
-	done := Span(tr, d, "worldgen", "topology", Coord{"phase", 1})
-	done(Int("ases", 42))
-	out := buf.String()
-	if !strings.Contains(out, `"span":"begin"`) || !strings.Contains(out, `"span":"end"`) {
-		t.Fatalf("span events missing:\n%s", out)
+	tm := r.SpanTimer("worldgen.phase.topology")
+	sp := StartSpan(tr, r, tm, "worldgen", "topology", Coord{"phase", 1})
+	if !sp.Active() {
+		t.Fatal("span with tracer+wall reports inactive")
 	}
-	if !strings.Contains(out, `"ases":42`) {
-		t.Errorf("end attrs missing:\n%s", out)
+	sp.End(Int("ases", 42))
+	lines := decodeSpanLines(t, buf.Bytes())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want begin+end:\n%s", len(lines), buf.String())
 	}
-	if d.Value() < 0 {
-		t.Errorf("negative span duration %v", d.Value())
+	begin, end := lines[0], lines[1]
+	if begin.Attrs.Span != "begin" || end.Attrs.Span != "end" {
+		t.Fatalf("span markers wrong:\n%s", buf.String())
+	}
+	if begin.Attrs.ID != 1 || end.Attrs.ID != 1 || begin.Attrs.Parent != 0 {
+		t.Errorf("span identity wrong: begin id=%d parent=%d end id=%d",
+			begin.Attrs.ID, begin.Attrs.Parent, end.Attrs.ID)
+	}
+	if begin.Attrs.WallNs == nil || end.Attrs.WallNs == nil {
+		t.Error("wall_ns missing with wall metrics enabled")
+	} else if *end.Attrs.WallNs < *begin.Attrs.WallNs {
+		t.Errorf("end wall_ns %d before begin %d", *end.Attrs.WallNs, *begin.Attrs.WallNs)
+	}
+	if end.Attrs.Ases != 42 {
+		t.Errorf("end attrs missing ases:\n%s", buf.String())
+	}
+	if tm.Hist.Count() != 1 {
+		t.Errorf("span histogram count = %d, want 1", tm.Hist.Count())
+	}
+	if tm.Last.Value() < 0 {
+		t.Errorf("negative span duration %v", tm.Last.Value())
+	}
+}
+
+// TestSpanHierarchy checks that nested spans link child to parent and that
+// the distribution survives repeated calls (the old API's gauge lost it).
+func TestSpanHierarchy(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.EnableWall(true)
+	tr := NewTracer(&buf)
+	tm := r.SpanTimer("bgp.pass")
+	outer := StartSpan(tr, r, r.SpanTimer("bgp.reconverge"), "bgp", "reconverge", Coord{"op", 1})
+	for i := 0; i < 3; i++ {
+		inner := StartSpan(tr, r, tm, "bgp", "pass", Coord{"op", 1}, Coord{"pass", int64(i + 1)})
+		inner.End()
+	}
+	outer.End()
+	lines := decodeSpanLines(t, buf.Bytes())
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", len(lines), buf.String())
+	}
+	if lines[0].Attrs.ID != 1 || lines[0].Attrs.Parent != 0 {
+		t.Errorf("outer begin: id=%d parent=%d", lines[0].Attrs.ID, lines[0].Attrs.Parent)
+	}
+	// Inner begins at lines 1, 3, 5: ids 2..4, all parented on the outer.
+	for i, ln := range []spanLine{lines[1], lines[3], lines[5]} {
+		if ln.Attrs.Span != "begin" || ln.Attrs.ID != int64(i+2) || ln.Attrs.Parent != 1 {
+			t.Errorf("inner %d: span=%q id=%d parent=%d", i, ln.Attrs.Span, ln.Attrs.ID, ln.Attrs.Parent)
+		}
+	}
+	if lines[7].Attrs.Span != "end" || lines[7].Attrs.ID != 1 {
+		t.Errorf("outer end: span=%q id=%d", lines[7].Attrs.Span, lines[7].Attrs.ID)
+	}
+	if tm.Hist.Count() != 3 {
+		t.Errorf("pass histogram count = %d, want 3 (distribution lost)", tm.Hist.Count())
+	}
+}
+
+// TestSpanNoWallDeterminism checks that with wall metrics off, span events
+// carry no wall_ns and two identical runs produce byte-identical traces.
+func TestSpanNoWallDeterminism(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		r := NewRegistry()
+		tr := NewTracer(&buf)
+		sp := StartSpan(tr, r, r.SpanTimer("x.a"), "x", "a", Coord{"i", 1})
+		in := StartSpan(tr, r, r.SpanTimer("x.b"), "x", "b", Coord{"i", 1})
+		in.End(Int("n", 2))
+		sp.End()
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("span traces differ across runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte("wall_ns")) {
+		t.Fatalf("wall_ns leaked into a wall-off trace:\n%s", a)
+	}
+	if !bytes.Contains(a, []byte(`"span":"begin"`)) {
+		t.Fatalf("no span events:\n%s", a)
 	}
 }
 

@@ -1,0 +1,299 @@
+package obs
+
+// Trace profiling: fold a JSONL trace's span events into a per-site profile
+// (count, total, self-time, p50/p99) and export a Chrome trace-event file a
+// flame-chart viewer (Perfetto, chrome://tracing) can load. This is the
+// read side of span.go, used by `anysim profile`.
+//
+// Traces recorded with wall metrics on carry wall_ns offsets, so durations
+// are real nanoseconds. Default (deterministic) traces have no wall
+// coordinate; the profiler then falls back to a synthetic timeline where
+// every trace line is one tick — the hierarchy, counts, and relative
+// self-time structure survive, absolute durations do not.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// SpanRecord is one reconstructed span: its identity, position in the
+// trace, and begin/end timestamps (wall nanoseconds, or line ticks on the
+// synthetic timeline).
+type SpanRecord struct {
+	Scope   string
+	Name    string
+	ID      int64
+	Parent  int64
+	BeginNs int64
+	EndNs   int64
+	childNs int64
+}
+
+// Dur returns the span's duration in timeline units.
+func (s *SpanRecord) Dur() int64 { return s.EndNs - s.BeginNs }
+
+// Self returns the span's self-time: duration minus the durations of its
+// direct children.
+func (s *SpanRecord) Self() int64 { return s.Dur() - s.childNs }
+
+// ProfileEntry aggregates every span of one scope/name site.
+type ProfileEntry struct {
+	Scope   string
+	Name    string
+	Count   int64
+	TotalNs int64
+	SelfNs  int64
+	P50Ns   int64
+	P99Ns   int64
+}
+
+// instant is a non-span trace event pinned to its line position, exported
+// as a Chrome instant event on the synthetic timeline.
+type instant struct {
+	Scope string
+	Name  string
+	Tick  int64
+}
+
+// TraceProfile is the aggregated form of one trace file.
+type TraceProfile struct {
+	Header  TraceHeader
+	Spans   []SpanRecord
+	Entries []ProfileEntry // sorted by self-time, descending
+	Events  int            // non-span events seen
+	Open    int            // spans with a begin but no end (truncated trace)
+	HasWall bool           // durations are wall nanoseconds, not line ticks
+
+	instants []instant
+}
+
+// traceLine is the decoded subset of one trace line the profiler needs.
+type traceLine struct {
+	Scope string `json:"scope"`
+	Event string `json:"event"`
+	Attrs struct {
+		Span   string `json:"span"`
+		ID     int64  `json:"id"`
+		Parent int64  `json:"parent"`
+		WallNs *int64 `json:"wall_ns"`
+	} `json:"attrs"`
+}
+
+// ReadProfile parses a JSONL trace — header line first — and folds its span
+// events into a profile. Span durations come from wall_ns when the trace
+// has them; otherwise every line advances a synthetic clock by one tick.
+// Truncated traces are tolerated: spans still open at EOF are counted in
+// Open and excluded from the aggregates.
+func ReadProfile(r io.Reader) (*TraceProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("obs: profile: %w", err)
+		}
+		return nil, fmt.Errorf("obs: profile: empty trace")
+	}
+	hdr, err := ParseTraceHeader(sc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	p := &TraceProfile{Header: hdr}
+	open := map[int64]*SpanRecord{}
+	var tick int64
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		tick++
+		var ln traceLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return nil, fmt.Errorf("obs: profile: line %d: %w", lineNo, err)
+		}
+		switch ln.Attrs.Span {
+		case "begin":
+			at := tick
+			if ln.Attrs.WallNs != nil {
+				at = *ln.Attrs.WallNs
+				p.HasWall = true
+			}
+			open[ln.Attrs.ID] = &SpanRecord{
+				Scope: ln.Scope, Name: ln.Event,
+				ID: ln.Attrs.ID, Parent: ln.Attrs.Parent, BeginNs: at,
+			}
+		case "end":
+			sp := open[ln.Attrs.ID]
+			if sp == nil {
+				return nil, fmt.Errorf("obs: profile: line %d: end of unknown span %d", lineNo, ln.Attrs.ID)
+			}
+			delete(open, ln.Attrs.ID)
+			sp.EndNs = tick
+			if ln.Attrs.WallNs != nil {
+				sp.EndNs = *ln.Attrs.WallNs
+			}
+			if parent := open[sp.Parent]; parent != nil {
+				parent.childNs += sp.Dur()
+			}
+			p.Spans = append(p.Spans, *sp)
+		default:
+			p.Events++
+			p.instants = append(p.instants, instant{Scope: ln.Scope, Name: ln.Event, Tick: tick})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: profile: %w", err)
+	}
+	p.Open = len(open)
+	p.aggregate()
+	return p, nil
+}
+
+// aggregate folds Spans into per-site Entries, sorted by self-time.
+func (p *TraceProfile) aggregate() {
+	type site struct {
+		entry ProfileEntry
+		durs  []int64
+	}
+	sites := map[string]*site{}
+	var order []string
+	for i := range p.Spans {
+		sp := &p.Spans[i]
+		key := sp.Scope + "\x00" + sp.Name
+		s := sites[key]
+		if s == nil {
+			s = &site{entry: ProfileEntry{Scope: sp.Scope, Name: sp.Name}}
+			sites[key] = s
+			order = append(order, key)
+		}
+		s.entry.Count++
+		s.entry.TotalNs += sp.Dur()
+		s.entry.SelfNs += sp.Self()
+		s.durs = append(s.durs, sp.Dur())
+	}
+	p.Entries = p.Entries[:0]
+	for _, key := range order {
+		s := sites[key]
+		sort.Slice(s.durs, func(i, j int) bool { return s.durs[i] < s.durs[j] })
+		s.entry.P50Ns = quantile(s.durs, 0.50)
+		s.entry.P99Ns = quantile(s.durs, 0.99)
+		p.Entries = append(p.Entries, s.entry)
+	}
+	// Self-time descending; site name breaks ties so the order is total.
+	sort.Slice(p.Entries, func(i, j int) bool {
+		a, b := &p.Entries[i], &p.Entries[j]
+		if a.SelfNs != b.SelfNs {
+			return a.SelfNs > b.SelfNs
+		}
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		return a.Name < b.Name
+	})
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted slice.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// WriteTable renders the top-N entries by self-time as an aligned text
+// table. With no wall data the unit column is trace-line ticks, and the
+// header says so.
+func (p *TraceProfile) WriteTable(w io.Writer, topN int) error {
+	unit := "ms"
+	scale := 1e6
+	if !p.HasWall {
+		unit = "ticks"
+		scale = 1
+	}
+	n := len(p.Entries)
+	if topN > 0 && topN < n {
+		n = topN
+	}
+	if _, err := fmt.Fprintf(w, "%d spans at %d sites, %d events (unit: %s)\n",
+		len(p.Spans), len(p.Entries), p.Events, unit); err != nil {
+		return err
+	}
+	if p.Open > 0 {
+		if _, err := fmt.Fprintf(w, "warning: %d spans never ended (truncated trace?)\n", p.Open); err != nil {
+			return err
+		}
+	}
+	if !p.HasWall {
+		if _, err := fmt.Fprintln(w, "note: trace has no wall_ns (recorded without -wallmetrics); durations are line ticks"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-32s %8s %12s %12s %10s %10s\n",
+		"site", "count", "self("+unit+")", "total("+unit+")", "p50", "p99"); err != nil {
+		return err
+	}
+	for _, e := range p.Entries[:n] {
+		if _, err := fmt.Fprintf(w, "%-32s %8d %12.3f %12.3f %10.3f %10.3f\n",
+			e.Scope+"/"+e.Name, e.Count,
+			float64(e.SelfNs)/scale, float64(e.TotalNs)/scale,
+			float64(e.P50Ns)/scale, float64(e.P99Ns)/scale); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChrome exports the profile as a Chrome trace-event JSON array
+// (Perfetto-loadable). Spans become complete ("X") events; timestamps are
+// microseconds from wall_ns when present, otherwise line ticks. On the
+// synthetic timeline, non-span events are included as instant ("i") events;
+// with wall data they are omitted (they carry no wall coordinate, so they
+// have no honest position on that timeline).
+func (p *TraceProfile) WriteChrome(w io.Writer) error {
+	b := []byte("[\n")
+	b = append(b, `{"name":"process_name","ph":"M","pid":1,"args":{"name":"anysim seed=`...)
+	b = strconv.AppendInt(b, p.Header.Seed, 10)
+	b = append(b, ` world=`...)
+	b = append(b, p.Header.World...)
+	b = append(b, `"}}`...)
+	// Chrome ts is in microseconds. The synthetic timeline maps one line
+	// tick to one microsecond so nesting renders with visible extent.
+	div := int64(1)
+	if p.HasWall {
+		div = 1000
+	}
+	for i := range p.Spans {
+		sp := &p.Spans[i]
+		b = append(b, ",\n"...)
+		b = append(b, `{"name":`...)
+		b = appendJSONString(b, sp.Scope+"/"+sp.Name)
+		b = append(b, `,"cat":`...)
+		b = appendJSONString(b, sp.Scope)
+		b = append(b, `,"ph":"X","pid":1,"tid":1,"ts":`...)
+		b = strconv.AppendInt(b, sp.BeginNs/div, 10)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, sp.Dur()/div, 10)
+		b = append(b, `,"args":{"id":`...)
+		b = strconv.AppendInt(b, sp.ID, 10)
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendInt(b, sp.Parent, 10)
+		b = append(b, `}}`...)
+	}
+	if !p.HasWall {
+		for _, ev := range p.instants {
+			b = append(b, ",\n"...)
+			b = append(b, `{"name":`...)
+			b = appendJSONString(b, ev.Scope+"/"+ev.Name)
+			b = append(b, `,"cat":`...)
+			b = appendJSONString(b, ev.Scope)
+			b = append(b, `,"ph":"i","pid":1,"tid":1,"s":"t","ts":`...)
+			b = strconv.AppendInt(b, ev.Tick, 10)
+			b = append(b, '}')
+		}
+	}
+	b = append(b, "\n]\n"...)
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// syntheticTrace builds a small trace with deterministic wall_ns values by
+// writing the lines directly — the span encoder is exercised elsewhere; the
+// profiler only contracts on the line format.
+const syntheticTrace = `{"trace":"anysim","schema":2,"seed":7,"world":"cafe1234"}
+{"scope":"steer","event":"resolve","clock":{"resolve":1},"attrs":{"span":"begin","id":1,"parent":0,"wall_ns":0}}
+{"scope":"steer","event":"trials","clock":{"resolve":1,"round":1},"attrs":{"span":"begin","id":2,"parent":1,"wall_ns":100}}
+{"scope":"steer","event":"trials","clock":{"resolve":1,"round":1},"attrs":{"span":"end","id":2,"wall_ns":700}}
+{"scope":"bgp","event":"reconverge","clock":{"op":9},"attrs":{"span":"begin","id":3,"parent":1,"wall_ns":800}}
+{"scope":"bgp","event":"reconverge","clock":{"op":9},"attrs":{"span":"end","id":3,"wall_ns":900}}
+{"scope":"steer","event":"commit","clock":{"resolve":1,"round":1},"attrs":{"round":1}}
+{"scope":"steer","event":"resolve","clock":{"resolve":1},"attrs":{"span":"end","id":1,"wall_ns":1000}}
+`
+
+func TestProfileAggregation(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(syntheticTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasWall {
+		t.Fatal("wall_ns trace not detected")
+	}
+	if p.Header.Seed != 7 || p.Header.World != "cafe1234" {
+		t.Fatalf("header = %+v", p.Header)
+	}
+	if len(p.Spans) != 3 || p.Events != 1 || p.Open != 0 {
+		t.Fatalf("spans=%d events=%d open=%d", len(p.Spans), p.Events, p.Open)
+	}
+	byName := map[string]ProfileEntry{}
+	for _, e := range p.Entries {
+		byName[e.Scope+"/"+e.Name] = e
+	}
+	// resolve: dur 1000, children 600 (trials) + 100 (reconverge) → self 300.
+	res := byName["steer/resolve"]
+	if res.TotalNs != 1000 || res.SelfNs != 300 || res.Count != 1 {
+		t.Errorf("resolve entry = %+v", res)
+	}
+	tri := byName["steer/trials"]
+	if tri.TotalNs != 600 || tri.SelfNs != 600 || tri.P50Ns != 600 || tri.P99Ns != 600 {
+		t.Errorf("trials entry = %+v", tri)
+	}
+	if byName["bgp/reconverge"].TotalNs != 100 {
+		t.Errorf("reconverge entry = %+v", byName["bgp/reconverge"])
+	}
+	// Entries sort by self-time descending: trials(600) > resolve(300) > reconverge(100).
+	if p.Entries[0].Name != "trials" || p.Entries[1].Name != "resolve" || p.Entries[2].Name != "reconverge" {
+		t.Errorf("entry order: %+v", p.Entries)
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(syntheticTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTable(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "steer/trials") || !strings.Contains(out, "steer/resolve") {
+		t.Fatalf("table missing top sites:\n%s", out)
+	}
+	if strings.Contains(out, "bgp/reconverge") {
+		t.Fatalf("top-2 table includes third site:\n%s", out)
+	}
+	if !strings.Contains(out, "unit: ms") {
+		t.Fatalf("wall trace not reported in ms:\n%s", out)
+	}
+}
+
+func TestProfileChromeExport(t *testing.T) {
+	p, err := ReadProfile(strings.NewReader(syntheticTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var complete int
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("chrome export has %d complete events, want 3:\n%s", complete, buf.String())
+	}
+	// Wall timeline: non-span events are omitted (no honest position).
+	if strings.Contains(buf.String(), "steer/commit") {
+		t.Fatalf("instant leaked onto wall timeline:\n%s", buf.String())
+	}
+}
+
+func TestProfileNoWallFallback(t *testing.T) {
+	// Strip the wall_ns attrs: the deterministic default trace.
+	var lines []string
+	for _, ln := range strings.Split(strings.TrimRight(syntheticTrace, "\n"), "\n") {
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatal(err)
+		}
+		if attrsRaw, ok := obj["attrs"]; ok {
+			var attrs map[string]json.RawMessage
+			if err := json.Unmarshal(attrsRaw, &attrs); err != nil {
+				t.Fatal(err)
+			}
+			delete(attrs, "wall_ns")
+			b, err := json.Marshal(attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj["attrs"] = b
+		}
+		b, err := json.Marshal(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	p, err := ReadProfile(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasWall {
+		t.Fatal("wall detected in a stripped trace")
+	}
+	var table bytes.Buffer
+	if err := p.WriteTable(&table, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "unit: ticks") {
+		t.Fatalf("synthetic timeline not flagged:\n%s", table.String())
+	}
+	var chrome bytes.Buffer
+	if err := p.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Fatalf("chrome export invalid:\n%s", chrome.String())
+	}
+	// Synthetic timeline keeps non-span events as instants.
+	if !strings.Contains(chrome.String(), `"ph":"i"`) {
+		t.Fatalf("no instants on synthetic timeline:\n%s", chrome.String())
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"scope":"x","event":"y","clock":{},"attrs":{}}` + "\n")); err == nil {
+		t.Error("headerless trace accepted")
+	}
+	bad := `{"trace":"anysim","schema":2,"seed":1,"world":"x"}` + "\n" +
+		`{"scope":"a","event":"b","clock":{},"attrs":{"span":"end","id":99}}` + "\n"
+	if _, err := ReadProfile(strings.NewReader(bad)); err == nil {
+		t.Error("dangling span end accepted")
+	}
+	// A truncated trace (open span at EOF) is tolerated but reported.
+	trunc := `{"trace":"anysim","schema":2,"seed":1,"world":"x"}` + "\n" +
+		`{"scope":"a","event":"b","clock":{},"attrs":{"span":"begin","id":1,"parent":0}}` + "\n"
+	p, err := ReadProfile(strings.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Open != 1 || len(p.Spans) != 0 {
+		t.Errorf("truncated trace: open=%d spans=%d", p.Open, len(p.Spans))
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) of the registry, for
+// the `/metrics.prom` endpoints on `anysim serve` and `-debug-addr`. The
+// encoding is deterministic: names are sorted and the layout is fixed. Both
+// metric classes share the flat `anysim_` namespace (Prometheus has no
+// section nesting); wall-class metrics are exposed even while gated off —
+// they just read zero until EnableWall.
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// promName sanitizes a registry metric name into a Prometheus metric name:
+// prefix `anysim_`, every character outside [a-zA-Z0-9_] becomes `_`.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+7)
+	b = append(b, "anysim_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// appendPromFloat renders a float the Prometheus way: bare NaN/+Inf/-Inf
+// tokens, otherwise shortest 'g' form.
+func appendPromFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in Prometheus text exposition format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	_, err := w.Write(r.AppendProm(nil))
+	return err
+}
+
+// AppendProm appends the Prometheus text exposition of the registry to b:
+// counters as `<name>_total`, gauges as-is, histograms as cumulative
+// `_bucket{le="..."}` series with `_sum` and `_count`, all in sorted name
+// order with `# TYPE` headers. A nil registry appends nothing.
+func (r *Registry) AppendProm(b []byte) []byte {
+	if r == nil {
+		return b
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range sortedNames(r.counters) {
+		c := r.counters[name]
+		pn := promName(name) + "_total"
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " counter\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, c.v.Load(), 10)
+		b = append(b, '\n')
+	}
+	for _, name := range sortedNames(r.gauges) {
+		g := r.gauges[name]
+		pn := promName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " gauge\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = appendPromFloat(b, floatFromBits(g.bits.Load()))
+		b = append(b, '\n')
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		pn := promName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " histogram\n"...)
+		// Prometheus buckets are cumulative: each le bound counts every
+		// observation at or below it, ending with the +Inf total.
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			b = append(b, pn...)
+			b = append(b, `_bucket{le="`...)
+			b = strconv.AppendInt(b, bound, 10)
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		b = append(b, pn...)
+		b = append(b, `_bucket{le="+Inf"} `...)
+		b = strconv.AppendInt(b, cum, 10)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_sum "...)
+		b = strconv.AppendInt(b, h.sum.Load(), 10)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, h.count.Load(), 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// sortedNames returns the map's keys in sorted order. Caller holds r.mu.
+func sortedNames[M any](m map[string]M) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

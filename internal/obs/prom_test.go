@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPromExpositionGolden pins the Prometheus text exposition against a
+// checked-in golden file: sorted names, anysim_ prefix with sanitized
+// separators, counters as _total, cumulative histogram buckets.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bgp.announces").Add(12)
+	r.Counter("steer.rounds").Add(3)
+	r.Gauge("steer.excess").Set(1.25)
+	h := r.Histogram("bgp.reconverge.dirty", []int64{1, 4, 16})
+	for _, v := range []int64{0, 2, 3, 20} {
+		h.Observe(v)
+	}
+	r.EnableWall(true)
+	r.WallCounter("serve.queries").Add(5)
+	r.WallGauge("serve.last_ns").SetInt(1500)
+
+	got := r.AppendProm(nil)
+	golden := filepath.Join("testdata", "prom_exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("prom exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromCumulativeBuckets checks the bucket math against the registry's
+// per-bucket (non-cumulative) representation.
+func TestPromCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	out := string(r.AppendProm(nil))
+	for _, want := range []string{
+		`anysim_h_bucket{le="10"} 2`,
+		`anysim_h_bucket{le="100"} 3`,
+		`anysim_h_bucket{le="+Inf"} 4`,
+		"anysim_h_sum 562",
+		"anysim_h_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromDeterministic: same metric state, byte-identical exposition; a
+// nil registry exposes nothing.
+func TestPromDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.Counter("z").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("m").Set(3)
+		r.Histogram("h", Pow2Bounds(2)).Observe(3)
+		return r.AppendProm(nil)
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("prom exposition differs across identical builds")
+	}
+	var nilReg *Registry
+	if got := nilReg.AppendProm(nil); len(got) != 0 {
+		t.Fatalf("nil registry exposed %q", got)
+	}
+	if err := nilReg.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

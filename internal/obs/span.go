@@ -1,0 +1,159 @@
+package obs
+
+// Hierarchical spans: paired begin/end trace events that nest, carrying
+// stable span/parent ids so a trace can be folded into a profile or a flame
+// chart (see profile.go and `anysim profile`).
+//
+// Span identity is allocated by the tracer — a monotonic counter plus a
+// stack of currently-open spans, both guarded by the tracer's mutex. That
+// is sound because spans are only opened on the serially-traced timeline:
+// engine forks strip the tracer (see internal/bgp), so the id sequence and
+// the nesting relation are pure functions of the deterministic event order,
+// and span-bearing traces stay byte-identical across worker counts and
+// reruns.
+//
+// Wall-clock coordinates are the one nondeterministic ingredient, so they
+// are double-gated: a span records durations into its SpanTimer (wall-class
+// metrics, dropped unless Registry.EnableWall) and stamps begin/end events
+// with a "wall_ns" offset from the tracer's epoch only while wall
+// collection is on. Default traces carry no wall coordinate at all.
+//
+// The disabled path — nil tracer, wall off — is a nil check and an atomic
+// load: StartSpan returns the zero SpanScope without reading the clock, and
+// End on a zero scope returns immediately (pinned by BenchmarkSpanDisabled).
+
+import "time"
+
+// SpanTimer bundles one span site's wall-duration sinks: a histogram for
+// the distribution and a gauge holding the last duration. Earlier revisions
+// recorded spans into a lone gauge, where every call overwrote the last —
+// fine for worldgen's run-once phases, useless for a reconvergence called
+// hundreds of times per steering round. The zero value discards durations.
+type SpanTimer struct {
+	Hist *Histogram // <name>.ns: duration distribution (nanoseconds)
+	Last *Gauge     // <name>.last_ns: most recent duration
+}
+
+// SpanTimer registers (or retrieves) the wall-class duration sinks for a
+// span site: a histogram named <name>.ns with power-of-two nanosecond
+// buckets and a gauge named <name>.last_ns. Nil-safe: a nil registry
+// returns the zero SpanTimer.
+func (r *Registry) SpanTimer(name string) SpanTimer {
+	if r == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{
+		Hist: r.WallHistogram(name+".ns", Pow2Bounds(34)),
+		Last: r.WallGauge(name + ".last_ns"),
+	}
+}
+
+// SpanScope is one open span. The zero value is the inert disabled span:
+// End on it is a no-op. Obtain active scopes from StartSpan.
+type SpanScope struct {
+	t     *Tracer
+	timer SpanTimer
+	scope string
+	name  string
+	clock []Coord
+	id    int64
+	wall  bool
+	start time.Time
+}
+
+// StartSpan opens a span: it emits a begin event (attrs span=begin, id,
+// parent — plus wall_ns while wall metrics are on) and returns a scope
+// whose End emits the matching end event and records the wall duration
+// into tm. Every argument may be nil/zero; with a nil tracer and wall
+// collection off the call is free and returns the zero scope. Hot call
+// sites passing clock coordinates should guard the call (tracer enabled or
+// reg.WallEnabled) so the disabled path allocates nothing.
+func StartSpan(t *Tracer, reg *Registry, tm SpanTimer, scope, name string, clock ...Coord) SpanScope {
+	// Fast path first and slow path outlined so this guard inlines at call
+	// sites: the disabled pair (StartSpan+End) must stay a no-op.
+	if t == nil && !reg.WallEnabled() {
+		return SpanScope{}
+	}
+	return startSpan(t, reg, tm, scope, name, clock)
+}
+
+func startSpan(t *Tracer, reg *Registry, tm SpanTimer, scope, name string, clock []Coord) SpanScope {
+	sp := SpanScope{t: t, timer: tm, scope: scope, name: name, clock: clock, wall: reg.WallEnabled()}
+	if sp.wall {
+		sp.start = time.Now()
+	}
+	if t != nil {
+		sp.id = t.beginSpan(&sp)
+	}
+	return sp
+}
+
+// Active reports whether the span records anything — use it to skip
+// building End attributes on the disabled path.
+func (s *SpanScope) Active() bool { return s.t != nil || s.wall }
+
+// End closes the span: the wall duration goes to the SpanTimer (wall-class,
+// nondeterministic), and the end event — attrs span=end, id, wall_ns while
+// wall metrics are on, then the caller's attrs — goes to the trace. Safe on
+// the zero scope.
+func (s *SpanScope) End(attrs ...Attr) {
+	if s.t == nil && !s.wall {
+		return
+	}
+	s.end(attrs)
+}
+
+func (s *SpanScope) end(attrs []Attr) {
+	if s.wall {
+		ns := time.Since(s.start).Nanoseconds()
+		s.timer.Hist.Observe(ns)
+		s.timer.Last.SetInt(ns)
+	}
+	if s.t != nil {
+		s.t.endSpan(s, attrs)
+	}
+}
+
+// beginSpan allocates the span's id, links it to the innermost open span,
+// and emits the begin event. Span state is guarded by the tracer mutex, but
+// identity is only deterministic because span call sites live on the
+// serially-traced timeline (forks never trace).
+func (t *Tracer) beginSpan(sp *SpanScope) int64 {
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	parent := int64(0)
+	if n := len(t.openSpans); n > 0 {
+		parent = t.openSpans[n-1]
+	}
+	t.openSpans = append(t.openSpans, id)
+	t.mu.Unlock()
+	attrs := make([]Attr, 0, 4)
+	attrs = append(attrs, Str("span", "begin"), Int("id", id), Int("parent", parent))
+	if sp.wall {
+		attrs = append(attrs, Int("wall_ns", sp.start.Sub(t.epoch).Nanoseconds()))
+	}
+	t.Emit(Event{Scope: sp.scope, Name: sp.name, Clock: sp.clock, Attrs: attrs})
+	return id
+}
+
+// endSpan pops the span off the open stack and emits the end event. Spans
+// on the serial timeline close innermost-first; a mismatched End (a bug,
+// not a supported mode) just removes its own id wherever it sits.
+func (t *Tracer) endSpan(sp *SpanScope, extra []Attr) {
+	t.mu.Lock()
+	for i := len(t.openSpans) - 1; i >= 0; i-- {
+		if t.openSpans[i] == sp.id {
+			t.openSpans = append(t.openSpans[:i], t.openSpans[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+	attrs := make([]Attr, 0, 3+len(extra))
+	attrs = append(attrs, Str("span", "end"), Int("id", sp.id))
+	if sp.wall {
+		attrs = append(attrs, Int("wall_ns", time.Since(t.epoch).Nanoseconds()))
+	}
+	attrs = append(attrs, extra...)
+	t.Emit(Event{Scope: sp.scope, Name: sp.name, Clock: sp.clock, Attrs: attrs})
+}

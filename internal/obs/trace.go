@@ -89,10 +89,17 @@ type Tracer struct {
 	err     error
 	closed  bool
 	dropped int64
+
+	// Span state (see span.go). The epoch anchors wall_ns coordinates;
+	// nextSpan and openSpans define span identity, deterministic because
+	// spans only open on the serially-traced timeline.
+	epoch     time.Time
+	nextSpan  int64
+	openSpans []int64
 }
 
 // NewTracer returns a tracer writing JSONL to w.
-func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w, epoch: time.Now()} }
 
 // Enabled reports whether the tracer records events; use it to skip event
 // construction entirely on disabled paths.
@@ -186,26 +193,6 @@ func (t *Tracer) Emit(ev Event) {
 	b = append(b, "}}\n"...)
 	t.buf = b
 	_, t.err = t.w.Write(b)
-}
-
-// Span emits a begin event now and returns a closer that emits the
-// matching end event with any extra attributes, recording the span's
-// wall-clock duration (nanoseconds) into d. The trace events themselves
-// carry only simulation-clock coordinates — the nondeterministic duration
-// goes to the wall-class metric, keeping the trace stream deterministic.
-// Both t and d may be nil.
-func Span(t *Tracer, d *Gauge, scope, name string, clock ...Coord) func(attrs ...Attr) {
-	start := time.Now()
-	if t.Enabled() {
-		t.Emit(Event{Scope: scope, Name: name, Clock: clock, Attrs: []Attr{Str("span", "begin")}})
-	}
-	return func(attrs ...Attr) {
-		d.SetInt(int64(time.Since(start)))
-		if t.Enabled() {
-			t.Emit(Event{Scope: scope, Name: name, Clock: clock,
-				Attrs: append([]Attr{Str("span", "end")}, attrs...)})
-		}
-	}
 }
 
 // floatBits canonicalises a float for storage: all NaNs collapse to one bit

@@ -30,11 +30,15 @@ func TestCheckpointRestoreByteIdentical(t *testing.T) {
 	if _, err := a.WriteCheckpoint(path); err != nil {
 		t.Fatal(err)
 	}
-	// A's view at checkpoint time, for the restore-only comparison.
+	// A's view at checkpoint time, for the restore-only comparison. The
+	// snapshot is taken after the same two queries B will make before its
+	// own snapshot: per-endpoint status counters register on first use, so
+	// the wall section's names reflect query history, and the comparison
+	// must hold request histories equal to be meaningful.
 	capAtCp := do(t, ha, "GET", "/catchment", "").Body.String()
-	snapAtCp := string(a.w.Config.Metrics.AppendSnapshot(nil))
 	var statusAtCp statusView
 	decode(t, do(t, ha, "GET", "/status", ""), &statusAtCp)
+	snapAtCp := string(a.w.Config.Metrics.AppendSnapshot(nil))
 
 	// A keeps going: restore the site, advance a bucket.
 	tail := fmt.Sprintf("at 3 site-up %s\n", site)

@@ -17,6 +17,7 @@ import (
 
 	"anysim/internal/dynamics"
 	"anysim/internal/glass"
+	"anysim/internal/obs"
 )
 
 // Handler returns the HTTP API:
@@ -26,35 +27,73 @@ import (
 //	GET  /load               per-site load for the current time bucket
 //	GET  /explain?group=K    one probe group's catchment, hop by hop
 //	GET  /diff?since=T       catchment moves since the state at tick T
-//	GET  /metrics            obs registry snapshot
+//	GET  /metrics            obs registry snapshot (JSON)
+//	GET  /metrics.prom       obs registry, Prometheus text exposition
+//	GET  /healthz            liveness, identity hashes, and ingest lag
+//	GET  /watch              SSE stream of ingest/advance deltas
 //	POST /events             ingest a dynamics-DSL / JSONL event stream
 //	POST /advance?to=T       advance the virtual clock
 //	POST /checkpoint[?path=] write a checkpoint file
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	handle := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.instrumented(h))
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrumented(name, h))
 	}
-	handle("GET /status", s.handleStatus)
-	handle("GET /catchment", s.handleCatchment)
-	handle("GET /load", s.handleLoad)
-	handle("GET /explain", s.handleExplain)
-	handle("GET /diff", s.handleDiff)
-	handle("GET /metrics", s.handleMetrics)
-	handle("POST /events", s.handleEvents)
-	handle("POST /advance", s.handleAdvance)
-	handle("POST /checkpoint", s.handleCheckpoint)
+	handle("GET /status", "status", s.handleStatus)
+	handle("GET /catchment", "catchment", s.handleCatchment)
+	handle("GET /load", "load", s.handleLoad)
+	handle("GET /explain", "explain", s.handleExplain)
+	handle("GET /diff", "diff", s.handleDiff)
+	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /metrics.prom", "metrics_prom", s.handleMetricsProm)
+	handle("GET /healthz", "healthz", s.handleHealthz)
+	handle("POST /events", "events", s.handleEvents)
+	handle("POST /advance", "advance", s.handleAdvance)
+	handle("POST /checkpoint", "checkpoint", s.handleCheckpoint)
+	// /watch is long-lived: it gets the status-code counter but not the
+	// latency histogram (a stream's duration is how long the client stayed,
+	// not how fast the server answered).
+	mux.HandleFunc("GET /watch", func(w http.ResponseWriter, r *http.Request) {
+		s.sobs.queries.Inc()
+		s.w.Config.Metrics.WallCounter("serve.http.watch.requests").Inc()
+		s.handleWatch(w, r)
+	})
 	return mux
 }
 
-// instrumented counts queries and their wall latency (wall-class metrics;
-// free unless EnableWall is on).
-func (s *Server) instrumented(h http.HandlerFunc) http.HandlerFunc {
+// statusRecorder captures the response status code for per-endpoint
+// counters. It forwards Flush so SSE streaming survives the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented counts queries, wall latency (aggregate and per endpoint),
+// and response status codes (all wall-class metrics; free unless EnableWall
+// is on).
+func (s *Server) instrumented(name string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.w.Config.Metrics
+	lat := reg.WallHistogram("serve.http."+name+".ns", obs.Pow2Bounds(34))
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		h(w, r)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		ns := time.Since(t0).Nanoseconds()
 		s.sobs.queries.Inc()
-		s.sobs.queryNs.Observe(time.Since(t0).Nanoseconds())
+		s.sobs.queryNs.Observe(ns)
+		lat.Observe(ns)
+		reg.WallCounter("serve.http." + name + ".status." + strconv.Itoa(rec.code)).Inc()
 	}
 }
 
@@ -66,7 +105,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	// Live state: a cached /status or /load answer is a stale twin.
+	h.Set("Cache-Control", "no-store")
 	w.WriteHeader(code)
 	io.WriteString(w, body)
 }
@@ -249,7 +291,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Cache-Control", "no-store")
 	s.w.Config.Metrics.WriteSnapshot(w)
 }
 

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anysim/internal/atlas"
 	"anysim/internal/bgp"
@@ -80,6 +81,12 @@ type Server struct {
 	hist   []*State
 
 	cur atomic.Pointer[State]
+
+	// watch fans state deltas out to SSE /watch subscribers; lastApplyNs is
+	// the wall time of the last ingest (UnixNano; 0 before the first), from
+	// which /healthz derives its ingest lag.
+	watch       watchHub
+	lastApplyNs atomic.Int64
 
 	sobs serverObs
 }
@@ -265,7 +272,9 @@ func (s *Server) Apply(ev dynamics.Event) (ApplyResult, error) {
 	default:
 		stats = s.w.Engine.LastReconvergeStats()
 	}
+	prev := s.cur.Load()
 	st := s.publishLocked()
+	s.lastApplyNs.Store(time.Now().UnixNano())
 	s.sobs.events.Inc()
 	s.sobs.dirty.Observe(int64(stats.Dirty))
 	s.sobs.passes.Observe(int64(stats.Passes))
@@ -275,10 +284,12 @@ func (s *Server) Apply(ev dynamics.Event) (ApplyResult, error) {
 		obs.Int("passes", int64(stats.Passes)),
 		obs.Bool("full", stats.Full),
 	)
-	return ApplyResult{
+	res := ApplyResult{
 		Seq: st.Seq, Tick: s.tick, Event: ev.String(),
 		Dirty: stats.Dirty, Passes: stats.Passes, Full: stats.Full,
-	}, nil
+	}
+	s.notifyWatchers("ingest", prev, st, res)
+	return res, nil
 }
 
 // AdvanceTo moves the virtual clock to tick (strictly forward), re-binning
@@ -290,9 +301,12 @@ func (s *Server) AdvanceTo(tick int64) (*State, error) {
 		return nil, fmt.Errorf("server: clock runs forward: at tick %d, cannot advance to %d", s.tick, tick)
 	}
 	s.tick = tick
+	prev := s.cur.Load()
 	st := s.publishLocked()
+	s.lastApplyNs.Store(time.Now().UnixNano())
 	s.sobs.ticks.Inc()
 	s.emitTrace("advance")
+	s.notifyWatchers("advance", prev, st, ApplyResult{})
 	return st, nil
 }
 

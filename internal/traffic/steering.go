@@ -184,7 +184,19 @@ type steerObs struct {
 	excess   *obs.Gauge     // steer.excess (objective after last commit)
 	perRound *obs.Histogram // steer.round.trials
 
+	// Span sites of the resolution loop; reg carries the wall gate.
+	reg       *obs.Registry
+	resolveTm obs.SpanTimer // steer.resolve: one whole Resolve call
+	trialsTm  obs.SpanTimer // steer.round.trial_phase: one concurrent trial round
+	commitTm  obs.SpanTimer // steer.round.commit: applying the winner to the real engine
+
 	resolveSeq int64 // Resolve invocations on this steerer (serial)
+}
+
+// spanActive reports whether steering spans record anything; checked before
+// building clock coordinates so uninstrumented Resolves stay alloc-free.
+func (s *Steerer) spanActive() bool {
+	return s.cfg.Tracer.Enabled() || s.sobs.reg.WallEnabled()
 }
 
 // NewSteerer captures the deployment's resolved announcements as the
@@ -202,6 +214,11 @@ func NewSteerer(ev *Evaluator, cfg SteeringConfig) *Steerer {
 			rewinds:  reg.Counter("steer.rewinds"),
 			excess:   reg.Gauge("steer.excess"),
 			perRound: reg.Histogram("steer.round.trials", obs.Pow2Bounds(3)),
+
+			reg:       reg,
+			resolveTm: reg.SpanTimer("steer.resolve"),
+			trialsTm:  reg.SpanTimer("steer.round.trial_phase"),
+			commitTm:  reg.SpanTimer("steer.round.commit"),
 		}
 	}
 	return s
@@ -266,12 +283,23 @@ const (
 // waves recreate the original catchment. The engine is left in the steered
 // state; call Reset to unwind.
 func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
+	// The whole Resolve, each concurrent trial round, and each winner
+	// application are spanned for the profiler. The commit span wraps
+	// s.apply, so the engine's reconvergence spans nest inside it. Spans
+	// live on the serial Resolve timeline only — the trial forks never
+	// trace — so span-bearing traces stay deterministic at any Workers.
+	s.sobs.resolveSeq++
+	spans := s.spanActive()
+	var rsp obs.SpanScope
+	if spans {
+		rsp = obs.StartSpan(s.cfg.Tracer, s.sobs.reg, s.sobs.resolveTm, "steer", "resolve",
+			obs.Coord{Key: "resolve", V: s.sobs.resolveSeq})
+	}
 	rep := s.Eval.Evaluate(mat)
 	res := &SteeringResult{Initial: rep}
 	bestExcess := totalExcess(rep)
 	bestLen := 0
 	stall := 0
-	s.sobs.resolveSeq++
 	round := int64(0)
 	// Tabu memory: each exact transition is committed at most once per
 	// Resolve. Plateau acceptance would otherwise happily cycle a site
@@ -283,9 +311,19 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 			break
 		}
 		cands := s.roundCands(rep, overloads, accepted)
+		var tsp obs.SpanScope
+		if spans {
+			tsp = obs.StartSpan(s.cfg.Tracer, s.sobs.reg, s.sobs.trialsTm, "steer", "trials",
+				obs.Coord{Key: "resolve", V: s.sobs.resolveSeq}, obs.Coord{Key: "round", V: round + 1})
+		}
 		trials, err := s.trialRound(mat, cands)
 		if err != nil {
+			tsp.End()
+			rsp.End()
 			return nil, err
+		}
+		if tsp.Active() {
+			tsp.End(obs.Int("cands", int64(len(cands))))
 		}
 		round++
 		s.sobs.rounds.Inc()
@@ -309,9 +347,19 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 		// deterministic, so it lands in the trialled state. The losing
 		// forks are simply dropped — no rollback churn.
 		act := cands[best]
+		var csp obs.SpanScope
+		if spans {
+			// Named "apply" so the span does not shadow the flat "commit"
+			// outcome event traceCommit emits below.
+			csp = obs.StartSpan(s.cfg.Tracer, s.sobs.reg, s.sobs.commitTm, "steer", "apply",
+				obs.Coord{Key: "resolve", V: s.sobs.resolveSeq}, obs.Coord{Key: "round", V: round})
+		}
 		if err := s.apply(act); err != nil {
+			csp.End()
+			rsp.End()
 			return nil, err
 		}
+		csp.End()
 		after := trials[best].after
 		if sl, ok := rep.SiteLoadByID(act.Target); ok {
 			act.UtilBefore = sl.Utilization()
@@ -336,6 +384,7 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 			stall++
 			if stall%stallRestart == 0 && len(res.Actions) > bestLen {
 				if err := s.rewindTo(res, bestLen); err != nil {
+					rsp.End()
 					return nil, err
 				}
 				rep = s.Eval.Evaluate(mat)
@@ -346,12 +395,16 @@ func (s *Steerer) Resolve(mat Matrix) (*SteeringResult, error) {
 	// best state seen.
 	if len(res.Actions) > bestLen {
 		if err := s.rewindTo(res, bestLen); err != nil {
+			rsp.End()
 			return nil, err
 		}
 		rep = s.Eval.Evaluate(mat)
 	}
 	res.Final = rep
 	res.Resolved = len(rep.Overloads()) == 0
+	if rsp.Active() {
+		rsp.End(obs.Int("actions", int64(len(res.Actions))), obs.Bool("resolved", res.Resolved))
+	}
 	return res, nil
 }
 

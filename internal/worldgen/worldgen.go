@@ -173,11 +173,13 @@ func New(cfg Config) (*World, error) {
 	hdr.Policy = cfg.PolicyHash()
 	cfg.Tracer.WriteHeader(hdr)
 
-	// Build phases are spanned for the trace and timed into wall gauges.
-	// Span indices are the phase numbers of the comments below.
+	// Build phases are spanned for the trace and timed into wall
+	// histograms (+ last-duration gauges). Span indices are the phase
+	// numbers of the comments below.
 	span := func(i int64, name string) func(attrs ...obs.Attr) {
-		return obs.Span(cfg.Tracer, cfg.Metrics.WallGauge("worldgen.phase."+name+".ns"),
+		sp := obs.StartSpan(cfg.Tracer, cfg.Metrics, cfg.Metrics.SpanTimer("worldgen.phase."+name),
 			"worldgen", name, obs.Coord{Key: "phase", V: i})
+		return sp.End
 	}
 
 	// 1. Base topology.

@@ -47,6 +47,26 @@ cmp -s "$work/load1.json" "$work/load2.json" || {
     exit 1
 }
 
+# Telemetry plane: /healthz reports identity and ingest lag, /metrics.prom
+# speaks Prometheus text exposition, and JSON answers tell caches to stay
+# out (a cached answer from a live twin is a stale twin).
+curl -fsS "http://$addr/healthz" > "$work/healthz.json"
+grep -q '"status": "ok"' "$work/healthz.json"
+grep -q '"world":' "$work/healthz.json"
+grep -q '"ingest_lag_ms":' "$work/healthz.json"
+curl -fsS "http://$addr/metrics.prom" > "$work/metrics.prom"
+grep -q '^# TYPE anysim_serve_ingest_events_total counter' "$work/metrics.prom"
+grep -q '^anysim_serve_ingest_events_total 1' "$work/metrics.prom"
+curl -fsSI "http://$addr/status" | grep -qi '^cache-control: no-store' || {
+    echo "serve_smoke: /status is missing Cache-Control: no-store"; exit 1
+}
+# SSE /watch: the stream must open and push the hello frame immediately.
+# curl exits 28 when --max-time cuts a healthy stream; only the output counts.
+curl -s -N --max-time 3 "http://$addr/watch" > "$work/watch.sse" || [ $? -eq 28 ]
+grep -q '"kind":"hello"' "$work/watch.sse" || {
+    echo "serve_smoke: /watch sent no hello frame"; cat "$work/watch.sse"; exit 1
+}
+
 # Graceful shutdown: drain and exit 0.
 kill -TERM "$pid"
 if ! wait "$pid"; then
