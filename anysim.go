@@ -28,6 +28,7 @@ import (
 	"anysim/internal/experiments"
 	"anysim/internal/geo"
 	"anysim/internal/glass"
+	"anysim/internal/obs/ts"
 	"anysim/internal/reopt"
 	"anysim/internal/server"
 	"anysim/internal/sitemap"
@@ -336,6 +337,31 @@ func NewServer(cfg ServerConfig) (*AnycastServer, error) { return server.New(cfg
 func ReadServerCheckpoint(path string) (*ServerCheckpoint, error) {
 	return server.ReadCheckpoint(path)
 }
+
+// The flight recorder: tick-keyed ring-buffer time series plus the SLO
+// rule engine behind `anysim serve`'s /timeseries and /alerts endpoints
+// and `anysim report`.
+type (
+	// TimeSeriesDB records tick-keyed series and evaluates SLO rules;
+	// nil is a valid disabled recorder.
+	TimeSeriesDB = ts.DB
+	// TimeSeriesConfig sizes a recorder and arms its rules.
+	TimeSeriesConfig = ts.Config
+	// SLORule is one declarative threshold condition over a series.
+	SLORule = ts.Rule
+	// SLOAlert is one rule's active (pending or firing) alert.
+	SLOAlert = ts.Alert
+	// SLOTransition records one alert lifecycle change.
+	SLOTransition = ts.Transition
+)
+
+// NewTimeSeriesDB builds a flight recorder. Attach it to a ScenarioRunner
+// (Series/Eval/Model fields) or pass rules via ServerConfig.Series.
+func NewTimeSeriesDB(cfg TimeSeriesConfig) *TimeSeriesDB { return ts.New(cfg) }
+
+// ParseSLORule parses one rule line, e.g.
+// "slo eu: region.latency.p90{region=EMEA} > 40ms for 3 ticks".
+func ParseSLORule(line string) (SLORule, error) { return ts.ParseRule(line) }
 
 // Experiments (every table and figure).
 type (

@@ -16,6 +16,8 @@
 //	explain [-json] ...      looking glass: the provenance-justified decision
 //	                         chain for -asn/-prefix or a probe -group
 //	diff [-json] <a> <b>     compare two JSONL trace runs (no world built)
+//	report <series.json>     render a flight recording as a health report
+//	                         (no world built; see -seriesfile)
 //	scenario <file>          replay a fault scenario (see -dep) step by step
 //	load [bucket]            per-site demand and utilization (see -dep)
 //	serve [-listen A] ...    keep the world resident: stream events in over
@@ -61,6 +63,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/obs/ts"
 	"anysim/internal/policy"
 	"anysim/internal/server"
 	"anysim/internal/topo"
@@ -101,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wallMetrics = fs.Bool("wallmetrics", false, "also collect wall-clock timings (the snapshot's \"wall\" section; nondeterministic)")
 		debugAddr   = fs.String("debug-addr", "", "serve expvar, net/http/pprof, and /metrics on this address while the run executes")
 		policyFile  = fs.String("policy", "", "install a community/filter policy from this file on the routing engine (its hash joins the run identity)")
+		seriesFile  = fs.String("seriesfile", "", "write the flight-recorder dump (time series, SLO rules, alert history; JSON) to this file after a scenario or serve run; anysim report renders it")
+		sloFile     = fs.String("slo", "", "load SLO rules (one per line, see internal/obs/ts) from this file for the flight recorder, replacing the defaults")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -118,6 +123,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.Arg(0) == "profile" {
 		return profileCmd(fs.Args()[1:], stdout, stderr)
 	}
+	if fs.Arg(0) == "report" {
+		return reportCmd(fs.Args()[1:], stdout, stderr)
+	}
+
+	// The SLO rule file is parsed before the world build so a bad rule is a
+	// fast usage error. Recording is armed when either flag is set: -slo
+	// without -seriesfile still drives the rules (scenario prints the alert
+	// timeline, serve pages on /alerts and /watch).
+	var sloRules []ts.Rule
+	if *sloFile != "" {
+		f, err := os.Open(*sloFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: slo: %v\n", err)
+			return exitUsage
+		}
+		sloRules, err = ts.ParseRules(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "anysim: slo: %s: %v\n", *sloFile, err)
+			return exitUsage
+		}
+	}
+	recordSeries := *seriesFile != "" || *sloFile != ""
 
 	// explain and serve have their own flags; parse them now so mistakes are
 	// fast usage errors and so the world build below can enable provenance
@@ -284,10 +312,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "explain":
 		err = explain(stdout, w, *dep, exp)
 	case "scenario":
-		err = scenario(stdout, w, *dep, fs.Arg(1), reg, tracer)
+		var rec *recorderArgs
+		if recordSeries {
+			rec = &recorderArgs{rules: sloRules, file: *seriesFile}
+		}
+		err = scenario(stdout, w, *dep, fs.Arg(1), reg, tracer, rec)
 	case "load":
 		err = load(stdout, w, *dep, bucket, reg)
 	case "serve":
+		sv.sloRules = sloRules
+		sv.seriesFile = *seriesFile
 		err = serveCmd(stderr, w, *dep, sv)
 	}
 
@@ -641,11 +675,21 @@ func deploymentByName(w *worldgen.World, name string) (*cdn.Deployment, error) {
 	return d, nil
 }
 
-// serveArgs are the parsed flags of the serve subcommand.
+// serveArgs are the parsed flags of the serve subcommand, plus the global
+// flight-recorder settings (-slo, -seriesfile) run threads through.
 type serveArgs struct {
 	listen     string
 	checkpoint string
 	restore    string
+	sloRules   []ts.Rule
+	seriesFile string
+}
+
+// recorderArgs arm the scenario subcommand's flight recorder: the SLO rules
+// to evaluate (nil = defaults) and the dump file to write ("" = none).
+type recorderArgs struct {
+	rules []ts.Rule
+	file  string
 }
 
 // parseServe parses the serve subcommand's flags. It returns nil and an
@@ -693,7 +737,7 @@ func serveCmd(stderr io.Writer, w *worldgen.World, depName string, sa *serveArgs
 	if err != nil {
 		return err
 	}
-	cfg := server.Config{World: w, Dep: d, CheckpointPath: sa.checkpoint}
+	cfg := server.Config{World: w, Dep: d, CheckpointPath: sa.checkpoint, Series: ts.Config{Rules: sa.sloRules}}
 	if sa.restore != "" {
 		cp, err := server.ReadCheckpoint(sa.restore)
 		if err != nil {
@@ -765,6 +809,12 @@ func serveCmd(stderr io.Writer, w *worldgen.World, depName string, sa *serveArgs
 				}
 				fmt.Fprintf(out, "anysim: checkpoint written to %s\n", sa.checkpoint)
 			}
+			if sa.seriesFile != "" {
+				if err := os.WriteFile(sa.seriesFile, s.Series().AppendJSON(nil), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "anysim: flight recording written to %s\n", sa.seriesFile)
+			}
 			return nil
 		case err := <-httpErr:
 			return fmt.Errorf("http: %w", err)
@@ -778,7 +828,7 @@ func serveCmd(stderr io.Writer, w *worldgen.World, depName string, sa *serveArgs
 	}
 }
 
-func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.Registry, tracer *obs.Tracer) error {
+func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.Registry, tracer *obs.Tracer, rec *recorderArgs) error {
 	d, err := deploymentByName(w, depName)
 	if err != nil {
 		return err
@@ -797,6 +847,19 @@ func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.R
 	r.Measurer = w.Measurer
 	r.Probes = w.Platform.Retained()
 	r.Instrument(reg, tracer)
+
+	// -slo/-seriesfile arm the flight recorder: every step samples the load
+	// trajectory and evaluates the SLO rules, the alert timeline prints
+	// after the step table, and the dump (if requested) feeds anysim report.
+	var db *ts.DB
+	if rec != nil {
+		db = ts.New(ts.Config{Rules: rec.rules})
+		db.Instrument(reg, tracer)
+		model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
+		r.Series = db
+		r.Eval = traffic.NewEvaluator(w.Engine, d, model, traffic.CapacityConfig{})
+		r.Model = model
+	}
 
 	fmt.Fprintf(out, "scenario %s on %s (AS%d, %d prefixes)\n", sc.Name, d.Name, d.ASN, len(r.Prefixes()))
 	pre := r.ProbeViews()
@@ -821,6 +884,24 @@ func scenario(out io.Writer, w *worldgen.World, depName, file string, reg *obs.R
 		fmt.Fprintf(out, ", median residual RTT delta %.1f ms", pens[len(pens)/2])
 	}
 	fmt.Fprintln(out)
+
+	if db != nil {
+		if hist := db.History(); len(hist) > 0 {
+			fmt.Fprintln(out, "\nSLO alert timeline:")
+			for _, tr := range hist {
+				fmt.Fprintf(out, "  tick %-4d %-9s %s (%s = %.4g, threshold %g)\n",
+					tr.Tick, tr.State, tr.Rule, tr.Series, tr.Value, tr.Threshold)
+			}
+		} else {
+			fmt.Fprintln(out, "\nSLO alert timeline: no transitions")
+		}
+		if rec.file != "" {
+			if err := os.WriteFile(rec.file, db.AppendJSON(nil), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "flight recording written to %s\n", rec.file)
+		}
+	}
 	return nil
 }
 
@@ -909,19 +990,28 @@ func usage(out io.Writer) {
                            aggregate a trace's spans into a self-time table
                            (run with -wallmetrics for wall timings); -chrome
                            exports a Perfetto-loadable trace-event file
-  scenario <file>          replay a fault scenario against -dep (default im6)
+  report [-width N] <series.json>
+                           render a flight recording (written with
+                           -seriesfile) as a health report: per-site
+                           utilization sparklines, SLO verdicts, and the
+                           alert timeline (no world built)
+  scenario <file>          replay a fault scenario against -dep (default im6);
+                           with -slo/-seriesfile the flight recorder samples
+                           the load trajectory each step and prints the SLO
+                           alert timeline
   load [bucket]            per-site demand and utilization for -dep
                            (default: the peak bucket)
   serve [-listen A] [-checkpoint F] [-restore F]
                            keep the world resident for -dep: ingest dynamics
                            events from stdin and POST /events, answer live
                            queries (/status /catchment /load /explain /diff
-                           /metrics /metrics.prom /healthz, SSE /watch)
-                           from consistent snapshots, advance the
-                           demand clock via POST /advance, and checkpoint/
-                           restore the full simulation state; SIGTERM drains
-                           queries, checkpoints (if -checkpoint), and flushes
-                           sinks before exiting
+                           /timeseries /alerts /metrics /metrics.prom
+                           /healthz, SSE /watch) from consistent snapshots,
+                           advance the demand clock via POST /advance, and
+                           checkpoint/restore the full simulation state;
+                           SIGTERM drains queries, checkpoints (if
+                           -checkpoint), writes the flight recording (if
+                           -seriesfile), and flushes sinks before exiting
 exit codes: 0 success; 1 runtime error (including diverging traces under
 diff and failed -tracefile sinks); 2 usage error; 3 routing non-termination
 (a policy dispute drove the BGP solver past its iteration bound); 4 event
@@ -938,5 +1028,9 @@ profile aggregates. -debug-addr serves expvar, pprof, /metrics, and
 anysim -small -debug-addr localhost:6060 load
 -policy installs a community/filter policy (see internal/policy) on the
 routing engine; the policy hash joins the trace-header and checkpoint
-identity, so diff and restore refuse runs under a different policy.`)
+identity, so diff and restore refuse runs under a different policy.
+-slo arms the flight recorder's SLO rules from a file (one rule per line,
+e.g. "slo eu: region.latency.p90{region=EMEA} > 40ms for 3 ticks");
+-seriesfile writes the tick-keyed recording (series, rules, alert history)
+after scenario and serve runs, for anysim report.`)
 }

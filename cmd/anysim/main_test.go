@@ -626,6 +626,9 @@ func TestRunProfile(t *testing.T) {
 	if err := json.Unmarshal(cb, &events); err != nil {
 		t.Fatalf("chrome export is not a JSON array: %v", err)
 	}
+	if len(events) == 0 {
+		t.Fatal("chrome export is an empty event array")
+	}
 	sawSpan := false
 	for _, ev := range events {
 		if ev["ph"] == "X" {
@@ -642,5 +645,72 @@ func TestRunProfile(t *testing.T) {
 	}
 	if code := run([]string{"profile", filepath.Join(dir, "missing.jsonl")}, &out, &errOut); code != exitError {
 		t.Errorf("profile on a missing file = %d, want %d", code, exitError)
+	}
+}
+
+// TestRunReport drives the flight-recorder CLI loop end to end: a scenario
+// run with -slo/-seriesfile records the load trajectory and alert history,
+// and report renders the dump — byte-identically across invocations — into
+// sparklines, SLO verdicts, and the alert timeline.
+func TestRunReport(t *testing.T) {
+	dir := t.TempDir()
+	series := filepath.Join(dir, "series.json")
+	scFile := filepath.Join(dir, "s.txt")
+	sloFile := filepath.Join(dir, "rules.slo")
+	scText := "scenario report-test\nat 1 site-down fra\nat 2 site-up fra\n"
+	if err := os.WriteFile(scFile, []byte(scText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The churn rule fires on the site withdrawal at tick 1 and resolves on
+	// the quiet repair-induced sample, so the report has a real breach.
+	sloText := "# test rules\nslo churn: reconverge.dirty > 0 for 1 ticks\n"
+	if err := os.WriteFile(sloFile, []byte(sloText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-small", "-seed", "7", "-seriesfile", series, "-slo", sloFile, "scenario", scFile}
+	if code := run(args, &out, &errOut); code != exitOK {
+		t.Fatalf("scenario exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "SLO alert timeline:") {
+		t.Errorf("recorded scenario run printed no alert timeline:\n%s", out.String())
+	}
+
+	render := func() string {
+		var ro, re bytes.Buffer
+		if code := run([]string{"report", series}, &ro, &re); code != exitOK {
+			t.Fatalf("report exit %d, stderr: %s", code, re.String())
+		}
+		return ro.String()
+	}
+	first := render()
+	for _, want := range []string{
+		"flight recording: schema 1",
+		"per-site utilization",
+		"SLO verdicts:", "BREACHED", "alert timeline:", "churn",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+	// The report is a pure function of the file: rerenders are identical.
+	if second := render(); second != first {
+		t.Fatalf("report differs across reruns:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+
+	// Usage and runtime errors exit with the right codes.
+	var ro, re bytes.Buffer
+	if code := run([]string{"report"}, &ro, &re); code != exitUsage {
+		t.Errorf("report with no args = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"report", filepath.Join(dir, "missing.json")}, &ro, &re); code != exitError {
+		t.Errorf("report on a missing file = %d, want %d", code, exitError)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"report", bad}, &ro, &re); code != exitError {
+		t.Errorf("report on a non-recording = %d, want %d", code, exitError)
 	}
 }

@@ -1,0 +1,209 @@
+package main
+
+// The report subcommand: render a post-run health report from a flight
+// recording written with -seriesfile (scenario or serve). Like diff and
+// profile it needs no world — the dump is self-contained — so it renders
+// recordings from any run, any seed. The output is a pure function of the
+// file: rerunning the report is byte-identical.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"anysim/internal/asciimap"
+)
+
+// seriesDump mirrors ts.DB.AppendJSON. Floats arrive as JSON numbers or, for
+// NaN/Inf, as strings (see obs.AppendFloat), so values decode as `any` and
+// go through dumpFloat.
+type seriesDump struct {
+	Schema   int                `json:"schema"`
+	Capacity int                `json:"capacity"`
+	Series   map[string][][]any `json:"series"`
+	Rules    []struct {
+		Name      string `json:"name"`
+		Series    string `json:"series"`
+		Op        string `json:"op"`
+		Threshold any    `json:"threshold"`
+		For       int    `json:"for"`
+		State     string `json:"state"`
+	} `json:"rules"`
+	Alerts []struct {
+		Rule      string `json:"rule"`
+		Series    string `json:"series"`
+		State     string `json:"state"`
+		Tick      int64  `json:"tick"`
+		Value     any    `json:"value"`
+		Threshold any    `json:"threshold"`
+	} `json:"alerts"`
+}
+
+// dumpFloat coerces a decoded dump value: a JSON number, or one of the
+// obs.AppendFloat string spellings ("NaN", "+Inf", "-Inf").
+func dumpFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case string:
+		switch x {
+		case "+Inf":
+			return math.Inf(1)
+		case "-Inf":
+			return math.Inf(-1)
+		}
+	}
+	return math.NaN()
+}
+
+// reportCmd renders one flight recording.
+func reportCmd(args []string, stdout, stderr io.Writer) int {
+	rfs := flag.NewFlagSet("anysim report", flag.ContinueOnError)
+	rfs.SetOutput(stderr)
+	width := rfs.Int("width", 64, "sparkline width in glyphs (timelines downsample to this)")
+	if err := rfs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if rfs.NArg() != 1 || *width < 1 {
+		fmt.Fprintln(stderr, "usage: anysim report [-width N] <series.json>")
+		return exitUsage
+	}
+	raw, err := os.ReadFile(rfs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	var d seriesDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		fmt.Fprintf(stderr, "anysim: report: %s is not a flight recording: %v\n", rfs.Arg(0), err)
+		return exitError
+	}
+	if d.Schema == 0 && len(d.Series) == 0 {
+		fmt.Fprintf(stderr, "anysim: report: %s holds no recording (disabled recorder?)\n", rfs.Arg(0))
+		return exitError
+	}
+	if err := renderReport(stdout, &d, *width); err != nil {
+		fmt.Fprintf(stderr, "anysim: %v\n", err)
+		return exitError
+	}
+	return exitOK
+}
+
+// renderReport writes the three report sections: per-site utilization
+// sparklines (the asciimap heat ramp over the tick axis instead of the
+// geographic one), the SLO verdict table, and the alert timeline.
+func renderReport(out io.Writer, d *seriesDump, width int) error {
+	names := make([]string, 0, len(d.Series))
+	minTick, maxTick := int64(math.MaxInt64), int64(math.MinInt64)
+	for name, pts := range d.Series {
+		names = append(names, name)
+		for _, p := range pts {
+			if len(p) != 2 {
+				return fmt.Errorf("report: series %q has a malformed point", name)
+			}
+			tick := int64(dumpFloat(p[0]))
+			if tick < minTick {
+				minTick = tick
+			}
+			if tick > maxTick {
+				maxTick = tick
+			}
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "flight recording: schema %d, %d series, ring capacity %d\n",
+		d.Schema, len(names), d.Capacity)
+
+	const sitePrefix = "site.util{site="
+	var siteRows []string
+	for _, name := range names {
+		if strings.HasPrefix(name, sitePrefix) {
+			siteRows = append(siteRows, name)
+		}
+	}
+	if len(siteRows) > 0 {
+		ramp := fmt.Sprintf("%c<=25%% %c<=50%% %c<=75%% %c<=100%% %c>100%%",
+			asciimap.HeatGlyph(0.25), asciimap.HeatGlyph(0.50),
+			asciimap.HeatGlyph(0.75), asciimap.HeatGlyph(1), asciimap.HeatGlyph(2))
+		fmt.Fprintf(out, "\nper-site utilization, ticks %d..%d (ramp: %s):\n",
+			minTick, maxTick, ramp)
+		for _, name := range siteRows {
+			site := strings.TrimSuffix(strings.TrimPrefix(name, sitePrefix), "}")
+			fmt.Fprintf(out, "  %-5s |%s|%s\n", site, sparkline(d.Series[name], width), lastValue(d.Series[name]))
+		}
+	}
+
+	fmt.Fprintln(out, "\nSLO verdicts:")
+	if len(d.Rules) == 0 {
+		fmt.Fprintln(out, "  (no rules armed)")
+	}
+	fired := map[string]int{}
+	for _, a := range d.Alerts {
+		if a.State == "firing" {
+			fired[a.Rule]++
+		}
+	}
+	for _, r := range d.Rules {
+		verdict := "ok"
+		if n := fired[r.Name]; n > 0 {
+			verdict = fmt.Sprintf("BREACHED x%d", n)
+		} else if r.State == "pending" {
+			verdict = "pending"
+		}
+		fmt.Fprintf(out, "  %-12s %-24s %s %g for %d ticks  [%s]\n",
+			verdict, r.Name, r.Series+" "+r.Op, dumpFloat(r.Threshold), r.For, r.State)
+	}
+
+	fmt.Fprintln(out, "\nalert timeline:")
+	if len(d.Alerts) == 0 {
+		fmt.Fprintln(out, "  (no transitions)")
+	}
+	for _, a := range d.Alerts {
+		fmt.Fprintf(out, "  tick %-4d %-9s %s (%s = %.4g, threshold %g)\n",
+			a.Tick, a.State, a.Rule, a.Series, dumpFloat(a.Value), dumpFloat(a.Threshold))
+	}
+	return nil
+}
+
+// sparkline renders a point list as one heat glyph per sample, downsampled
+// by striding from the newest point (matching ts.Series.query) when the
+// series is wider than width.
+func sparkline(pts [][]any, width int) string {
+	vals := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		vals = append(vals, dumpFloat(p[1]))
+	}
+	if len(vals) > width {
+		stride := (len(vals) + width - 1) / width
+		kept := make([]float64, 0, width)
+		for i := len(vals) - 1; i >= 0; i -= stride {
+			kept = append(kept, vals[i])
+		}
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		vals = kept
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		if v != v {
+			sb.WriteByte('?')
+			continue
+		}
+		sb.WriteRune(asciimap.HeatGlyph(v))
+	}
+	return sb.String()
+}
+
+// lastValue renders the newest sample for a sparkline's right margin.
+func lastValue(pts [][]any) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" %.2f", dumpFloat(pts[len(pts)-1][1]))
+}

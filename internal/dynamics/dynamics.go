@@ -24,7 +24,9 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/obs/ts"
 	"anysim/internal/topo"
+	"anysim/internal/traffic"
 )
 
 // Kind enumerates routing event types.
@@ -140,6 +142,19 @@ type Runner struct {
 	// Requires Measurer/Probes and an engine with provenance recording on;
 	// Run fails fast otherwise rather than silently skipping the analysis.
 	ExplainMoves bool
+
+	// Series, when set, turns a scenario run into a flight recording: every
+	// Run step samples reconvergence cost and catchment churn into the
+	// tick-keyed ring buffers and evaluates the recorder's SLO rules, so
+	// experiments get trajectory verdicts from the same plane the live
+	// server exposes. With Eval and Model also set, each step additionally
+	// records the full load plane (per-site utilization/share/overload,
+	// per-region latency percentiles) for the step's time bucket, with the
+	// runner's active flash crowds folded in. Run is serial, so the
+	// recording is deterministic.
+	Series *ts.DB
+	Eval   *traffic.Evaluator
+	Model  *traffic.Model
 
 	prefixes []netip.Prefix                                   // sorted deployment prefixes
 	siteAnns map[string]map[netip.Prefix]bgp.SiteAnnouncement // site ID -> prefix -> announcement
@@ -395,12 +410,41 @@ func (r *Runner) Run(sc *Scenario) ([]Step, error) {
 		}
 		steps = append(steps, step)
 		r.observeStep(sc, step)
+		r.recordSeries(step)
 		if ssp.Active() {
 			ssp.End(obs.Str("event", step.Event.String()), obs.Int("dirty", int64(step.Stats.Dirty)))
 		}
 		pre = post
 	}
 	return steps, nil
+}
+
+// recordSeries samples one applied step into the flight recorder and
+// advances the SLO lifecycles (see Runner.Series). Flash-crowd factors are
+// folded into the demand matrix in sorted area order, matching the server's
+// publish path, so a scenario run and a served replay of the same events
+// record identical load series.
+func (r *Runner) recordSeries(st Step) {
+	if r.Series == nil {
+		return
+	}
+	tick := int64(st.Event.At)
+	r.Series.SampleReconverge(tick, st.Stats.Dirty, st.Stats.Passes)
+	r.Series.SampleChurn(tick, st.Churn.Moved, st.Churn.Lost)
+	if r.Eval != nil && r.Model != nil {
+		mat := r.Model.Matrix(int(tick % int64(r.Model.Buckets())))
+		areas := make([]geo.Area, 0, len(r.flash))
+		for a := range r.flash {
+			areas = append(areas, a)
+		}
+		sort.Slice(areas, func(i, j int) bool { return areas[i] < areas[j] })
+		for _, a := range areas {
+			mat = r.Model.FlashCrowd(mat, a, r.flash[a])
+		}
+		rep := r.Eval.EvaluateOn(r.Engine, mat)
+		r.Series.SampleLoad(tick, r.Model, rep, r.Eval.Config().SoftUtil)
+	}
+	r.Series.Eval(tick)
 }
 
 // observeStep records one applied event's reconvergence cost and catchment

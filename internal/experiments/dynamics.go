@@ -5,8 +5,10 @@ import (
 	"sort"
 
 	"anysim/internal/dynamics"
+	"anysim/internal/obs/ts"
 	"anysim/internal/stats"
 	"anysim/internal/topo"
+	"anysim/internal/traffic"
 )
 
 // DynamicsEventResult is one fault's impact on one deployment.
@@ -30,6 +32,13 @@ type DynamicsData struct {
 	Global   []DynamicsEventResult
 	// MeanBlastRegional/Global average the per-event changed fractions.
 	MeanBlastRegional, MeanBlastGlobal float64
+	// OverloadAlertsRegional/Global count overload-SLO firings over the
+	// fault trajectory (one load sample per fault while it is in effect):
+	// the trajectory verdict, not just the endpoint diff.
+	OverloadAlertsRegional, OverloadAlertsGlobal int
+	// PeakUtilRegional/Global are the worst per-site utilizations seen at
+	// any fault tick.
+	PeakUtilRegional, PeakUtilGlobal float64
 }
 
 // Dynamics (X2) measures behaviour under churn, the operational question
@@ -56,6 +65,28 @@ func Dynamics(ctx *Context) (*Report, error) {
 	sc, err := dynamicsSchedule(w.Topo, reg, glob)
 	if err != nil {
 		return nil, err
+	}
+
+	// Flight recorders for the trajectory verdict: one load sample per
+	// fault tick (fault applied, then repaired) through the same overload
+	// SLO rule the serve plane uses, so X2 reports not only how catchments
+	// end up but whether the surviving sites stayed inside capacity while
+	// each fault was in effect.
+	overload, err := ts.ParseRule("slo overload: load.max_util > 1 for 1 ticks")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: X2: %w", err)
+	}
+	model := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: w.Config.Seed})
+	evReg := traffic.NewEvaluator(w.Engine, w.Imperva.IM6, model, traffic.CapacityConfig{})
+	evGlob := traffic.NewEvaluator(w.Engine, w.Imperva.NS, model, traffic.CapacityConfig{})
+	regDB := ts.New(ts.Config{Rules: []ts.Rule{overload}})
+	globDB := ts.New(ts.Config{Rules: []ts.Rule{overload}})
+	sample := func(tick int64) {
+		mat := model.Matrix(int(tick % int64(model.Buckets())))
+		regDB.SampleLoad(tick, model, evReg.EvaluateOn(w.Engine, mat), evReg.Config().SoftUtil)
+		regDB.Eval(tick)
+		globDB.SampleLoad(tick, model, evGlob.EvaluateOn(w.Engine, mat), evGlob.Config().SoftUtil)
+		globDB.Eval(tick)
 	}
 
 	data := &DynamicsData{Scenario: sc.Name}
@@ -89,12 +120,17 @@ func Dynamics(ctx *Context) (*Report, error) {
 		data.Regional = append(data.Regional, regRes)
 		data.Global = append(data.Global, globRes)
 
+		// One load sample while the fault holds; the post-repair sample
+		// below resolves any alert it raised.
+		sample(int64(down.At))
+
 		if err := reg.Apply(up); err != nil {
 			return nil, fmt.Errorf("experiments: X2 %s: %w", up, err)
 		}
 		if err := glob.Apply(up); err != nil {
 			return nil, fmt.Errorf("experiments: X2 %s: %w", up, err)
 		}
+		sample(int64(up.At))
 	}
 
 	var regPens, globPens []float64
@@ -119,9 +155,36 @@ func Dynamics(ctx *Context) (*Report, error) {
 			fmt.Sprintf("%.2f%%", 100*g.Churn.ChangedFraction()),
 			fmt.Sprintf("%d/%d", g.GroupsChanged, g.Groups))
 	}
+	countFirings := func(db *ts.DB) int {
+		n := 0
+		for _, tr := range db.History() {
+			if tr.State == ts.StateFiring {
+				n++
+			}
+		}
+		return n
+	}
+	peakUtil := func(db *ts.DB) float64 {
+		pts, _ := db.Query("load.max_util", 0, 1<<62, 0)
+		peak := 0.0
+		for _, p := range pts {
+			if p.V > peak {
+				peak = p.V
+			}
+		}
+		return peak
+	}
+	data.OverloadAlertsRegional = countFirings(regDB)
+	data.OverloadAlertsGlobal = countFirings(globDB)
+	data.PeakUtilRegional = peakUtil(regDB)
+	data.PeakUtilGlobal = peakUtil(globDB)
+
 	text := tb.String()
 	text += fmt.Sprintf("\nmean blast radius: regional %.2f%% vs global %.2f%%\n",
 		100*data.MeanBlastRegional, 100*data.MeanBlastGlobal)
+	text += fmt.Sprintf("trajectory verdict: overload SLO fired %d time(s) regional (peak util %.2f) vs %d global (peak util %.2f)\n",
+		data.OverloadAlertsRegional, data.PeakUtilRegional,
+		data.OverloadAlertsGlobal, data.PeakUtilGlobal)
 	text += fmt.Sprintf("failover RTT penalty p50/p90 (ms): regional %s/%s (n=%d) vs global %s/%s (n=%d)\n",
 		stats.Fmt1(stats.Percentile(regPens, 50)), stats.Fmt1(stats.Percentile(regPens, 90)), len(regPens),
 		stats.Fmt1(stats.Percentile(globPens, 50)), stats.Fmt1(stats.Percentile(globPens, 90)), len(globPens))
@@ -129,6 +192,8 @@ func Dynamics(ctx *Context) (*Report, error) {
 	series := map[string][]stats.Point{
 		"penalty-cdf-regional": penaltyCDF(regPens),
 		"penalty-cdf-global":   penaltyCDF(globPens),
+		"max-util-regional":    utilTrajectory(regDB),
+		"max-util-global":      utilTrajectory(globDB),
 	}
 	return &Report{Text: text, Data: data, Series: series}, nil
 }
@@ -196,6 +261,17 @@ func dynamicsSchedule(tp *topo.Topology, reg, glob *dynamics.Runner) (*dynamics.
 	}
 	add(dynamics.Event{Kind: dynamics.IXPDown, IXP: ids[0]}, dynamics.Event{Kind: dynamics.IXPUp, IXP: ids[0]})
 	return sc, nil
+}
+
+// utilTrajectory renders a recorder's max-utilization series as plottable
+// (tick, util) points.
+func utilTrajectory(db *ts.DB) []stats.Point {
+	pts, _ := db.Query("load.max_util", 0, 1<<62, 0)
+	out := make([]stats.Point, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, stats.Point{X: float64(p.Tick), Y: p.V})
+	}
+	return out
 }
 
 // penaltyCDF renders a sorted sample set as CDF points.

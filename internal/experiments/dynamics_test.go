@@ -46,4 +46,16 @@ func TestDynamicsBlastRadius(t *testing.T) {
 	if len(r.Series["penalty-cdf-regional"]) == 0 {
 		t.Fatal("no regional penalty CDF points")
 	}
+	// Trajectory verdict: two load samples per fault (held, repaired) were
+	// recorded and judged by the overload SLO rule.
+	wantSamples := 2 * len(data.Regional)
+	if n := len(r.Series["max-util-regional"]); n != wantSamples {
+		t.Fatalf("max-util-regional has %d points, want %d", n, wantSamples)
+	}
+	if data.PeakUtilRegional <= 0 || data.PeakUtilGlobal <= 0 {
+		t.Fatalf("degenerate peak utilizations: %v vs %v", data.PeakUtilRegional, data.PeakUtilGlobal)
+	}
+	if !strings.Contains(r.Text, "trajectory verdict") {
+		t.Fatalf("report text missing trajectory verdict:\n%s", r.Text)
+	}
 }

@@ -195,6 +195,16 @@ func (t *Tracer) Emit(ev Event) {
 	_, t.err = t.w.Write(b)
 }
 
+// AppendFloat appends the deterministic JSON rendering of v used by every
+// obs artifact (strconv 'g'; Inf/NaN encode as strings, since JSON has no
+// literals for them). Exported for sibling packages (obs/ts) that hand-
+// encode their own deterministic JSON.
+func AppendFloat(b []byte, v float64) []byte { return appendFloat(b, v) }
+
+// AppendJSONString appends a JSON string literal for s, escaping quotes,
+// backslashes, and control characters. See AppendFloat.
+func AppendJSONString(b []byte, s string) []byte { return appendJSONString(b, s) }
+
 // floatBits canonicalises a float for storage: all NaNs collapse to one bit
 // pattern so snapshots stay deterministic even if a NaN sneaks in.
 func floatBits(v float64) uint64 {

@@ -1,0 +1,47 @@
+package ts
+
+import "testing"
+
+// BenchmarkDisabledObserve proves the nil-DB contract: instrumented call
+// sites cost one nil check when the recorder is off, like every other obs
+// handle.
+func BenchmarkDisabledObserve(b *testing.B) {
+	var db *DB
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Observe(int64(i), "site.util{site=x}", 0.5)
+	}
+}
+
+// BenchmarkDisabledEval proves rule evaluation vanishes with the recorder.
+func BenchmarkDisabledEval(b *testing.B) {
+	var db *DB
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Eval(int64(i))
+	}
+}
+
+// BenchmarkObserve measures the enabled per-sample cost on a warm series.
+func BenchmarkObserve(b *testing.B) {
+	db := New(Config{Rules: []Rule{}})
+	db.Observe(0, "site.util{site=x}", 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Observe(int64(i), "site.util{site=x}", 0.5)
+	}
+}
+
+// BenchmarkEval measures the enabled rule-evaluation cost with the default
+// rule set armed and its series present.
+func BenchmarkEval(b *testing.B) {
+	db := New(Config{})
+	db.Observe(0, "load.max_util", 0.5)
+	db.Observe(0, "load.unserved", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Eval(0)
+	}
+}

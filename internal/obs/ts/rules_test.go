@@ -1,0 +1,202 @@
+package ts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anysim/internal/obs"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("slo eu-latency: region.latency.p90{region=EMEA} > 40ms for 3 ticks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rule{Name: "eu-latency", Series: "region.latency.p90{region=EMEA}", Op: ">", Threshold: 40, For: 3}
+	if r != want {
+		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+
+	// Bare form: name defaults to the canonical expression, duration to 1.
+	r, err = ParseRule("load.unserved > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "load.unserved > 0 for 1 ticks" || r.For != 1 {
+		t.Fatalf("bare rule = %+v", r)
+	}
+
+	// A % threshold parses as a fraction.
+	r, err = ParseRule("site.share{site=fra} >= 50% for 2 ticks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threshold != 0.5 || r.Op != ">=" {
+		t.Fatalf("percent rule = %+v", r)
+	}
+
+	for _, bad := range []string{
+		"slo x load.max_util > 1",                // missing colon
+		"load.max_util >> 1",                     // bad operator
+		"load.max_util > one",                    // bad threshold
+		"load.max_util > 1 for 0 ticks",          // non-positive duration
+		"load.max_util > 1 for 2 buckets",        // bad unit
+		"load.max_util > 1 for 2",                // truncated clause
+		"slo a b: load.max_util > 1 for 1 ticks", // name with whitespace
+	} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) accepted a bad rule", bad)
+		}
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	src := `
+# operator SLOs
+slo overload: load.max_util > 1 for 2 ticks
+
+load.unserved > 0
+`
+	rules, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "overload" {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if _, err := ParseRules(strings.NewReader("load.max_util !!\n")); err == nil {
+		t.Fatal("bad file accepted")
+	}
+	if _, err := ParseRules(strings.NewReader("load.max_util !!\n")); err != nil &&
+		!strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error does not name the line: %v", err)
+	}
+}
+
+// TestAlertLifecycle drives a For=3 rule through the full lifecycle:
+// inactive -> pending (streak 1) -> still pending (2) -> firing (3) ->
+// resolved when the breach clears.
+func TestAlertLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	var trace bytes.Buffer
+	tr := obs.NewTracer(&trace)
+	db := New(Config{Rules: []Rule{{Name: "lat", Series: "lat.p90", Op: ">", Threshold: 40, For: 3}}})
+	db.Instrument(reg, tr)
+
+	type step struct {
+		tick  int64
+		v     float64
+		state State // expected transition state ("" = none)
+	}
+	steps := []step{
+		{0, 10, ""},
+		{1, 50, StatePending},
+		{2, 55, ""}, // still pending, no transition
+		{3, 60, StateFiring},
+		{4, 70, ""}, // still firing
+		{5, 20, StateResolved},
+	}
+	for _, s := range steps {
+		db.Observe(s.tick, "lat.p90", s.v)
+		trs := db.Eval(s.tick)
+		if s.state == "" {
+			if len(trs) != 0 {
+				t.Fatalf("tick %d: unexpected transitions %+v", s.tick, trs)
+			}
+			continue
+		}
+		if len(trs) != 1 || trs[0].State != s.state {
+			t.Fatalf("tick %d: transitions %+v, want one %s", s.tick, trs, s.state)
+		}
+	}
+	if got := db.History(); len(got) != 3 {
+		t.Fatalf("history = %+v, want pending/firing/resolved", got)
+	}
+	if db.FiringCount() != 0 || len(db.ActiveAlerts()) != 0 {
+		t.Fatal("alert still active after resolve")
+	}
+	if reg.Counter("slo.alerts.fired").Value() != 1 || reg.Counter("slo.alerts.resolved").Value() != 1 {
+		t.Fatalf("alert counters wrong:\n%s", reg.AppendSnapshot(nil))
+	}
+	if g := reg.Gauge("slo.firing").Value(); g != 0 {
+		t.Fatalf("slo.firing gauge = %g after resolve", g)
+	}
+	for _, want := range []string{`"scope":"slo","event":"pending"`, `"event":"firing"`, `"event":"resolved"`, `"schema":1`} {
+		if !strings.Contains(trace.String(), want) {
+			t.Errorf("trace missing %s:\n%s", want, trace.String())
+		}
+	}
+}
+
+// TestAlertPendingCancel: a breach shorter than the duration clause resolves
+// from pending without ever firing.
+func TestAlertPendingCancel(t *testing.T) {
+	db := New(Config{Rules: []Rule{{Name: "r", Series: "x", Op: ">", Threshold: 1, For: 3}}})
+	db.Observe(0, "x", 2)
+	db.Eval(0)
+	db.Observe(1, "x", 0)
+	trs := db.Eval(1)
+	if len(trs) != 1 || trs[0].State != StateResolved {
+		t.Fatalf("transitions = %+v, want a resolve from pending", trs)
+	}
+	if db.FiringCount() != 0 {
+		t.Fatal("nothing should be firing")
+	}
+}
+
+// TestAlertIntraTickReEval: re-publishing the same tick recomputes the
+// tick's streak contribution instead of double-counting it, so a For=3 rule
+// cannot be driven to firing by three publishes of one tick.
+func TestAlertIntraTickReEval(t *testing.T) {
+	db := New(Config{Rules: []Rule{{Name: "r", Series: "x", Op: ">", Threshold: 1, For: 3}}})
+	for i := 0; i < 5; i++ {
+		db.Observe(7, "x", 2)
+		db.Eval(7)
+	}
+	al := db.ActiveAlerts()
+	if len(al) != 1 || al[0].State != StatePending {
+		t.Fatalf("alerts after 5 same-tick evals = %+v, want one pending", al)
+	}
+	// The tick's contribution is also re-judged downward: a later publish
+	// of the same tick that clears the breach resets the streak.
+	db.Observe(7, "x", 0)
+	if trs := db.Eval(7); len(trs) != 1 || trs[0].State != StateResolved {
+		t.Fatalf("clearing publish = %+v, want resolve", trs)
+	}
+	db.Observe(8, "x", 2)
+	db.Eval(8)
+	al = db.ActiveAlerts()
+	if len(al) != 1 || al[0].State != StatePending || al[0].SinceTick != 8 {
+		t.Fatalf("alerts = %+v, want pending since tick 8", al)
+	}
+}
+
+// TestRuleOnMissingSeries: a rule whose series was never sampled stays
+// inactive (NaN never breaches).
+func TestRuleOnMissingSeries(t *testing.T) {
+	db := New(Config{Rules: []Rule{{Name: "r", Series: "ghost", Op: "<", Threshold: 100, For: 1}}})
+	if trs := db.Eval(0); len(trs) != 0 {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if len(db.ActiveAlerts()) != 0 {
+		t.Fatal("alert on a missing series")
+	}
+}
+
+func TestDefaultRules(t *testing.T) {
+	db := New(Config{})
+	db.Observe(0, "load.max_util", 1.4)
+	db.Observe(0, "load.unserved", 0)
+	db.Eval(0)
+	db.Observe(1, "load.max_util", 1.4)
+	db.Observe(1, "load.unserved", 5)
+	trs := db.Eval(1)
+	states := map[string]State{}
+	for _, tr := range trs {
+		states[tr.Rule] = tr.State
+	}
+	if states["site-overload"] != StateFiring || states["unserved-demand"] != StateFiring {
+		t.Fatalf("default rules transitions = %+v", trs)
+	}
+}

@@ -1,0 +1,143 @@
+package ts
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSeriesRingEviction(t *testing.T) {
+	db := New(Config{Capacity: 4, Rules: []Rule{}})
+	for tick := int64(0); tick < 10; tick++ {
+		db.Observe(tick, "x", float64(tick)*2)
+	}
+	pts, ok := db.Query("x", 0, 1<<62, 0)
+	if !ok {
+		t.Fatal("series x missing")
+	}
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want capacity 4", len(pts))
+	}
+	for i, p := range pts {
+		wantTick := int64(6 + i)
+		if p.Tick != wantTick || p.V != float64(wantTick)*2 {
+			t.Fatalf("point %d = %+v, want tick %d v %g", i, p, wantTick, float64(wantTick)*2)
+		}
+	}
+}
+
+func TestObserveLastWriteWinsWithinTick(t *testing.T) {
+	db := New(Config{Capacity: 8, Rules: []Rule{}})
+	db.Observe(3, "x", 1)
+	db.Observe(3, "x", 2)
+	db.Observe(3, "x", 7)
+	pts, _ := db.Query("x", 0, 10, 0)
+	if len(pts) != 1 || pts[0].V != 7 {
+		t.Fatalf("points = %+v, want one point with the last value 7", pts)
+	}
+	// Samples behind the clock are dropped, not inserted out of order.
+	db.Observe(2, "x", 99)
+	pts, _ = db.Query("x", 0, 10, 0)
+	if len(pts) != 1 || pts[0].Tick != 3 {
+		t.Fatalf("points after a stale sample = %+v", pts)
+	}
+}
+
+func TestAddAccumulatesWithinTick(t *testing.T) {
+	db := New(Config{Capacity: 8, Rules: []Rule{}})
+	db.Add(1, "cost", 10)
+	db.Add(1, "cost", 5)
+	db.Add(2, "cost", 3)
+	pts, _ := db.Query("cost", 0, 10, 0)
+	if len(pts) != 2 || pts[0].V != 15 || pts[1].V != 3 {
+		t.Fatalf("points = %+v, want [{1 15} {2 3}]", pts)
+	}
+}
+
+func TestQueryRangeAndDownsample(t *testing.T) {
+	db := New(Config{Capacity: 128, Rules: []Rule{}})
+	for tick := int64(0); tick < 100; tick++ {
+		db.Observe(tick, "x", float64(tick))
+	}
+	pts, _ := db.Query("x", 10, 19, 0)
+	if len(pts) != 10 || pts[0].Tick != 10 || pts[9].Tick != 19 {
+		t.Fatalf("range query = %d points [%+v..%+v]", len(pts), pts[0], pts[len(pts)-1])
+	}
+	down, _ := db.Query("x", 0, 99, 10)
+	if len(down) > 10 {
+		t.Fatalf("downsampled to %d points, want <= 10", len(down))
+	}
+	if down[len(down)-1].Tick != 99 {
+		t.Fatalf("downsampling dropped the newest point: %+v", down[len(down)-1])
+	}
+	for i := 1; i < len(down); i++ {
+		if down[i].Tick <= down[i-1].Tick {
+			t.Fatalf("downsampled points out of order: %+v", down)
+		}
+	}
+	if _, ok := db.Query("nope", 0, 10, 0); ok {
+		t.Fatal("query of an unknown series reported ok")
+	}
+}
+
+func TestAppendJSONDeterministicAndValid(t *testing.T) {
+	build := func() []byte {
+		db := New(Config{Capacity: 8})
+		db.Observe(0, "load.max_util", 0.5)
+		db.Observe(1, "load.max_util", 1.5)
+		db.Eval(0)
+		db.Eval(1)
+		db.Observe(2, "load.max_util", 1.5)
+		db.Eval(2) // streak 2 -> site-overload fires
+		return db.AppendJSON(nil)
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dump differs across identical runs:\n%s\n%s", a, b)
+	}
+	var doc struct {
+		Schema   int                     `json:"schema"`
+		Capacity int                     `json:"capacity"`
+		Series   map[string][][2]float64 `json:"series"`
+		Rules    []json.RawMessage       `json:"rules"`
+		Alerts   []Transition            `json:"alerts"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, a)
+	}
+	if doc.Schema != SchemaVersion || doc.Capacity != 8 {
+		t.Fatalf("bad header: %+v", doc)
+	}
+	if len(doc.Series["load.max_util"]) != 3 {
+		t.Fatalf("series points = %+v", doc.Series["load.max_util"])
+	}
+	if len(doc.Alerts) == 0 {
+		t.Fatalf("no alert transitions in dump:\n%s", a)
+	}
+}
+
+func TestNilDBIsDisabled(t *testing.T) {
+	var db *DB
+	db.Observe(1, "x", 1)
+	db.Add(1, "x", 1)
+	db.SampleLoad(1, nil, nil, 0.75)
+	db.SampleReconverge(1, 3, 2)
+	db.SampleChurn(1, 3, 2)
+	db.Instrument(nil, nil)
+	if trs := db.Eval(1); trs != nil {
+		t.Fatalf("nil DB Eval = %+v", trs)
+	}
+	if names := db.Names(); names != nil {
+		t.Fatalf("nil DB Names = %+v", names)
+	}
+	if _, ok := db.Query("x", 0, 1, 0); ok {
+		t.Fatal("nil DB Query reported ok")
+	}
+	if got := string(db.AppendJSON(nil)); got != "{}\n" {
+		t.Fatalf("nil DB dump = %q", got)
+	}
+	if db.FiringCount() != 0 || db.Capacity() != 0 || db.Rules() != nil ||
+		db.ActiveAlerts() != nil || db.History() != nil {
+		t.Fatal("nil DB accessors are not zero")
+	}
+}

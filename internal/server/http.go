@@ -18,6 +18,7 @@ import (
 	"anysim/internal/dynamics"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/obs/ts"
 )
 
 // Handler returns the HTTP API:
@@ -27,10 +28,12 @@ import (
 //	GET  /load               per-site load for the current time bucket
 //	GET  /explain?group=K    one probe group's catchment, hop by hop
 //	GET  /diff?since=T       catchment moves since the state at tick T
+//	GET  /timeseries         recorded series index; ?series=N[&from=&to=&max=] for points
+//	GET  /alerts             active SLO alerts and the transition history
 //	GET  /metrics            obs registry snapshot (JSON)
 //	GET  /metrics.prom       obs registry, Prometheus text exposition
-//	GET  /healthz            liveness, identity hashes, and ingest lag
-//	GET  /watch              SSE stream of ingest/advance deltas
+//	GET  /healthz            liveness, identity hashes, ingest lag, firing alerts
+//	GET  /watch              SSE stream of ingest/advance deltas and alert frames
 //	POST /events             ingest a dynamics-DSL / JSONL event stream
 //	POST /advance?to=T       advance the virtual clock
 //	POST /checkpoint[?path=] write a checkpoint file
@@ -44,6 +47,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /load", "load", s.handleLoad)
 	handle("GET /explain", "explain", s.handleExplain)
 	handle("GET /diff", "diff", s.handleDiff)
+	handle("GET /timeseries", "timeseries", s.handleTimeseries)
+	handle("GET /alerts", "alerts", s.handleAlerts)
 	handle("GET /metrics", "metrics", s.handleMetrics)
 	handle("GET /metrics.prom", "metrics_prom", s.handleMetricsProm)
 	handle("GET /healthz", "healthz", s.handleHealthz)
@@ -288,6 +293,102 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		Tick:     cur.Tick,
 		Report:   rep,
 	})
+}
+
+// timeseriesIndex is the GET /timeseries body without ?series=.
+type timeseriesIndex struct {
+	Schema   int      `json:"schema"`
+	Capacity int      `json:"capacity"`
+	Series   []string `json:"series"`
+}
+
+// handleTimeseries is GET /timeseries: without ?series= it lists the
+// recorded series; with it, it returns the series' points as [tick, value]
+// pairs, optionally bounded by ?from=/?to= (ticks, inclusive) and
+// downsampled to at most ?max= points. Point responses are hand-encoded
+// with the obs float conventions so a utilization of +Inf cannot break the
+// response, and a double read of an idle server is byte-identical.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("series")
+	if name == "" {
+		writeJSON(w, http.StatusOK, timeseriesIndex{
+			Schema:   ts.SchemaVersion,
+			Capacity: s.tsdb.Capacity(),
+			Series:   s.tsdb.Names(),
+		})
+		return
+	}
+	from, to, max := int64(0), int64(1)<<62, 0
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?from=: %w", err))
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = strconv.ParseInt(v, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?to=: %w", err))
+			return
+		}
+	}
+	if v := q.Get("max"); v != "" {
+		if max, err = strconv.Atoi(v); err != nil || max < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad ?max=: want a non-negative integer"))
+			return
+		}
+	}
+	pts, ok := s.tsdb.Query(name, from, to, max)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no series %q (GET /timeseries lists them)", name))
+		return
+	}
+	b := []byte(`{"series":`)
+	b = obs.AppendJSONString(b, name)
+	b = append(b, `,"points":[`...)
+	for i, p := range pts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		b = strconv.AppendInt(b, p.Tick, 10)
+		b = append(b, ',')
+		b = obs.AppendFloat(b, p.V)
+		b = append(b, ']')
+	}
+	b = append(b, "]}\n"...)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Cache-Control", "no-store")
+	w.Write(b)
+}
+
+// handleAlerts is GET /alerts: the active (pending/firing) alerts in rule
+// order plus the retained transition history, hand-encoded like the
+// timeseries responses.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	b := append([]byte(nil), `{"firing":`...)
+	b = strconv.AppendInt(b, int64(s.tsdb.FiringCount()), 10)
+	b = append(b, `,"active":[`...)
+	for i, a := range s.tsdb.ActiveAlerts() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = a.AppendJSON(b)
+	}
+	b = append(b, `],"history":[`...)
+	for i, tr := range s.tsdb.History() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = tr.AppendJSON(b)
+	}
+	b = append(b, "]}\n"...)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Cache-Control", "no-store")
+	w.Write(b)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,7 @@ import (
 	"anysim/internal/geo"
 	"anysim/internal/glass"
 	"anysim/internal/obs"
+	"anysim/internal/obs/ts"
 	"anysim/internal/traffic"
 	"anysim/internal/worldgen"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	Capacity traffic.CapacityConfig
 	// History bounds the retained state ring; DefaultHistory when 0.
 	History int
+	// Series configures the time-series flight recorder: every published
+	// state is sampled into tick-keyed ring buffers and evaluated against
+	// the SLO rules. Zero value takes the ts defaults (ts.DefaultCapacity,
+	// ts.DefaultRules). Series are not checkpointed; a restored server
+	// records from the restore tick onward.
+	Series ts.Config
 	// CheckpointPath is the default target of POST /checkpoint.
 	CheckpointPath string
 	// Restore, when set, resumes from a checkpoint instead of starting at
@@ -87,6 +94,11 @@ type Server struct {
 	// which /healthz derives its ingest lag.
 	watch       watchHub
 	lastApplyNs atomic.Int64
+
+	// tsdb is the flight recorder behind /timeseries and /alerts, sampled
+	// on the serial publish path so its contents are a pure function of the
+	// event history.
+	tsdb *ts.DB
 
 	sobs serverObs
 }
@@ -162,6 +174,8 @@ func New(cfg Config) (*Server, error) {
 	s.model = traffic.NewModel(w.Platform, dcfg)
 
 	reg, tr := w.Config.Metrics, w.Config.Tracer
+	s.tsdb = ts.New(cfg.Series)
+	s.tsdb.Instrument(reg, tr)
 	s.sobs = serverObs{
 		events:  reg.Counter("serve.ingest.events"),
 		ticks:   reg.Counter("serve.ticks"),
@@ -273,7 +287,8 @@ func (s *Server) Apply(ev dynamics.Event) (ApplyResult, error) {
 		stats = s.w.Engine.LastReconvergeStats()
 	}
 	prev := s.cur.Load()
-	st := s.publishLocked()
+	s.tsdb.SampleReconverge(s.tick, stats.Dirty, stats.Passes)
+	st, trs := s.publishLocked()
 	s.lastApplyNs.Store(time.Now().UnixNano())
 	s.sobs.events.Inc()
 	s.sobs.dirty.Observe(int64(stats.Dirty))
@@ -289,6 +304,7 @@ func (s *Server) Apply(ev dynamics.Event) (ApplyResult, error) {
 		Dirty: stats.Dirty, Passes: stats.Passes, Full: stats.Full,
 	}
 	s.notifyWatchers("ingest", prev, st, res)
+	s.notifyAlerts(st, trs)
 	return res, nil
 }
 
@@ -302,18 +318,20 @@ func (s *Server) AdvanceTo(tick int64) (*State, error) {
 	}
 	s.tick = tick
 	prev := s.cur.Load()
-	st := s.publishLocked()
+	st, trs := s.publishLocked()
 	s.lastApplyNs.Store(time.Now().UnixNano())
 	s.sobs.ticks.Inc()
 	s.emitTrace("advance")
 	s.notifyWatchers("advance", prev, st, ApplyResult{})
+	s.notifyAlerts(st, trs)
 	return st, nil
 }
 
 // publishLocked evaluates load for the current tick's bucket (with any
-// active flash crowds folded in) and publishes a new immutable state.
-// Caller holds s.mu.
-func (s *Server) publishLocked() *State {
+// active flash crowds folded in), publishes a new immutable state, samples
+// it into the flight recorder, and evaluates the SLO rules, returning any
+// alert transitions this publish caused. Caller holds s.mu.
+func (s *Server) publishLocked() (*State, []ts.Transition) {
 	bucket := int(s.tick % int64(s.model.Buckets()))
 	mat := s.model.Matrix(bucket)
 	flash := s.runner.ActiveFlash()
@@ -337,8 +355,12 @@ func (s *Server) publishLocked() *State {
 	if len(s.hist) > s.cfg.History {
 		s.hist = s.hist[len(s.hist)-s.cfg.History:]
 	}
-	return st
+	s.tsdb.SampleLoad(s.tick, s.model, st.Load, s.eval.Config().SoftUtil)
+	return st, s.tsdb.Eval(s.tick)
 }
+
+// Series returns the time-series flight recorder. Never nil after New.
+func (s *Server) Series() *ts.DB { return s.tsdb }
 
 // emitTrace emits one server event clocked by (event, tick).
 func (s *Server) emitTrace(name string, attrs ...obs.Attr) {

@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"anysim/internal/obs/ts"
 )
 
 // watchEvent is one SSE /watch payload: what happened and where the twin
@@ -121,6 +123,38 @@ func (s *Server) notifyWatchers(kind string, prev, st *State, res ApplyResult) {
 	s.watch.broadcast(b)
 }
 
+// alertFrame is one SSE /watch payload of kind "alert": an SLO rule changed
+// lifecycle state at the (seq, tick) the frame carries.
+type alertFrame struct {
+	Kind      string   `json:"kind"`
+	Seq       int64    `json:"seq"`
+	Tick      int64    `json:"tick"`
+	Rule      string   `json:"rule"`
+	State     ts.State `json:"state"`
+	Series    string   `json:"series"`
+	Value     float64  `json:"value"`
+	Threshold float64  `json:"threshold"`
+}
+
+// notifyAlerts broadcasts one alert frame per SLO transition the publish of
+// st caused, after the state delta so watchers see cause before pager.
+func (s *Server) notifyAlerts(st *State, trs []ts.Transition) {
+	if len(trs) == 0 || s.watch.active() == 0 {
+		return
+	}
+	for _, tr := range trs {
+		b, err := json.Marshal(alertFrame{
+			Kind: "alert", Seq: st.Seq, Tick: st.Tick,
+			Rule: tr.Rule, State: tr.State, Series: tr.Series,
+			Value: tr.Value, Threshold: tr.Threshold,
+		})
+		if err != nil {
+			continue
+		}
+		s.watch.broadcast(b)
+	}
+}
+
 // handleWatch is GET /watch: a Server-Sent-Events stream. The first event
 // ("hello") carries the current state; every subsequent ingest or clock
 // advance pushes a delta. The subscription ends when the client goes away;
@@ -136,6 +170,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-store")
+	// A buffering reverse proxy (nginx defaults) would turn the live stream
+	// into a stale one; tell it to pass frames through as they flush.
+	h.Set("X-Accel-Buffering", "no")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
@@ -168,17 +205,20 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 // (seed, world hash, policy hash) peers need to decide whether this twin is
 // comparable to theirs.
 type healthView struct {
-	Status      string `json:"status"`
-	Dep         string `json:"dep"`
-	Seed        int64  `json:"seed"`
-	World       string `json:"world"`
-	Policy      string `json:"policy,omitempty"`
-	Seq         int64  `json:"seq"`
-	Tick        int64  `json:"tick"`
-	Bucket      int    `json:"bucket"`
-	Events      int64  `json:"events"`
-	Watchers    int    `json:"watchers"`
-	IngestLagMs int64  `json:"ingest_lag_ms"` // ms since last ingest; -1 before the first
+	Status   string `json:"status"`
+	Dep      string `json:"dep"`
+	Seed     int64  `json:"seed"`
+	World    string `json:"world"`
+	Policy   string `json:"policy,omitempty"`
+	Seq      int64  `json:"seq"`
+	Tick     int64  `json:"tick"`
+	Bucket   int    `json:"bucket"`
+	Events   int64  `json:"events"`
+	Watchers int    `json:"watchers"`
+	// FiringAlerts counts SLO rules currently in the firing state — the
+	// one-number pager signal (also exported as the slo.firing gauge).
+	FiringAlerts int   `json:"firing_alerts"`
+	IngestLagMs  int64 `json:"ingest_lag_ms"` // ms since last ingest; -1 before the first
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -188,17 +228,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		lag = (time.Now().UnixNano() - t) / int64(time.Millisecond)
 	}
 	writeJSON(w, http.StatusOK, healthView{
-		Status:      "ok",
-		Dep:         s.dep.Name,
-		Seed:        s.w.Config.Seed,
-		World:       s.w.Config.Hash(),
-		Policy:      s.w.Config.PolicyHash(),
-		Seq:         st.Seq,
-		Tick:        st.Tick,
-		Bucket:      st.Bucket,
-		Events:      s.EventsApplied(),
-		Watchers:    s.watch.active(),
-		IngestLagMs: lag,
+		Status:       "ok",
+		Dep:          s.dep.Name,
+		Seed:         s.w.Config.Seed,
+		World:        s.w.Config.Hash(),
+		Policy:       s.w.Config.PolicyHash(),
+		Seq:          st.Seq,
+		Tick:         st.Tick,
+		Bucket:       st.Bucket,
+		Events:       s.EventsApplied(),
+		Watchers:     s.watch.active(),
+		FiringAlerts: s.tsdb.FiringCount(),
+		IngestLagMs:  lag,
 	})
 }
 

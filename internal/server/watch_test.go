@@ -63,6 +63,11 @@ func TestWatchSSE(t *testing.T) {
 	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
 		t.Fatalf("Cache-Control = %q, want no-store", cc)
 	}
+	// A buffering reverse proxy would turn the live stream into a stale
+	// one; the stream must opt out explicitly.
+	if ab := resp.Header.Get("X-Accel-Buffering"); ab != "no" {
+		t.Fatalf("X-Accel-Buffering = %q, want no", ab)
+	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 

@@ -1,0 +1,84 @@
+package traffic_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"anysim/internal/geo"
+	"anysim/internal/obs"
+	"anysim/internal/obs/ts"
+	"anysim/internal/traffic"
+	"anysim/internal/worldgen"
+)
+
+// runRecordedPipeline drives one diurnal cycle of the load pipeline — one
+// evaluation per demand bucket under an EMEA flash crowd — through a flight
+// recorder with the default SLO rules, the evaluator parameterized by
+// worker count. It returns the recorder dump and the alert/trace stream.
+func runRecordedPipeline(t *testing.T, workers int) (dump, trace []byte) {
+	t.Helper()
+	w, err := worldgen.New(worldgen.SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := traffic.NewModel(w.Platform, traffic.DemandConfig{Seed: 1})
+	ev := traffic.NewEvaluator(w.Engine, w.Imperva.IM6, m, traffic.CapacityConfig{})
+	ev.Workers = workers
+
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	db := ts.New(ts.Config{})
+	db.Instrument(reg, tr)
+
+	// Factor 4 overloads several EMEA sites at peak buckets, so the
+	// default overload rule transitions for real during the cycle.
+	for b := 0; b < m.Buckets(); b++ {
+		mat := m.FlashCrowd(m.Matrix(b), geo.EMEA, 4)
+		rep := ev.EvaluateOn(w.Engine, mat)
+		db.SampleLoad(int64(b), m, rep, ev.Config().SoftUtil)
+		db.Eval(int64(b))
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("workers=%d: tracer: %v", workers, err)
+	}
+	return db.AppendJSON(nil), buf.Bytes()
+}
+
+// TestTSDeterminismAcrossWorkers extends the observability acceptance
+// check to the time-series plane: the flight-recorder dump and the SLO
+// alert stream of a full diurnal evaluation cycle are byte-identical
+// across Workers settings and across repeated runs at the same seed.
+func TestTSDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several worlds")
+	}
+	serialDump, serialTrace := runRecordedPipeline(t, 1)
+	if !json.Valid(serialDump) {
+		t.Fatalf("recorder dump is not valid JSON:\n%s", serialDump)
+	}
+	// The flash crowd must actually trip the default overload rule, or the
+	// byte-compare proves nothing about alert determinism.
+	if !bytes.Contains(serialTrace, []byte(`"scope":"slo"`)) {
+		t.Fatalf("no SLO transitions in the trace:\n%s", serialTrace)
+	}
+	rerunDump, rerunTrace := runRecordedPipeline(t, 1)
+	if !bytes.Equal(serialDump, rerunDump) {
+		t.Fatalf("recorder dump differs across reruns:\n--- first ---\n%s--- rerun ---\n%s", serialDump, rerunDump)
+	}
+	if !bytes.Equal(serialTrace, rerunTrace) {
+		t.Fatalf("alert stream differs across reruns:\n--- first ---\n%s--- rerun ---\n%s", serialTrace, rerunTrace)
+	}
+	for _, workers := range []int{2, 0} { // 0 means GOMAXPROCS
+		dump, trace := runRecordedPipeline(t, workers)
+		if !bytes.Equal(serialDump, dump) {
+			t.Fatalf("workers=%d: recorder dump differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialDump, dump)
+		}
+		if !bytes.Equal(serialTrace, trace) {
+			t.Fatalf("workers=%d: alert stream differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialTrace, trace)
+		}
+	}
+}

@@ -47,6 +47,28 @@ cmp -s "$work/load1.json" "$work/load2.json" || {
     exit 1
 }
 
+# The flight recorder: /timeseries serves the sampled trajectory and
+# /alerts the SLO plane, both deterministic on an idle server (two reads
+# must be byte-identical).
+curl -fsS "http://$addr/timeseries" > "$work/tsindex.json"
+grep -q '"series"' "$work/tsindex.json"
+curl -fsS "http://$addr/timeseries?series=load.max_util" > "$work/ts1.json"
+curl -fsS "http://$addr/timeseries?series=load.max_util" > "$work/ts2.json"
+grep -q '"points"' "$work/ts1.json"
+cmp -s "$work/ts1.json" "$work/ts2.json" || {
+    echo "serve_smoke: GET /timeseries is nondeterministic"
+    diff "$work/ts1.json" "$work/ts2.json" || true
+    exit 1
+}
+curl -fsS "http://$addr/alerts" > "$work/alerts1.json"
+curl -fsS "http://$addr/alerts" > "$work/alerts2.json"
+grep -q '"firing"' "$work/alerts1.json"
+cmp -s "$work/alerts1.json" "$work/alerts2.json" || {
+    echo "serve_smoke: GET /alerts is nondeterministic"
+    diff "$work/alerts1.json" "$work/alerts2.json" || true
+    exit 1
+}
+
 # Telemetry plane: /healthz reports identity and ingest lag, /metrics.prom
 # speaks Prometheus text exposition, and JSON answers tell caches to stay
 # out (a cached answer from a live twin is a stale twin).
